@@ -1,0 +1,472 @@
+(* Benchmark harness: regenerates every experiment of DESIGN.md §4.
+
+   The demo paper has no numeric tables; its measurable claims are the
+   Figure 1 semantics, the six §3.1 scenarios, and the §3 scalability claim
+   ("a loaded system, where a large number of entangled queries are trying
+   to coordinate simultaneously").  Each experiment below prints one
+   paper-style table; EXPERIMENTS.md records the expected shapes.
+
+   Run all:         dune exec bench/main.exe
+   Run one:         dune exec bench/main.exe -- E8
+   Fast mode (CI):  dune exec bench/main.exe -- --fast *)
+
+open Relational
+open Bechamel
+open Toolkit
+
+let say fmt = Format.printf (fmt ^^ "@.")
+let hrule = String.make 72 '-'
+
+let header title =
+  say "@.%s" hrule;
+  say "%s" title;
+  say "%s" hrule
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helper: OLS-estimated ns/run for a closure. *)
+
+let ols_ns ?(quota = 0.4) name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimate =
+    Hashtbl.fold
+      (fun _ v acc ->
+        match Analyze.OLS.estimates v with Some [ e ] -> Some e | _ -> acc)
+      results None
+  in
+  Option.value ~default:Float.nan estimate
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Unix.gettimeofday () -. t0, result
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures. *)
+
+(* The Figure 1(a) database + Reservation answer relation. *)
+let fig1_system () =
+  let db = Database.create () in
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  List.iter
+    (fun (f, d) ->
+      ignore (Table.insert flights [| Value.Int f; Value.Str d |]))
+    [ 122, "Paris"; 123, "Paris"; 134, "Paris"; 136, "Rome" ];
+  let coord = Core.Coordinator.create db in
+  Core.Coordinator.declare_answer_relation coord
+    (Schema.make "Reservation"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  db, coord
+
+let pair_sql name friend =
+  Printf.sprintf
+    "SELECT '%s', fno INTO ANSWER Reservation WHERE fno IN (SELECT fno FROM \
+     Flights WHERE dest='Paris') AND ('%s', fno) IN ANSWER Reservation \
+     CHOOSE 1"
+    name friend
+
+let fresh_travel ?config ~n_flights () =
+  Travel.Datagen.make_system ?config ~seed:1 ~n_flights ~n_hotels:8 ()
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1: the mutual-match primitive, microbenchmarked. *)
+
+let e1_fig1 () =
+  header
+    "E1 (Figure 1) — pairwise mutual match: parse + compile + safety + \
+     match + fulfil";
+  let db, coord = fig1_system () in
+  let cat = db.Database.catalog in
+  let i = ref 0 in
+  let submit_pair () =
+    incr i;
+    let a = Printf.sprintf "K%d" !i and b = Printf.sprintf "J%d" !i in
+    (match
+       Core.Coordinator.submit coord (Core.Translate.of_sql cat ~owner:a (pair_sql a b))
+     with
+    | Core.Coordinator.Registered _ -> ()
+    | _ -> failwith "first of pair should wait");
+    match
+      Core.Coordinator.submit coord (Core.Translate.of_sql cat ~owner:b (pair_sql b a))
+    with
+    | Core.Coordinator.Answered _ -> ()
+    | _ -> failwith "second of pair should match"
+  in
+  let ns = ols_ns "fig1_mutual_match" submit_pair in
+  say "full pair coordination (2 queries, 1 match, atomic fulfilment):";
+  say "  %12.0f ns/pair  (%.1f us)" ns (ns /. 1e3);
+  (* decomposition *)
+  let parse_ns = ols_ns "parse" (fun () -> ignore (Sql.Parser.parse_one (pair_sql "K" "J"))) in
+  let translate_ns =
+    ols_ns "translate" (fun () ->
+        ignore (Core.Translate.of_sql cat ~owner:"K" (pair_sql "K" "J")))
+  in
+  say "  of which: parse %.0f ns, parse+compile %.0f ns" parse_ns translate_ns;
+  say "  (choice among 3 Paris flights; both tuples get the same fno — \
+       verified by the test suite)"
+
+(* ------------------------------------------------------------------ *)
+(* E4 — multiple simultaneous bookings: pair throughput sweep. *)
+
+let e4_pairs fast =
+  header "E4 (§3.1 multiple simultaneous bookings) — pair throughput";
+  say "%8s %10s %12s %14s %14s" "pairs" "queries" "elapsed(s)" "pairs/s"
+    "mean lat(us)";
+  let sizes = if fast then [ 1; 8; 32 ] else [ 1; 4; 16; 64; 256 ] in
+  List.iter
+    (fun n ->
+      let sys = fresh_travel ~n_flights:64 () in
+      let coordinator = Youtopia.System.coordinator sys in
+      let cat = Youtopia.System.catalog sys in
+      let arrivals =
+        Travel.Workload.pair_arrivals ~seed:5 ~n ~dests:Travel.Datagen.cities
+      in
+      let m = Travel.Workload.run_pairs coordinator cat arrivals in
+      assert (m.Travel.Workload.fulfilled = 2 * n);
+      say "%8d %10d %12.4f %14.0f %14.1f" n m.Travel.Workload.submitted
+        m.Travel.Workload.elapsed
+        (float_of_int n /. m.Travel.Workload.elapsed)
+        (m.Travel.Workload.mean_arrival_latency *. 1e6))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* E5 — group size sweep: cost of closing a clique of size g. *)
+
+let e5_groups fast =
+  header "E5/E6 (§3.1 group booking) — group-size sweep (clique constraints)";
+  say "%8s %16s %16s %14s" "group" "close lat(us)" "search steps" "unify/group";
+  let sizes = if fast then [ 2; 4; 8 ] else [ 2; 4; 6; 8; 12; 16 ] in
+  List.iter
+    (fun g ->
+      let sys = fresh_travel ~n_flights:64 () in
+      let coordinator = Youtopia.System.coordinator sys in
+      let cat = Youtopia.System.catalog sys in
+      let members = List.init g (fun i -> Printf.sprintf "m%d" i) in
+      let queries = Travel.Workload.group_queries cat ~members ~dest:"Paris" in
+      let stats = Core.Coordinator.stats coordinator in
+      let rec submit_all = function
+        | [] -> failwith "empty group"
+        | [ last ] ->
+          let steps0 = stats.Core.Stats.search_steps in
+          let unify0 = stats.Core.Stats.unify_attempts in
+          let elapsed, outcome =
+            time_once (fun () -> Core.Coordinator.submit coordinator last)
+          in
+          (match outcome with
+          | Core.Coordinator.Answered _ -> ()
+          | _ -> failwith "group should close");
+          ( elapsed,
+            stats.Core.Stats.search_steps - steps0,
+            stats.Core.Stats.unify_attempts - unify0 )
+        | q :: rest ->
+          ignore (Core.Coordinator.submit coordinator q);
+          submit_all rest
+      in
+      let elapsed, steps, unify = submit_all queries in
+      say "%8d %16.1f %16d %14d" g (elapsed *. 1e6) steps unify)
+    sizes;
+  say "(the last member's arrival pays the whole group search; growth is";
+  say " polynomial in g because every member contributes g-1 constraints)"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — loaded pending store: arrival latency vs pending size. *)
+
+let run_pending_sweep ?(probes = 20) ~use_head_index sizes =
+  List.map
+    (fun n ->
+      let config =
+        {
+          Core.Coordinator.default_config with
+          Core.Coordinator.use_head_index;
+        }
+      in
+      let sys = fresh_travel ~config ~n_flights:64 () in
+      let coordinator = Youtopia.System.coordinator sys in
+      let cat = Youtopia.System.catalog sys in
+      List.iter
+        (fun q -> ignore (Core.Coordinator.submit coordinator q))
+        (Travel.Workload.noise_queries cat ~n ~dests:Travel.Datagen.cities);
+      (* measure the arrival latency of real matching pairs on top *)
+      let total = ref 0. in
+      for i = 1 to probes do
+        let a = Printf.sprintf "probeA%d" i and b = Printf.sprintf "probeB%d" i in
+        ignore
+          (Core.Coordinator.submit coordinator
+             (Travel.Workload.pair_query cat ~user:a ~friend:b ~dest:"Paris"));
+        let elapsed, outcome =
+          time_once (fun () ->
+              Core.Coordinator.submit coordinator
+                (Travel.Workload.pair_query cat ~user:b ~friend:a ~dest:"Paris"))
+        in
+        (match outcome with
+        | Core.Coordinator.Answered _ -> ()
+        | _ -> failwith "probe pair should match");
+        total := !total +. elapsed
+      done;
+      n, !total /. float_of_int probes)
+    sizes
+
+let e8_pending fast =
+  header "E8 (§3 loaded system) — match latency vs pending-store size";
+  let sizes = if fast then [ 16; 128; 1024 ] else [ 16; 64; 256; 1024; 4096 ] in
+  say "%10s %20s" "pending" "pair match lat(us)";
+  List.iter
+    (fun (n, lat) -> say "%10d %20.1f" n (lat *. 1e6))
+    (run_pending_sweep ~use_head_index:true sizes);
+  say "(head-indexed candidate lookup keeps arrival latency nearly flat";
+  say " as unrelated pending queries accumulate)"
+
+(* ------------------------------------------------------------------ *)
+(* E11 — ablation: pending-store head index on vs off. *)
+
+let e11_ablation fast =
+  header "E11 (ablation) — pending-store head/constraint index on vs off";
+  (* the scan variant is quadratic (every fulfilment retries every pending
+     query), so the ablation sweep stops at 1024 *)
+  let sizes = if fast then [ 16; 128 ] else [ 16; 64; 256; 1024 ] in
+  let indexed = run_pending_sweep ~probes:5 ~use_head_index:true sizes in
+  let scanned = run_pending_sweep ~probes:5 ~use_head_index:false sizes in
+  say "%10s %18s %18s %10s" "pending" "indexed(us)" "scan(us)" "speedup";
+  List.iter2
+    (fun (n, a) (_, b) ->
+      say "%10d %18.1f %18.1f %9.1fx" n (a *. 1e6) (b *. 1e6) (b /. a))
+    indexed scanned
+
+(* ------------------------------------------------------------------ *)
+(* E9 — database size sensitivity of grounding. *)
+
+let e9_dbsize fast =
+  header "E9 — grounding cost vs database size (|Flights| sweep)";
+  let sizes = if fast then [ 16; 256 ] else [ 16; 128; 1024; 8192 ] in
+  say "%10s %16s %20s" "flights" "paris flights" "pair match lat(us)";
+  List.iter
+    (fun f ->
+      let sys = fresh_travel ~n_flights:f () in
+      let coordinator = Youtopia.System.coordinator sys in
+      let cat = Youtopia.System.catalog sys in
+      let probes = 20 in
+      let total = ref 0. in
+      for i = 1 to probes do
+        let a = Printf.sprintf "dA%d" i and b = Printf.sprintf "dB%d" i in
+        ignore
+          (Core.Coordinator.submit coordinator
+             (Travel.Workload.pair_query cat ~user:a ~friend:b ~dest:"Paris"));
+        let elapsed, _ =
+          time_once (fun () ->
+              Core.Coordinator.submit coordinator
+                (Travel.Workload.pair_query cat ~user:b ~friend:a ~dest:"Paris"))
+        in
+        total := !total +. elapsed
+      done;
+      say "%10d %16d %20.1f" f
+        (f / Array.length Travel.Datagen.cities)
+        (!total /. float_of_int probes *. 1e6))
+    sizes;
+  say "(each pair enumerates the candidate Paris flights once: latency";
+  say " grows linearly with the relevant fraction of the database)"
+
+(* ------------------------------------------------------------------ *)
+(* E10 — entangled coordination vs out-of-band baseline. *)
+
+let e10_baseline fast =
+  header
+    "E10 (§1 motivation) — entangled queries vs out-of-band polling baseline";
+  say "%28s %8s %10s %8s %10s %12s" "mode" "pairs" "succeeded" "failed"
+    "txns/match" "elapsed(ms)";
+  let cases = if fast then [ 8, 4 ] else [ 8, 4; 32, 8; 64, 8 ] in
+  List.iter
+    (fun (pairs, seats) ->
+      (* contention: all pairs want Paris; few flights, few seats *)
+      let specs =
+        List.init pairs (fun i ->
+            Printf.sprintf "L%d" i, Printf.sprintf "P%d" i, "Paris")
+      in
+      (* baseline *)
+      let sys_b =
+        Travel.Datagen.make_system ~seed:9 ~n_flights:16 ~n_hotels:4
+          ~seats_per_flight:seats ()
+      in
+      let elapsed_b, result =
+        time_once (fun () ->
+            Travel.Baseline.run (Youtopia.System.database sys_b) specs ())
+      in
+      say "%28s %8d %10d %8d %10d %12.2f" "out-of-band polling" pairs
+        result.Travel.Baseline.succeeded result.Travel.Baseline.failed
+        result.Travel.Baseline.txns (elapsed_b *. 1e3);
+      (* entangled *)
+      let social = Travel.Social.create () in
+      List.iter (fun (a, b, _) -> Travel.Social.befriend social a b) specs;
+      let app =
+        Travel.App.create ~social ~seed:9 ~n_flights:16 ~n_hotels:4 ()
+      in
+      (* shrink seats to match *)
+      let db = Youtopia.System.database (Travel.App.system app) in
+      let flights = Database.find_table db "Flights" in
+      Table.iter
+        (fun row_id row ->
+          let updated = Array.copy row in
+          updated.(5) <- Value.Int seats;
+          ignore (Table.update flights row_id updated))
+        flights;
+      let answered = ref 0 in
+      let elapsed_e, () =
+        time_once (fun () ->
+            List.iter
+              (fun (a, b, dest) ->
+                ignore (Travel.App.coordinate_flight app a ~friends:[ b ] ~dest ()))
+              specs;
+            List.iter
+              (fun (a, b, dest) ->
+                match Travel.App.coordinate_flight app b ~friends:[ a ] ~dest () with
+                | Core.Coordinator.Answered _ -> incr answered
+                | _ -> ())
+              specs)
+      in
+      let coordinator = Youtopia.System.coordinator (Travel.App.system app) in
+      let stats = Core.Coordinator.stats coordinator in
+      say "%28s %8d %10d %8d %10d %12.2f" "entangled queries" pairs !answered
+        (pairs - !answered)
+        stats.Core.Stats.match_attempts (elapsed_e *. 1e3))
+    cases;
+  say "(the baseline pays polling transactions and restarts under seat";
+  say " contention and can strand pairs; entangled queries match exactly";
+  say " when capacity allows, atomically, or wait — no partial bookings)"
+
+(* ------------------------------------------------------------------ *)
+(* E13 — cascade chains: one arrival unwinds a dependency chain. *)
+
+let e13_cascade fast =
+  header "E13 (cascades) — one arrival fulfils a k-deep dependency chain";
+  say "%8s %18s %16s" "depth" "arrival lat(us)" "fulfilled";
+  let depths = if fast then [ 1; 8; 32 ] else [ 1; 4; 16; 64; 256 ] in
+  List.iter
+    (fun k ->
+      let db, coord = fig1_system () in
+      let cat = db.Database.catalog in
+      (* chain: link_1 waits on Solo; link_i waits on link_{i-1} *)
+      let waiter me target =
+        Core.Translate.of_sql cat ~owner:me
+          (Printf.sprintf
+             "SELECT '%s', fno INTO ANSWER Reservation WHERE ('%s', fno) IN               ANSWER Reservation CHOOSE 1"
+             me target)
+      in
+      for i = 1 to k do
+        let me = Printf.sprintf "link_%d" i in
+        let target = if i = 1 then "Solo" else Printf.sprintf "link_%d" (i - 1) in
+        match Core.Coordinator.submit coord (waiter me target) with
+        | Core.Coordinator.Registered _ -> ()
+        | _ -> failwith "chain link should wait"
+      done;
+      let fulfilled = ref 0 in
+      Core.Coordinator.subscribe coord (fun _ -> incr fulfilled);
+      let solo =
+        Core.Translate.of_sql cat ~owner:"Solo"
+          "SELECT 'Solo', fno INTO ANSWER Reservation WHERE fno IN (SELECT            fno FROM Flights WHERE dest='Paris') CHOOSE 1"
+      in
+      let elapsed, _ = time_once (fun () -> Core.Coordinator.submit coord solo) in
+      assert (!fulfilled = k + 1);
+      assert (Core.Pending.size (Core.Coordinator.pending coord) = 0);
+      say "%8d %18.1f %16d" k (elapsed *. 1e6) !fulfilled)
+    depths;
+  say "(latency grows linearly with chain depth: the cascade retries only";
+  say " the queries each fresh tuple can actually help)"
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks of the engine primitives (supporting table). *)
+
+let e_micro () =
+  header "Microbenchmarks — engine primitives (OLS ns/op)";
+  let db, _coord = fig1_system () in
+  let cat = db.Database.catalog in
+  let atom_a =
+    Core.Atom.make "R" [ Core.Term.Const (Value.Str "Jerry"); Core.Term.Var "f" ]
+  in
+  let atom_b =
+    Core.Atom.make "R" [ Core.Term.Var "n"; Core.Term.Const (Value.Int 122) ]
+  in
+  let unify_ns =
+    ols_ns "unify" (fun () ->
+        ignore (Core.Subst.unify_atoms Core.Subst.empty atom_a atom_b))
+  in
+  let plan =
+    Sql.Compile.compile_select cat
+      (match Sql.Parser.parse_one "SELECT fno FROM Flights WHERE dest = 'Paris'" with
+      | Sql.Ast.Select s -> s
+      | _ -> assert false)
+  in
+  let exec_ns = ols_ns "execute" (fun () -> ignore (Executor.run cat plan)) in
+  let q = Core.Translate.of_sql cat ~owner:"K" (pair_sql "K" "J") in
+  let stats = Core.Stats.create () in
+  let ground_ns =
+    ols_ns "ground" (fun () ->
+        ignore (Core.Ground.first cat stats q Core.Subst.empty))
+  in
+  say "  atom unification:        %8.0f ns" unify_ns;
+  say "  SPJ subplan execution:   %8.0f ns" exec_ns;
+  say "  query grounding (first): %8.0f ns" ground_ns
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    "E1", ("Figure 1 mutual match (bechamel)", fun _fast -> e1_fig1 ());
+    "E4", ("pair throughput sweep", e4_pairs);
+    "E5", ("group size sweep", e5_groups);
+    "E8", ("pending store sweep", e8_pending);
+    "E9", ("database size sweep", e9_dbsize);
+    "E10", ("baseline comparison", e10_baseline);
+    "E11", ("head index ablation", e11_ablation);
+    "E13", ("cascade chain depth", e13_cascade);
+    "MICRO", ("engine primitive microbenchmarks", fun _fast -> e_micro ());
+  ]
+
+let run only fast =
+  let chosen =
+    match only with
+    | [] -> experiments
+    | names ->
+      List.filter
+        (fun (id, _) ->
+          List.exists
+            (fun n -> String.uppercase_ascii n = id)
+            names)
+        experiments
+  in
+  if chosen = [] then begin
+    Printf.eprintf "unknown experiment; available: %s\n"
+      (String.concat ", " (List.map fst experiments));
+    1
+  end
+  else begin
+    say "Youtopia benchmark harness — experiments: %s"
+      (String.concat ", " (List.map fst chosen));
+    List.iter (fun (_, (_, f)) -> f fast) chosen;
+    say "@.%s" hrule;
+    say "done.";
+    0
+  end
+
+open Cmdliner
+
+let only_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all).")
+
+let fast_flag =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Smaller sweeps (CI-friendly).")
+
+let cmd =
+  let doc = "Regenerate every table/figure-equivalent of the Youtopia demo paper" in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ only_arg $ fast_flag)
+
+let () = exit (Cmd.eval' cmd)

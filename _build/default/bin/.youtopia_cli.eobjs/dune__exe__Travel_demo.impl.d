@@ -1,0 +1,1 @@
+bin/travel_demo.ml: App Arg Cmd Cmdliner Core Format Frontend List Relational Social String Term Travel Tuple Youtopia

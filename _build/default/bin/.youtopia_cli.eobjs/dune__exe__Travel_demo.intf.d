@@ -1,0 +1,1 @@
+bin/travel_demo.mli:

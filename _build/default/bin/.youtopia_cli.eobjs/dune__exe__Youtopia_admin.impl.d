@@ -1,0 +1,1 @@
+bin/youtopia_admin.ml: Arg Cmd Cmdliner Core Datagen List Printf String Term Travel Workload Youtopia

@@ -1,0 +1,1 @@
+bin/youtopia_admin.mli:

@@ -1,0 +1,1 @@
+bin/youtopia_cli.ml: Arg Cmd Cmdliner Core Csv Database Errors List Printf Relational String Term Travel Youtopia

@@ -1,0 +1,158 @@
+(* The travel web site demo (application #1), scripted: walks through every
+   scenario of Section 3.1 in order, narrating what each user does and what
+   the system answers.
+
+   Usage:  dune exec bin/travel_demo.exe [-- --seed 42] *)
+
+open Relational
+open Travel
+
+let say fmt = Format.printf (fmt ^^ "@.")
+let section title = say "@.=== %s ===" title
+
+let outcome who = function
+  | Core.Coordinator.Registered id -> say "  %s: request pending (Q%d)" who id
+  | Core.Coordinator.Answered n ->
+    say "  %s: answered! group {%s}" who
+      (String.concat ", " (List.map string_of_int n.Core.Events.group));
+    List.iter
+      (fun (rel, row) -> say "    -> %s%s" rel (Tuple.to_string row))
+      n.Core.Events.answers
+  | Core.Coordinator.Rejected m -> say "  %s: rejected (%s)" who m
+  | Core.Coordinator.Multi os -> say "  %s: %d instances" who (List.length os)
+
+let deliver_messages app users =
+  List.iter
+    (fun user ->
+      List.iter
+        (fun n ->
+          say "  [message to %s] your request%s was answered: %s" user
+            (if n.Core.Events.label = "" then "" else " " ^ n.Core.Events.label)
+            (String.concat ", "
+               (List.map
+                  (fun (rel, row) -> rel ^ Tuple.to_string row)
+                  n.Core.Events.answers)))
+        (App.inbox app user))
+    users
+
+let run seed =
+  let members = [ "Jerry"; "Kramer"; "Elaine"; "George" ] in
+  let social = Social.create () in
+  Social.clique social members;
+  let app = App.create ~social ~seed ~n_flights:48 ~n_hotels:24 () in
+
+  section "Scenario 1: book a flight with a friend";
+  say "Jerry logs in; his friend list is imported: %s"
+    (String.concat ", " (Social.friends_of social "Jerry"));
+  say "Jerry picks Kramer and requests the same flight to Paris.";
+  outcome "Jerry"
+    (App.coordinate_flight app "Jerry" ~friends:[ "Kramer" ] ~dest:"Paris" ());
+  say "Kramer submits his matching request.";
+  outcome "Kramer"
+    (App.coordinate_flight app "Kramer" ~friends:[ "Jerry" ] ~dest:"Paris" ());
+  deliver_messages app [ "Jerry"; "Kramer" ];
+
+  section "Scenario 1b: the browse-first alternative";
+  say "George browses flights and sees his friends' existing bookings:";
+  List.iter
+    (fun (friend, fno) -> say "  %s is booked on flight %d" friend fno)
+    (App.friends_flight_bookings app "George");
+  (match App.friends_flight_bookings app "George" with
+  | (_, fno) :: _ ->
+    say "George books flight %d directly: %b" fno
+      (App.book_flight_direct app "George" ~fno)
+  | [] -> say "  (no friend bookings visible)");
+
+  section "Scenario 2: book a flight AND a hotel with a friend";
+  outcome "Jerry"
+    (App.coordinate_flight_hotel app "Jerry" ~friends:[ "Elaine" ] ~dest:"Rome" ());
+  outcome "Elaine"
+    (App.coordinate_flight_hotel app "Elaine" ~friends:[ "Jerry" ] ~dest:"Rome" ());
+
+  section "Scenario 3: multiple simultaneous bookings";
+  let pairs = [ "p1", "q1"; "p2", "q2"; "p3", "q3" ] in
+  List.iter (fun (a, b) -> Social.befriend social a b) pairs;
+  List.iter
+    (fun (a, b) ->
+      outcome a (App.coordinate_flight app a ~friends:[ b ] ~dest:"Berlin" ()))
+    pairs;
+  List.iter
+    (fun (a, b) ->
+      outcome b (App.coordinate_flight app b ~friends:[ a ] ~dest:"Berlin" ()))
+    pairs;
+
+  section "Scenario 4: group flight booking (four friends)";
+  List.iter
+    (fun user ->
+      let friends = List.filter (fun f -> f <> user) members in
+      outcome user (App.coordinate_flight app user ~friends ~dest:"Vienna" ()))
+    members;
+
+  section "Scenario 5: group flight and hotel booking";
+  let trio = [ "Jerry"; "Kramer"; "Elaine" ] in
+  List.iter
+    (fun user ->
+      let friends = List.filter (fun f -> f <> user) trio in
+      outcome user (App.coordinate_flight_hotel app user ~friends ~dest:"Madrid" ()))
+    trio;
+
+  section "Scenario 6: ad-hoc coordination";
+  say "Jerry+Kramer coordinate flights; Kramer+Elaine flights AND hotels.";
+  let sys = App.system app in
+  let cat = Youtopia.System.catalog sys in
+  outcome "Jerry"
+    (App.coordinate_flight app "Jerry" ~friends:[ "Kramer" ] ~dest:"Athens" ());
+  outcome "Kramer"
+    (Youtopia.System.submit_equery sys (App.session app "Kramer")
+       (Core.Translate.of_sql cat ~owner:"Kramer"
+          "SELECT ('Kramer', fno) INTO ANSWER FlightRes, ('Kramer', hid) \
+           INTO ANSWER HotelRes WHERE fno IN (SELECT fno FROM Flights WHERE \
+           dest = 'Athens') AND hid IN (SELECT hid FROM Hotels WHERE city = \
+           'Athens') AND ('Jerry', fno) IN ANSWER FlightRes AND ('Elaine', \
+           hid) IN ANSWER HotelRes CHOOSE 1"));
+  outcome "Elaine"
+    (Youtopia.System.submit_equery sys (App.session app "Elaine")
+       (Core.Translate.of_sql cat ~owner:"Elaine"
+          "SELECT 'Elaine', hid INTO ANSWER HotelRes WHERE hid IN (SELECT \
+           hid FROM Hotels WHERE city = 'Athens') AND ('Kramer', hid) IN \
+           ANSWER HotelRes CHOOSE 1"));
+
+  section "Final system state";
+  say "%s" (Youtopia.Admin.dump_stats sys);
+  0
+
+(* Interactive mode: the text-protocol front end on stdin. *)
+let run_interactive seed =
+  let social = Social.create () in
+  Social.clique social [ "Jerry"; "Kramer"; "Elaine"; "George" ];
+  let app = App.create ~social ~seed ~n_flights:48 ~n_hotels:24 () in
+  let fe = Frontend.create app in
+  print_endline
+    "Youtopia travel front end. Try: login Jerry | search flights Paris |      coordinate flight Paris with Kramer | inbox | account";
+  (try
+     while true do
+       print_string "travel> ";
+       flush stdout;
+       match input_line stdin with
+       | "quit" | "exit" -> raise Exit
+       | line -> print_endline (Frontend.execute_safe fe line)
+       | exception End_of_file -> raise Exit
+     done
+   with Exit -> ());
+  0
+
+let run_mode interactive seed =
+  if interactive then run_interactive seed else run seed
+
+open Cmdliner
+
+let seed_opt = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Data seed.")
+
+let interactive_flag =
+  Arg.(value & flag & info [ "interactive"; "i" ] ~doc:"Interactive front-end REPL.")
+
+let cmd =
+  let doc = "Scripted walk through every demo scenario of the paper" in
+  Cmd.v (Cmd.info "travel_demo" ~doc) Term.(const run_mode $ interactive_flag $ seed_opt)
+
+let () = exit (Cmd.eval' cmd)

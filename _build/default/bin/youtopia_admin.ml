@@ -1,0 +1,81 @@
+(* The administrative interface (application #3 of the demo): load a
+   scenario onto the system, then inspect its internal state — pending
+   queries, their intermediate representation, answer relations, engine
+   statistics, and a dry-run trace of the matching algorithm for any pending
+   query.
+
+   Usage:
+     dune exec bin/youtopia_admin.exe                     # default scenario
+     dune exec bin/youtopia_admin.exe -- --pairs 50       # heavier load
+     dune exec bin/youtopia_admin.exe -- --explain 3      # trace query Q3 *)
+
+open Travel
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let run ~pairs ~noise ~explain =
+  let sys = Datagen.make_system ~seed:17 ~n_flights:32 ~n_hotels:16 () in
+  let coordinator = Youtopia.System.coordinator sys in
+  let cat = Youtopia.System.catalog sys in
+  (* load: noise queries + half-open pairs (the second halves never arrive,
+     so the pending store has structure to inspect) *)
+  List.iter
+    (fun q -> ignore (Core.Coordinator.submit coordinator q))
+    (Workload.noise_queries cat ~n:noise ~dests:Datagen.cities);
+  let arrivals = Workload.pair_arrivals ~seed:3 ~n:pairs ~dests:Datagen.cities in
+  let half = List.filteri (fun i _ -> i < pairs) arrivals in
+  List.iter
+    (fun (user, friend, dest) ->
+      ignore
+        (Core.Coordinator.submit coordinator
+           (Workload.pair_query cat ~user ~friend ~dest)))
+    half;
+  (* and a couple of completed coordinations so answer relations are nonempty *)
+  ignore
+    (Core.Coordinator.submit coordinator
+       (Workload.pair_query cat ~user:"Jerry" ~friend:"Kramer" ~dest:"Paris"));
+  ignore
+    (Core.Coordinator.submit coordinator
+       (Workload.pair_query cat ~user:"Kramer" ~friend:"Jerry" ~dest:"Paris"));
+
+  banner "TABLES";
+  print_endline (Youtopia.Admin.dump_tables sys);
+  banner "ANSWER RELATIONS";
+  print_endline (Youtopia.Admin.dump_answers sys);
+  banner "PENDING ENTANGLED QUERIES (internal representation)";
+  print_endline (Youtopia.Admin.dump_pending sys);
+  banner "MATCHABILITY ANALYSIS";
+  print_endline (Youtopia.Admin.dump_unmatchable sys);
+  banner "ENGINE STATISTICS";
+  print_endline (Youtopia.Admin.dump_stats sys);
+  (match explain with
+  | None -> ()
+  | Some id ->
+    banner (Printf.sprintf "MATCHING ALGORITHM DRY RUN FOR Q%d" id);
+    print_endline (Youtopia.Admin.explain_match sys id));
+  0
+
+open Cmdliner
+
+let pairs_opt =
+  Arg.(value & opt int 6 & info [ "pairs" ] ~docv:"N" ~doc:"Half-open pairs to load.")
+
+let noise_opt =
+  Arg.(value & opt int 10 & info [ "noise" ] ~docv:"N" ~doc:"Never-matching queries to load.")
+
+let explain_opt =
+  Arg.(
+    value
+    & opt (some int) (Some 1)
+    & info [ "explain" ] ~docv:"QID" ~doc:"Dry-run the matcher for pending query $(docv).")
+
+let cmd =
+  let doc = "Youtopia administrative interface: inspect coordination state" in
+  Cmd.v
+    (Cmd.info "youtopia_admin" ~doc)
+    Term.(
+      const (fun pairs noise explain -> run ~pairs ~noise ~explain)
+      $ pairs_opt $ noise_opt $ explain_opt)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,124 @@
+(* The SQL command-line interface (application #2 of the demo): plain SQL
+   and entangled queries typed directly into the system.
+
+   Usage:
+     dune exec bin/youtopia_cli.exe                     # empty system, REPL
+     dune exec bin/youtopia_cli.exe -- --travel         # demo travel dataset
+     dune exec bin/youtopia_cli.exe -- --user Jerry     # session owner
+     echo "SHOW TABLES" | dune exec bin/youtopia_cli.exe -- --travel
+
+   Besides SQL, the REPL accepts:
+     \pending  \answers  \stats  \tables  \report  \poke  \inbox
+     \import <table> <file.csv>   \export <table> <file.csv>   \quit *)
+
+open Relational
+
+let run ~travel ~user ~wal scripts =
+  let sys =
+    if travel then Travel.Datagen.make_system ~seed:1 ~n_flights:32 ~n_hotels:16 ()
+    else Youtopia.System.create ?wal_path:wal ()
+  in
+  let session = Youtopia.System.session sys user in
+  let execute line =
+    match String.trim line with
+    | "" -> ()
+    | "\\quit" | "\\q" -> raise Exit
+    | "\\pending" -> print_endline (Youtopia.Admin.dump_pending sys)
+    | "\\answers" -> print_endline (Youtopia.Admin.dump_answers sys)
+    | "\\stats" -> print_endline (Youtopia.Admin.dump_stats sys)
+    | "\\tables" -> print_endline (Youtopia.Admin.dump_tables sys)
+    | "\\report" -> print_endline (Youtopia.Admin.report sys)
+    | "\\poke" ->
+      let notifications = Youtopia.System.poke sys in
+      Printf.printf "poke: %d notification(s)\n" (List.length notifications)
+    | "\\inbox" ->
+      List.iter
+        (fun n -> print_endline (Core.Events.notification_to_string n))
+        (Youtopia.Session.drain session)
+    | line
+      when String.length line > 8 && String.sub line 0 8 = "\\import " -> (
+      match String.split_on_char ' ' line with
+      | [ _; table; path ] -> (
+        match
+          Errors.guard (fun () ->
+              Csv.load_file ~header:true
+                (Database.find_table (Youtopia.System.database sys) table)
+                path)
+        with
+        | Ok n -> Printf.printf "%d row(s) imported into %s\n" n table
+        | Error k -> Printf.printf "error: %s\n" (Errors.kind_to_string k))
+      | _ -> print_endline "usage: \\import <table> <file.csv>")
+    | line
+      when String.length line > 8 && String.sub line 0 8 = "\\export " -> (
+      match String.split_on_char ' ' line with
+      | [ _; table; path ] -> (
+        match
+          Errors.guard (fun () ->
+              Csv.dump_file ~header:true
+                (Database.find_table (Youtopia.System.database sys) table)
+                path)
+        with
+        | Ok () -> Printf.printf "%s exported to %s\n" table path
+        | Error k -> Printf.printf "error: %s\n" (Errors.kind_to_string k))
+      | _ -> print_endline "usage: \\export <table> <file.csv>")
+    | sql -> (
+      match Youtopia.System.exec_script sys session sql with
+      | responses ->
+        List.iter
+          (fun r -> print_endline (Youtopia.System.response_to_string r))
+          responses
+      | exception Errors.Db_error kind ->
+        Printf.printf "error: %s\n" (Errors.kind_to_string kind))
+  in
+  (match scripts with
+  | [] ->
+    (* REPL on stdin *)
+    (try
+       while true do
+         Printf.printf "youtopia(%s)> " user;
+         flush stdout;
+         match input_line stdin with
+         | line -> execute line
+         | exception End_of_file -> raise Exit
+       done
+     with Exit -> ())
+  | files ->
+    List.iter
+      (fun path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        execute text)
+      files);
+  0
+
+open Cmdliner
+
+let travel_flag =
+  Arg.(value & flag & info [ "travel" ] ~doc:"Start with the demo travel dataset.")
+
+let user_opt =
+  Arg.(
+    value
+    & opt string "cli"
+    & info [ "user" ] ~docv:"NAME" ~doc:"Session owner (entangled-query owner).")
+
+let wal_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"PATH" ~doc:"Attach a write-ahead log at $(docv).")
+
+let scripts_arg =
+  Arg.(value & pos_all file [] & info [] ~docv:"SCRIPT" ~doc:"SQL script files.")
+
+let cmd =
+  let doc = "Youtopia SQL command line (plain SQL + entangled queries)" in
+  Cmd.v
+    (Cmd.info "youtopia_cli" ~doc)
+    Term.(
+      const (fun travel user wal scripts -> run ~travel ~user ~wal scripts)
+      $ travel_flag $ user_opt $ wal_opt $ scripts_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/adhoc_coordination.ml: App Core Database Format List Relational Social String Table Travel Tuple Youtopia

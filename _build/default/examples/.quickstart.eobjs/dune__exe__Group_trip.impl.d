@@ -1,0 +1,1 @@
+examples/group_trip.ml: App Core Database Format List Relational Social String Table Travel Tuple Youtopia

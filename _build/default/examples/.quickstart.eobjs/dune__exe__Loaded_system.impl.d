@@ -1,0 +1,1 @@
+examples/loaded_system.ml: Core Datagen Format List Travel Workload Youtopia

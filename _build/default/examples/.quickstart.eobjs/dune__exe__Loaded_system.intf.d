@@ -1,0 +1,1 @@
+examples/loaded_system.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Ctype Format List Relational Schema Sql Youtopia

@@ -1,0 +1,1 @@
+examples/study_groups.ml: Core Ctype Format List Printf Relational Schema Sql String Tuple Value Youtopia

@@ -1,0 +1,1 @@
+examples/travel_pairs.ml: App Array Core Format List Relational Social Travel Tuple Value

@@ -1,0 +1,65 @@
+(* Ad-hoc coordination (Section 3.1, last scenario): Jerry and Kramer
+   coordinate on flights only, while Kramer and Elaine coordinate on both
+   flights and hotels.  Three users, asymmetric constraint graph, resolved
+   in a single three-way match.
+
+   Run with:  dune exec examples/adhoc_coordination.exe *)
+
+open Relational
+open Travel
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  let social = Social.create () in
+  Social.befriend social "Jerry" "Kramer";
+  Social.befriend social "Kramer" "Elaine";
+  let app = App.create ~social ~seed:99 ~n_flights:32 ~n_hotels:16 () in
+  let sys = App.system app in
+  let cat = Youtopia.System.catalog sys in
+
+  say "Jerry wants the same Athens flight as Kramer (flights only):";
+  (match App.coordinate_flight app "Jerry" ~friends:[ "Kramer" ] ~dest:"Athens" () with
+  | Core.Coordinator.Registered id -> say "  -> pending (Q%d)" id
+  | _ -> say "  -> unexpected");
+
+  say "Kramer entangles BOTH a flight with Jerry and a hotel with Elaine:";
+  let kramer_q =
+    Core.Translate.of_sql cat ~owner:"Kramer"
+      "SELECT ('Kramer', fno) INTO ANSWER FlightRes, ('Kramer', hid) INTO \
+       ANSWER HotelRes WHERE fno IN (SELECT fno FROM Flights WHERE dest = \
+       'Athens') AND hid IN (SELECT hid FROM Hotels WHERE city = 'Athens') \
+       AND ('Jerry', fno) IN ANSWER FlightRes AND ('Elaine', hid) IN ANSWER \
+       HotelRes CHOOSE 1"
+  in
+  (match Youtopia.System.submit_equery sys (App.session app "Kramer") kramer_q with
+  | Core.Coordinator.Registered id -> say "  -> pending (Q%d)" id
+  | _ -> say "  -> unexpected");
+
+  say "The administrative interface can explain why nothing matches yet:";
+  say "%s" (Youtopia.Admin.dump_unmatchable sys);
+
+  say "";
+  say "Elaine submits her hotel request (coordinating with Kramer only):";
+  let elaine_q =
+    Core.Translate.of_sql cat ~owner:"Elaine"
+      "SELECT 'Elaine', hid INTO ANSWER HotelRes WHERE hid IN (SELECT hid \
+       FROM Hotels WHERE city = 'Athens') AND ('Kramer', hid) IN ANSWER \
+       HotelRes CHOOSE 1"
+  in
+  (match Youtopia.System.submit_equery sys (App.session app "Elaine") elaine_q with
+  | Core.Coordinator.Answered n ->
+    say "  -> three-way match: group {%s}"
+      (String.concat ", " (List.map string_of_int n.Core.Events.group))
+  | _ -> say "  -> unexpected");
+
+  let db = Youtopia.System.database sys in
+  say "";
+  say "FlightRes (Jerry and Kramer on one flight):";
+  Table.iter
+    (fun _ row -> say "  %s" (Tuple.to_string row))
+    (Database.find_table db "FlightRes");
+  say "HotelRes (Kramer and Elaine in one hotel):";
+  Table.iter
+    (fun _ row -> say "  %s" (Tuple.to_string row))
+    (Database.find_table db "HotelRes")

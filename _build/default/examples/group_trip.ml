@@ -1,0 +1,60 @@
+(* Group travel coordination (demo scenarios "Group flight booking" and
+   "Group flight and hotel booking", Section 3.1): four friends on one
+   flight, then three friends sharing flight and hotel.
+
+   Run with:  dune exec examples/group_trip.exe *)
+
+open Relational
+open Travel
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  let members = [ "Jerry"; "Kramer"; "Elaine"; "George" ] in
+  let social = Social.create () in
+  Social.clique social members;
+  let app = App.create ~social ~seed:7 ~n_flights:32 ~n_hotels:16 () in
+
+  say "=== Group flight booking: %s ===" (String.concat ", " members);
+  List.iter
+    (fun user ->
+      let friends = List.filter (fun f -> f <> user) members in
+      say "%s requests Vienna with the whole group..." user;
+      match App.coordinate_flight app user ~friends ~dest:"Vienna" () with
+      | Core.Coordinator.Registered id -> say "  -> pending (Q%d)" id
+      | Core.Coordinator.Answered n ->
+        say "  -> the LAST member closes the group; all %d fulfilled together"
+          (List.length n.Core.Events.group)
+      | Core.Coordinator.Rejected m -> say "  -> rejected: %s" m
+      | Core.Coordinator.Multi _ -> say "  -> multi")
+    members;
+  let db = Youtopia.System.database (App.system app) in
+  say "FlightRes after the group match:";
+  Table.iter
+    (fun _ row -> say "  %s" (Tuple.to_string row))
+    (Database.find_table db "FlightRes");
+
+  say "";
+  let trio = [ "Jerry"; "Kramer"; "Elaine" ] in
+  say "=== Group flight AND hotel: %s ===" (String.concat ", " trio);
+  List.iter
+    (fun user ->
+      let friends = List.filter (fun f -> f <> user) trio in
+      say "%s requests Madrid (flight + hotel) with the trio..." user;
+      match App.coordinate_flight_hotel app user ~friends ~dest:"Madrid" () with
+      | Core.Coordinator.Registered id -> say "  -> pending (Q%d)" id
+      | Core.Coordinator.Answered n ->
+        say "  -> group of %d fulfilled; %s contributed %d answers"
+          (List.length n.Core.Events.group)
+          user
+          (List.length n.Core.Events.answers)
+      | Core.Coordinator.Rejected m -> say "  -> rejected: %s" m
+      | Core.Coordinator.Multi _ -> say "  -> multi")
+    trio;
+  say "HotelRes after the trio match:";
+  Table.iter
+    (fun _ row -> say "  %s" (Tuple.to_string row))
+    (Database.find_table db "HotelRes");
+  say "";
+  say "Seats/rooms were decremented atomically with the whole group:";
+  say "%s" (Youtopia.Admin.dump_stats (App.system app))

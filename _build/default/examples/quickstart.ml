@@ -1,0 +1,79 @@
+(* Quickstart: the paper's Figure 1, end to end.
+
+   Builds the Flights database of Figure 1(a), declares the Reservation
+   answer relation, and submits Kramer's and Jerry's entangled queries (the
+   exact SQL of Section 2.1).  Kramer's query waits; Jerry's arrival
+   completes the match and both receive the same flight number — the mutual
+   constraint satisfaction of Figure 1(b).
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Relational
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  let sys = Youtopia.System.create () in
+  let admin = Youtopia.System.session sys "admin" in
+  (* Figure 1(a) *)
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT NOT NULL)");
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, \
+        'Paris'), (136, 'Rome')");
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "CREATE TABLE Airlines (fno INT PRIMARY KEY, airline TEXT NOT NULL)");
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "INSERT INTO Airlines VALUES (122, 'United'), (123, 'United'), (134, \
+        'Lufthansa'), (136, 'Alitalia')");
+  Youtopia.System.declare_answer_relation sys
+    (Schema.make "Reservation"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  say "Database of Figure 1(a) loaded.";
+
+  (* Kramer's entangled query (Section 2.1, verbatim). *)
+  let kramer = Youtopia.System.session sys "Kramer" in
+  let kramer_sql =
+    "SELECT 'Kramer', fno INTO ANSWER Reservation WHERE fno IN (SELECT fno \
+     FROM Flights WHERE dest='Paris') AND ('Jerry', fno) IN ANSWER \
+     Reservation CHOOSE 1"
+  in
+  say "";
+  say "Kramer submits:@.  %s" kramer_sql;
+  (match Youtopia.System.exec_sql sys kramer kramer_sql with
+  | Youtopia.System.Coordination (Core.Coordinator.Registered id) ->
+    say "-> registered as Q%d; Kramer's query waits for a partner." id
+  | r -> say "-> unexpected: %s" (Youtopia.System.response_to_string r));
+
+  (* Jerry's symmetric query. *)
+  let jerry = Youtopia.System.session sys "Jerry" in
+  let jerry_sql =
+    "SELECT 'Jerry', fno INTO ANSWER Reservation WHERE fno IN (SELECT fno \
+     FROM Flights WHERE dest='Paris') AND ('Kramer', fno) IN ANSWER \
+     Reservation CHOOSE 1"
+  in
+  say "";
+  say "Jerry submits the symmetric query:@.  %s" jerry_sql;
+  (match Youtopia.System.exec_sql sys jerry jerry_sql with
+  | Youtopia.System.Coordination (Core.Coordinator.Answered n) ->
+    say "-> the system matches both queries and answers them JOINTLY:";
+    say "   %s" (Core.Events.notification_to_string n)
+  | r -> say "-> unexpected: %s" (Youtopia.System.response_to_string r));
+
+  (* Kramer is notified asynchronously — his Facebook message. *)
+  List.iter
+    (fun n -> say "Kramer's notification: %s" (Core.Events.notification_to_string n))
+    (Youtopia.Session.drain kramer);
+
+  say "";
+  say "Answer relation after coordination (Figure 1(b)):";
+  (match Youtopia.System.exec_sql sys admin "SELECT * FROM Reservation" with
+  | Youtopia.System.Sql r -> say "%s" (Sql.Run.result_to_string r)
+  | _ -> ());
+  say "";
+  say "Both tuples carry the same flight number: mutual constraint@.\
+       satisfaction, chosen nondeterministically among flights 122/123/134."

@@ -1,0 +1,132 @@
+(* A second application domain, built purely on the public API: course
+   registration with study-group coordination (one of the declarative
+   data-driven coordination examples of the vision paper the demo cites).
+
+   Shows that the entangled-query abstraction is not travel-specific:
+   - two friends enrol in the same section of a course;
+   - a project trio coordinates a common course;
+   - a mentee enrols in "whatever course the mentor takes" (one-sided
+     entanglement, resolved by the cascade);
+   - seat capacity is consumed atomically with each group.
+
+   Run with:  dune exec examples/study_groups.exe *)
+
+open Relational
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  let sys = Youtopia.System.create () in
+  let admin = Youtopia.System.session sys "admin" in
+  let exec s sql = ignore (Youtopia.System.exec_sql sys s sql) in
+  exec admin
+    "CREATE TABLE Sections (sid INT PRIMARY KEY, course TEXT NOT NULL, slot \
+     TEXT NOT NULL, seats INT NOT NULL)";
+  exec admin
+    "INSERT INTO Sections VALUES (1, 'Databases', 'Mon 10am', 3), (2, \
+     'Databases', 'Wed 2pm', 2), (3, 'Compilers', 'Tue 9am', 4), (4, 'ML', \
+     'Fri 1pm', 1)";
+  Youtopia.System.declare_answer_relation sys
+    (Schema.make "Enrollment"
+       [ Schema.column "student" Ctype.TText; Schema.column "sid" Ctype.TInt ]);
+
+  (* A reusable prepared template: same-section coordination. *)
+  let template =
+    Sql.Prepared.prepare
+      "SELECT ?, sid INTO ANSWER Enrollment WHERE sid IN (SELECT sid FROM \
+       Sections WHERE course = ? AND seats >= ?) AND (?, sid) IN ANSWER \
+       Enrollment CHOOSE 1"
+  in
+  let coordinate me course group_size friend =
+    let stmt =
+      Sql.Prepared.bind template
+        [ Value.Str me; Value.Str course; Value.Int group_size; Value.Str friend ]
+    in
+    match stmt with
+    | Sql.Ast.Select s ->
+      let q =
+        Core.Translate.of_select (Youtopia.System.catalog sys) ~owner:me
+          ~label:(me ^ " wants " ^ course ^ " with " ^ friend)
+          ~side_effects:
+            [
+              Core.Equery.Sf_decrement
+                {
+                  table = "Sections";
+                  column = "seats";
+                  where_eq = [ "sid", Core.Term.Var "sid" ];
+                };
+            ]
+          s
+      in
+      Youtopia.System.submit_equery sys (Youtopia.System.session sys me) q
+    | _ -> assert false
+  in
+  let show who = function
+    | Core.Coordinator.Registered id -> say "  %s waits (Q%d)" who id
+    | Core.Coordinator.Answered n ->
+      say "  %s enrolled! group {%s}" who
+        (String.concat ", " (List.map string_of_int n.Core.Events.group));
+      List.iter
+        (fun (rel, row) -> say "    %s%s" rel (Tuple.to_string row))
+        n.Core.Events.answers
+    | Core.Coordinator.Rejected m -> say "  %s rejected: %s" who m
+    | Core.Coordinator.Multi _ -> say "  %s: multi" who
+  in
+
+  say "=== Two friends, same Databases section ===";
+  show "Ann" (coordinate "Ann" "Databases" 2 "Ben");
+  show "Ben" (coordinate "Ben" "Databases" 2 "Ann");
+
+  say "";
+  say "=== Project trio on Compilers (clique constraints) ===";
+  let trio = [ "Cleo"; "Dan"; "Eve" ] in
+  List.iter
+    (fun me ->
+      let friends = List.filter (fun f -> f <> me) trio in
+      (* each member lists both others: build the clique query directly *)
+      let constraints =
+        List.map
+          (fun f -> Printf.sprintf "('%s', sid) IN ANSWER Enrollment" f)
+          friends
+      in
+      let q =
+        Core.Translate.of_sql (Youtopia.System.catalog sys) ~owner:me
+          ~side_effects:
+            [
+              Core.Equery.Sf_decrement
+                {
+                  table = "Sections";
+                  column = "seats";
+                  where_eq = [ "sid", Core.Term.Var "sid" ];
+                };
+            ]
+          (Printf.sprintf
+             "SELECT '%s', sid INTO ANSWER Enrollment WHERE sid IN (SELECT \
+              sid FROM Sections WHERE course = 'Compilers' AND seats >= 3) \
+              AND %s CHOOSE 1"
+             me
+             (String.concat " AND " constraints))
+      in
+      show me (Youtopia.System.submit_equery sys (Youtopia.System.session sys me) q))
+    trio;
+
+  say "";
+  say "=== Mentorship: Fay takes whatever course Ann took ===";
+  (* one-sided: satisfied immediately from the committed answer relation *)
+  let fay =
+    Core.Translate.of_sql (Youtopia.System.catalog sys) ~owner:"Fay"
+      "SELECT 'Fay', sid INTO ANSWER Enrollment WHERE ('Ann', sid) IN \
+       ANSWER Enrollment CHOOSE 1"
+  in
+  show "Fay" (Youtopia.System.submit_equery sys (Youtopia.System.session sys "Fay") fay);
+
+  say "";
+  say "=== Final state ===";
+  (match Youtopia.System.exec_sql sys admin "SELECT * FROM Enrollment" with
+  | Youtopia.System.Sql r -> say "%s" (Sql.Run.result_to_string r)
+  | _ -> ());
+  match
+    Youtopia.System.exec_sql sys admin "SELECT sid, course, seats FROM Sections"
+  with
+  | Youtopia.System.Sql r -> say "%s" (Sql.Run.result_to_string r)
+  | _ -> ()

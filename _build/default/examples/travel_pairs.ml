@@ -1,0 +1,67 @@
+(* Pairwise travel coordination through the middle tier (demo scenarios
+   "Book a flight with a friend" and "Book a flight and a hotel with a
+   friend", Section 3.1).
+
+   Run with:  dune exec examples/travel_pairs.exe *)
+
+open Relational
+open Travel
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let show_outcome who = function
+  | Core.Coordinator.Registered id ->
+    say "  %s's request is pending (Q%d) — waiting for the friend." who id
+  | Core.Coordinator.Answered n ->
+    say "  %s's request completed a match!" who;
+    List.iter
+      (fun (rel, row) -> say "    %s gets %s%s" who rel (Tuple.to_string row))
+      n.Core.Events.answers
+  | Core.Coordinator.Rejected m -> say "  %s's request rejected: %s" who m
+  | Core.Coordinator.Multi _ -> say "  %s: multiple instances" who
+
+let () =
+  let social = Social.create () in
+  Social.befriend social "Jerry" "Kramer";
+  let app = App.create ~social ~seed:2024 ~n_flights:32 ~n_hotels:16 () in
+
+  say "=== Scenario 1: book a flight with a friend ===";
+  say "Jerry browses Paris flights first:";
+  List.iter
+    (fun row ->
+      say "  flight %s  day %s  $%s  (%s seats)"
+        (Value.to_display row.(0)) (Value.to_display row.(2))
+        (Value.to_display row.(3)) (Value.to_display row.(4)))
+    (App.search_flights app "Jerry" ~dest:"Paris" ());
+  say "Jerry asks to fly to Paris on the same flight as Kramer:";
+  show_outcome "Jerry"
+    (App.coordinate_flight app "Jerry" ~friends:[ "Kramer" ] ~dest:"Paris" ());
+  say "Kramer submits the matching request:";
+  show_outcome "Kramer"
+    (App.coordinate_flight app "Kramer" ~friends:[ "Jerry" ] ~dest:"Paris" ());
+  List.iter
+    (fun n ->
+      say "  Facebook message to Jerry: %s"
+        (Core.Events.notification_to_string n))
+    (App.inbox app "Jerry");
+
+  say "";
+  say "=== Scenario 2: adjacent seats ===";
+  say "Jerry wants the seat right next to Kramer on a Rome flight:";
+  show_outcome "Jerry"
+    (App.coordinate_adjacent_seat app "Jerry" ~friend:"Kramer" ~dest:"Rome" ());
+  say "Kramer takes any seat on the same flight:";
+  show_outcome "Kramer"
+    (App.coordinate_any_seat app "Kramer" ~friend:"Jerry" ~dest:"Rome" ());
+
+  say "";
+  say "=== Scenario 3: flight AND hotel with a friend ===";
+  show_outcome "Jerry"
+    (App.coordinate_flight_hotel app "Jerry" ~friends:[ "Kramer" ] ~dest:"London" ());
+  show_outcome "Kramer"
+    (App.coordinate_flight_hotel app "Kramer" ~friends:[ "Jerry" ] ~dest:"London" ());
+
+  say "";
+  say "=== Account views ===";
+  say "%s" (App.account_view app "Jerry");
+  say "%s" (App.account_view app "Kramer")

@@ -1,0 +1,1 @@
+lib/core/answers.ml: Array Atom Database Errors Fun List Relational Schema Seq String Subst Table Term Tuple Txn

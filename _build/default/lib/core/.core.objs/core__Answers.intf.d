@@ -1,0 +1,1 @@
+lib/core/answers.mli: Atom Database Relational Schema Seq Subst Table Tuple Txn

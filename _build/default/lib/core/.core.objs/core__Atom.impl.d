@@ -1,0 +1,1 @@
+lib/core/atom.ml: Array Fmt Relational String Term Tuple

@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Answers Array Atom Database Equery Errors Events Expr Fun Hashtbl List Logs Matcher Mutation Mutex Pending Relational Safety Schema Stats String Subst Table Term Txn Value

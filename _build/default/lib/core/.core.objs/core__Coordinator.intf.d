@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Answers Database Equery Events Logs Matcher Pending Relational Schema Stats

@@ -1,0 +1,1 @@
+lib/core/equery.ml: Array Atom Fmt List Plan Printf Relational String Term Value

@@ -1,0 +1,1 @@
+lib/core/equery.mli: Atom Format Plan Relational Term Value

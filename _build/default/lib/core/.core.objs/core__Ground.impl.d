@@ -1,0 +1,1 @@
+lib/core/ground.ml: Array Catalog Equery Executor List Option Relational Stats Subst Term

@@ -1,0 +1,1 @@
+lib/core/ground.mli: Catalog Equery Relational Stats Subst Term

@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Answers Atom Catalog Equery Ground List Pending Printf Relational Seq Stats Stdlib String Subst Tuple

@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Answers Catalog Equery Pending Relational Stats Subst Tuple

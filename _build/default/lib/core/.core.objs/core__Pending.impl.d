@@ -1,0 +1,1 @@
+lib/core/pending.ml: Array Atom Equery Errors Fmt Hashtbl Int List Map Relational Set String Subst Term Value

@@ -1,0 +1,1 @@
+lib/core/pending.mli: Atom Equery Format Subst

@@ -1,0 +1,1 @@
+lib/core/safety.ml: Answers Array Atom Ctype Equery Fmt Format List Plan Relational Schema String Subst Table Term Value

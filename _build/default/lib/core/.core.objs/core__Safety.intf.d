@@ -1,0 +1,1 @@
+lib/core/safety.mli: Answers Atom Equery

@@ -1,0 +1,1 @@
+lib/core/subst.ml: Array Atom Fmt Map Relational String Term Tuple Value

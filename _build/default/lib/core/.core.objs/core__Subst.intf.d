@@ -1,0 +1,1 @@
+lib/core/subst.mli: Atom Format Relational Term Tuple Value

@@ -1,0 +1,1 @@
+lib/core/templates.ml: Atom Equery Fmt Hashtbl List String Subst

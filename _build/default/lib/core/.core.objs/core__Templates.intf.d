@@ -1,0 +1,1 @@
+lib/core/templates.mli: Atom Equery Format

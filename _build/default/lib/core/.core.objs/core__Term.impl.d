@@ -1,0 +1,1 @@
+lib/core/term.ml: Fmt Relational String Value

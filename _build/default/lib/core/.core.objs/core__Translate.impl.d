@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Atom Catalog Ctype Equery Errors Expr Fmt Format List Option Plan Relational Schema Sql Term Value

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Catalog Equery Relational Sql

@@ -1,0 +1,44 @@
+(** Relational atoms: a relation name applied to a vector of terms.  Used
+    both as query heads (contributions to answer relations) and as body
+    answer constraints. *)
+
+open Relational
+
+type t = { rel : string; args : Term.t array }
+
+let make rel args = { rel; args = Array.of_list args }
+let arity a = Array.length a.args
+
+(** Case-insensitive relation-name equality (SQL convention). *)
+let same_rel a b =
+  String.lowercase_ascii a.rel = String.lowercase_ascii b.rel
+
+let vars a = Array.fold_left Term.vars [] a.args
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+(** The tuple of a ground atom; [None] if any variable remains. *)
+let to_tuple a =
+  let exception Not_ground in
+  try
+    Some
+      (Array.map
+         (function Term.Const v -> v | Term.Var _ -> raise Not_ground)
+         a.args)
+  with Not_ground -> None
+
+let rename f a = { a with args = Array.map (Term.rename f) a.args }
+
+let equal a b =
+  same_rel a b
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Term.equal a.args b.args
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.rel Fmt.(array ~sep:(any ", ") Term.pp) a.args
+
+let to_string a = Fmt.str "%a" pp a
+
+(** [of_tuple rel row] — the ground atom for an answer-relation row. *)
+let of_tuple rel (row : Tuple.t) =
+  { rel; args = Array.map (fun v -> Term.Const v) row }

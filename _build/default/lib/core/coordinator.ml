@@ -1,0 +1,329 @@
+(** The coordination component (Figure 2 of the paper).
+
+    Runs whenever an entangled query arrives: the query is safety-checked,
+    renamed apart, and the matcher is invoked with it as the seed.  On a
+    match the whole group is *fulfilled jointly and atomically*: one
+    transaction inserts the chosen answer tuples into the answer relations
+    and runs every group member's side effects; then the group leaves the
+    pending store and every participant is notified.  Without a match the
+    query parks in the pending store — it is not rejected.
+
+    Fulfilment can cascade: committed answer tuples may satisfy the
+    constraints of queries that are still pending (e.g. a third friend whose
+    query asks for "whatever flight the group picked"), so after every
+    fulfilment the coordinator retries the pending queries whose constraints
+    mention a touched answer relation, until a fixpoint.  [poke] retries
+    everything — call it after ordinary database updates (new flights,
+    freed seats) that may unblock pending coordinations. *)
+
+open Relational
+
+(** Log source for coordination events; silent unless the host application
+    enables a [Logs] reporter at debug level. *)
+let log_src = Logs.Src.create "youtopia.coordinator" ~doc:"Youtopia coordination component"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  matcher : Matcher.config;
+  use_head_index : bool;  (** ablation switch for the pending-store index *)
+  auto_retry : bool;  (** cascade retries after each fulfilment *)
+}
+
+let default_config =
+  { matcher = Matcher.default_config; use_head_index = true; auto_retry = true }
+
+type t = {
+  db : Database.t;
+  answers : Answers.t;
+  pending : Pending.t;
+  config : config;
+  stats : Stats.t;
+  mutable next_id : int;
+  mutable listeners : (Events.notification -> unit) list;
+  deadlines : (int, float) Hashtbl.t;
+      (** optional absolute expiry per pending query *)
+  mu : Mutex.t;
+}
+
+type outcome =
+  | Rejected of string  (** failed the safety check *)
+  | Answered of Events.notification  (** matched and fulfilled immediately *)
+  | Registered of int  (** parked in the pending store under this id *)
+  | Multi of outcome list  (** CHOOSE k > 1: one outcome per instance *)
+
+let create ?(config = default_config) db =
+  {
+    db;
+    answers = Answers.create db;
+    pending = Pending.create ~use_head_index:config.use_head_index ();
+    config;
+    stats = Stats.create ();
+    next_id = 1;
+    listeners = [];
+    deadlines = Hashtbl.create 16;
+    mu = Mutex.create ();
+  }
+
+let declare_answer_relation t schema = ignore (Answers.declare t.answers schema)
+
+(** [adopt_answer_relation t name] — register an existing (e.g. recovered)
+    table as an answer relation. *)
+let adopt_answer_relation t name = ignore (Answers.adopt t.answers name)
+
+let answers t = t.answers
+let pending t = t.pending
+let stats t = t.stats
+let database t = t.db
+
+let subscribe t listener = t.listeners <- listener :: t.listeners
+
+let notify t notification =
+  List.iter (fun listener -> listener notification) t.listeners
+
+(* ------------------------------------------------------------------ *)
+(* Side effects, executed under the fulfilment transaction. *)
+
+let ground_term subst t =
+  match Subst.walk subst t with
+  | Term.Const v -> v
+  | Term.Var x ->
+    Errors.internalf "side effect references unbound variable %s"
+      (Equery.display_var x)
+
+let run_side_effect t txn subst = function
+  | Equery.Sf_insert (table_name, terms) ->
+    let table = Database.find_table t.db table_name in
+    let row = Array.map (ground_term subst) terms in
+    ignore (Txn.insert txn table row)
+  | Equery.Sf_decrement { table; column; where_eq } ->
+    let table = Database.find_table t.db table in
+    let schema = Table.schema table in
+    let col = Schema.column_index schema column in
+    let pred =
+      Expr.conjoin
+        (List.map
+           (fun (c, term) ->
+             Expr.Binop
+               ( Expr.Eq,
+                 Expr.Col (Schema.column_index schema c),
+                 Expr.Const (ground_term subst term) ))
+           where_eq)
+    in
+    let assignment =
+      [ col, Expr.Binop (Expr.Sub, Expr.Col col, Expr.Const (Value.Int 1)) ]
+    in
+    ignore (Mutation.update_where txn table assignment (Some pred))
+  | Equery.Sf_update { table; set; where_eq } ->
+    let table = Database.find_table t.db table in
+    let schema = Table.schema table in
+    let assignments =
+      List.map
+        (fun (col, texpr) ->
+          let value =
+            match Subst.eval_texpr subst texpr with
+            | Some v -> v
+            | None ->
+              Errors.internalf "side-effect SET %s references unbound variable"
+                col
+          in
+          Schema.column_index schema col, Expr.Const value)
+        set
+    in
+    let pred =
+      Expr.conjoin
+        (List.map
+           (fun (col, term) ->
+             Expr.Binop
+               ( Expr.Eq,
+                 Expr.Col (Schema.column_index schema col),
+                 Expr.Const (ground_term subst term) ))
+           where_eq)
+    in
+    ignore (Mutation.update_where txn table assignments (Some pred))
+
+(* ------------------------------------------------------------------ *)
+(* Fulfilment. *)
+
+let fulfil t (success : Matcher.success) : Events.notification list =
+  Log.debug (fun m ->
+      m "fulfilling group {%s} with %d new tuple(s)"
+        (String.concat ", "
+           (List.map
+              (fun (q : Equery.t) -> string_of_int q.Equery.id)
+              success.Matcher.group))
+        (List.length success.Matcher.new_tuples));
+  Database.with_txn t.db (fun txn ->
+      List.iter
+        (fun (rel, row) -> ignore (Answers.insert txn t.answers rel row))
+        success.Matcher.new_tuples;
+      List.iter
+        (fun (q : Equery.t) ->
+          List.iter
+            (run_side_effect t txn success.Matcher.subst)
+            q.Equery.side_effects)
+        success.Matcher.group);
+  let group_ids =
+    List.map (fun (q : Equery.t) -> q.Equery.id) success.Matcher.group
+  in
+  List.iter
+    (fun id ->
+      Pending.remove t.pending id;
+      Hashtbl.remove t.deadlines id)
+    group_ids;
+  t.stats.Stats.groups_fulfilled <- t.stats.Stats.groups_fulfilled + 1;
+  t.stats.Stats.answered <-
+    t.stats.Stats.answered + List.length success.Matcher.group;
+  let notifications =
+    List.map
+      (fun ((q : Equery.t), tuples) ->
+        {
+          Events.query_id = q.Equery.id;
+          owner = q.Equery.owner;
+          label = q.Equery.label;
+          answers = tuples;
+          group = group_ids;
+        })
+      success.Matcher.contributions
+  in
+  List.iter (notify t) notifications;
+  notifications
+
+let try_match t (q : Equery.t) =
+  Matcher.find ~cat:t.db.Database.catalog ~answers:t.answers ~pending:t.pending
+    ~config:t.config.matcher ~stats:t.stats q
+
+(* Retry pending queries that a newly committed answer tuple could actually
+   help: an answer constraint must *unify* with one of [tuples] (a relation-
+   name match alone would retry every bystander on a loaded system).
+   Cascade until fixpoint; returns all notifications generated. *)
+let rec cascade t tuples acc =
+  let tuple_atoms =
+    List.map (fun (rel, row) -> Atom.of_tuple rel row) tuples
+  in
+  let interested =
+    List.concat_map (Pending.interested t.pending) tuple_atoms
+    |> List.sort_uniq (fun (a : Equery.t) (b : Equery.t) ->
+           compare a.Equery.id b.Equery.id)
+  in
+  let rec try_each = function
+    | [] -> acc
+    | q :: rest -> (
+      (* the query may have been fulfilled by an earlier iteration *)
+      if not (Pending.mem t.pending q.Equery.id) then try_each rest
+      else
+        match try_match t q with
+        | None -> try_each rest
+        | Some success ->
+          let notifications = fulfil t success in
+          cascade t success.Matcher.new_tuples (acc @ notifications))
+  in
+  try_each interested
+
+(* ------------------------------------------------------------------ *)
+(* Submission. *)
+
+let submit_instance ?deadline t (q : Equery.t) : outcome =
+  let q = Equery.freshen ~id:t.next_id q in
+  t.next_id <- t.next_id + 1;
+  match try_match t q with
+  | Some success ->
+    let notifications = fulfil t success in
+    if t.config.auto_retry then
+      ignore (cascade t success.Matcher.new_tuples []);
+    let own =
+      List.find
+        (fun n -> n.Events.query_id = q.Equery.id)
+        notifications
+    in
+    Answered own
+  | None ->
+    Log.debug (fun m -> m "Q%d (%s) parked in the pending store" q.Equery.id q.Equery.owner);
+    Pending.add t.pending q;
+    (match deadline with
+    | Some d -> Hashtbl.replace t.deadlines q.Equery.id d
+    | None -> ());
+    t.stats.Stats.registered <- t.stats.Stats.registered + 1;
+    Registered q.Equery.id
+
+(** [submit ?deadline t q] — the arrival path.  CHOOSE k submits k
+    independent instances (each with CHOOSE 1 semantics) and reports their
+    outcomes.  A query still pending at absolute time [deadline] (caller's
+    clock, see {!expire}) is withdrawn. *)
+let submit ?deadline t (q : Equery.t) : outcome =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      t.stats.Stats.submitted <- t.stats.Stats.submitted + 1;
+      match Safety.check t.answers q with
+      | Safety.Unsafe reason ->
+        t.stats.Stats.rejected <- t.stats.Stats.rejected + 1;
+        Rejected reason
+      | Safety.Safe ->
+        if q.Equery.choose = 1 then submit_instance ?deadline t q
+        else
+          Multi
+            (List.init q.Equery.choose (fun _ ->
+                 submit_instance ?deadline t { q with Equery.choose = 1 })))
+
+(** [expire t ~now] withdraws every pending query whose submission deadline
+    has passed; returns the expired ids.  The coordinator never reads a
+    clock itself — callers pass [now] (typically [Unix.gettimeofday ()]),
+    which keeps the engine deterministic under test. *)
+let expire t ~now =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let expired =
+        Hashtbl.fold
+          (fun id deadline acc -> if deadline <= now then id :: acc else acc)
+          t.deadlines []
+      in
+      List.iter
+        (fun id ->
+          Pending.remove t.pending id;
+          Hashtbl.remove t.deadlines id;
+          t.stats.Stats.cancelled <- t.stats.Stats.cancelled + 1)
+        expired;
+      List.sort compare expired)
+
+(** [cancel t id] withdraws a pending query (e.g. the user gave up). *)
+let cancel t id =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      if Pending.mem t.pending id then begin
+        Pending.remove t.pending id;
+        Hashtbl.remove t.deadlines id;
+        t.stats.Stats.cancelled <- t.stats.Stats.cancelled + 1;
+        true
+      end
+      else false)
+
+(** [poke t] retries every pending query — call after database updates that
+    may unblock coordinations.  Returns the notifications produced. *)
+let poke t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let rec fixpoint acc =
+        let progressed = ref false in
+        let notifications =
+          List.fold_left
+            (fun acc (q : Equery.t) ->
+              if not (Pending.mem t.pending q.Equery.id) then acc
+              else
+                match try_match t q with
+                | None -> acc
+                | Some success ->
+                  progressed := true;
+                  acc @ fulfil t success)
+            acc (Pending.to_list t.pending)
+        in
+        if !progressed then fixpoint notifications else notifications
+      in
+      fixpoint [])

@@ -1,0 +1,72 @@
+(** The coordination component (Figure 2 of the paper).
+
+    Runs whenever an entangled query arrives: the query is safety-checked,
+    renamed apart, and the matcher is invoked with it as the seed.  On a
+    match the whole group is {b fulfilled jointly and atomically}: one
+    transaction inserts the chosen answer tuples into the answer relations
+    and runs every group member's side effects; then the group leaves the
+    pending store and every participant is notified.  Without a match the
+    query parks in the pending store — it is not rejected.
+
+    Fulfilment can {b cascade}: committed answer tuples may satisfy the
+    constraints of queries that are still pending, so after every fulfilment
+    the coordinator retries the pending queries whose constraints could
+    unify with a fresh tuple, until a fixpoint.  {!poke} retries everything
+    — call it after ordinary database updates (new flights, freed seats)
+    that may unblock pending coordinations. *)
+
+open Relational
+
+val log_src : Logs.src
+(** Log source ("youtopia.coordinator"); enable a [Logs] reporter at debug
+    level to trace arrivals, parking, and fulfilments. *)
+
+type config = {
+  matcher : Matcher.config;
+  use_head_index : bool;  (** ablation switch for the pending-store indexes *)
+  auto_retry : bool;  (** cascade retries after each fulfilment *)
+}
+
+val default_config : config
+
+type t
+
+type outcome =
+  | Rejected of string  (** failed the safety check *)
+  | Answered of Events.notification  (** matched and fulfilled immediately *)
+  | Registered of int  (** parked in the pending store under this id *)
+  | Multi of outcome list  (** CHOOSE k > 1: one outcome per instance *)
+
+val create : ?config:config -> Database.t -> t
+
+val declare_answer_relation : t -> Schema.t -> unit
+
+val adopt_answer_relation : t -> string -> unit
+(** Register an existing (e.g. WAL-recovered) table as an answer relation. *)
+
+val answers : t -> Answers.t
+val pending : t -> Pending.t
+val stats : t -> Stats.t
+val database : t -> Database.t
+
+val subscribe : t -> (Events.notification -> unit) -> unit
+
+val submit : ?deadline:float -> t -> Equery.t -> outcome
+(** The arrival path.  CHOOSE k submits k independent instances (each with
+    CHOOSE 1 semantics) and reports their outcomes.  A query still pending
+    at absolute time [deadline] (caller's clock, see {!expire}) is
+    withdrawn. *)
+
+val expire : t -> now:float -> int list
+(** Withdraw every pending query whose submission deadline has passed;
+    returns the expired ids.  The coordinator never reads a clock itself —
+    callers pass [now] (typically [Unix.gettimeofday ()]), which keeps the
+    engine deterministic under test. *)
+
+val cancel : t -> int -> bool
+(** [cancel t id] withdraws a pending query; [false] if [id] is not
+    pending. *)
+
+val poke : t -> Events.notification list
+(** Retry every pending query to a fixpoint — call after database updates
+    that may unblock coordinations.  Returns the notifications produced. *)

@@ -1,0 +1,26 @@
+(** Notifications emitted when entangled queries are answered — the system's
+    substitute for the demo's Facebook messages. *)
+
+open Relational
+
+type notification = {
+  query_id : int;
+  owner : string;
+  label : string;
+  answers : (string * Tuple.t) list;
+      (** this query's own contributions: answer relation, ground tuple *)
+  group : int list;  (** ids of every query answered in the same match *)
+}
+
+let pp_notification ppf n =
+  Fmt.pf ppf "@[<v 2>query %d (%s%s) answered with:@,%a@,group: {%a}@]"
+    n.query_id n.owner
+    (if n.label = "" then "" else ": " ^ n.label)
+    Fmt.(
+      list ~sep:cut (fun ppf (rel, row) ->
+          Fmt.pf ppf "%s%a" rel Tuple.pp row))
+    n.answers
+    Fmt.(list ~sep:(any ", ") int)
+    n.group
+
+let notification_to_string n = Fmt.str "%a" pp_notification n

@@ -1,0 +1,167 @@
+(** The pending-query store — the "internal tables that store the list of
+    pending queries" of the paper's coordination component.
+
+    Besides the id → query map, the store maintains a *head index*: for every
+    head atom, buckets by answer-relation name plus, per argument position,
+    by constant value (with a separate bucket for variable positions).  A
+    candidate lookup for a partially-ground answer constraint intersects the
+    per-position buckets, which prunes most of the pending set before any
+    unification is attempted.  The index can be disabled
+    ([~use_head_index:false]) for the ablation benchmark — candidates then
+    degrade to a scan of the whole store. *)
+
+open Relational
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+type t = {
+  mutable queries : Equery.t Int_map.t;
+  by_rel : (string, Int_set.t ref) Hashtbl.t;
+  by_const : (string * int * Value.t, Int_set.t ref) Hashtbl.t;
+  by_var : (string * int, Int_set.t ref) Hashtbl.t;
+  (* mirror index over body answer constraints, used by the cascade to find
+     queries a newly committed tuple could help *)
+  c_by_rel : (string, Int_set.t ref) Hashtbl.t;
+  c_by_const : (string * int * Value.t, Int_set.t ref) Hashtbl.t;
+  c_by_var : (string * int, Int_set.t ref) Hashtbl.t;
+  use_head_index : bool;
+  mutable peak : int;
+}
+
+let create ?(use_head_index = true) () =
+  {
+    queries = Int_map.empty;
+    by_rel = Hashtbl.create 64;
+    by_const = Hashtbl.create 256;
+    by_var = Hashtbl.create 64;
+    c_by_rel = Hashtbl.create 64;
+    c_by_const = Hashtbl.create 256;
+    c_by_var = Hashtbl.create 64;
+    use_head_index;
+    peak = 0;
+  }
+
+let size t = Int_map.cardinal t.queries
+let peak t = t.peak
+let mem t id = Int_map.mem id t.queries
+let get t id = Int_map.find_opt id t.queries
+
+let bucket tbl k =
+  match Hashtbl.find_opt tbl k with
+  | Some b -> b
+  | None ->
+    let b = ref Int_set.empty in
+    Hashtbl.add tbl k b;
+    b
+
+let rel_key rel = String.lowercase_ascii rel
+
+let index_atoms atoms ~rel_tbl ~const_tbl ~var_tbl add =
+  List.iter
+    (fun (h : Atom.t) ->
+      let rel = rel_key h.Atom.rel in
+      add (bucket rel_tbl rel);
+      Array.iteri
+        (fun i arg ->
+          match arg with
+          | Term.Const v -> add (bucket const_tbl (rel, i, v))
+          | Term.Var _ -> add (bucket var_tbl (rel, i)))
+        h.Atom.args)
+    atoms
+
+let index_heads t (q : Equery.t) add =
+  index_atoms q.Equery.heads ~rel_tbl:t.by_rel ~const_tbl:t.by_const
+    ~var_tbl:t.by_var add;
+  index_atoms q.Equery.ans_atoms ~rel_tbl:t.c_by_rel ~const_tbl:t.c_by_const
+    ~var_tbl:t.c_by_var add
+
+let add t (q : Equery.t) =
+  if q.Equery.id = 0 then
+    Errors.internalf "pending store: query has no assigned id";
+  t.queries <- Int_map.add q.Equery.id q t.queries;
+  t.peak <- max t.peak (size t);
+  index_heads t q (fun b -> b := Int_set.add q.Equery.id !b)
+
+let remove t id =
+  match Int_map.find_opt id t.queries with
+  | None -> ()
+  | Some q ->
+    t.queries <- Int_map.remove id t.queries;
+    index_heads t q (fun b -> b := Int_set.remove id !b)
+
+let iter f t = Int_map.iter (fun _ q -> f q) t.queries
+let to_list t = Int_map.fold (fun _ q acc -> q :: acc) t.queries [] |> List.rev
+
+let lookup_indexed t ~rel_tbl ~const_tbl ~var_tbl (subst : Subst.t)
+    (atom : Atom.t) : Equery.t list =
+  let rel = rel_key atom.Atom.rel in
+  match Hashtbl.find_opt rel_tbl rel with
+  | None -> []
+  | Some base ->
+    let resolved = Array.map (Subst.walk subst) atom.Atom.args in
+    let ids =
+      Array.to_list resolved
+      |> List.mapi (fun i term -> i, term)
+      |> List.fold_left
+           (fun acc (i, term) ->
+             match term with
+             | Term.Var _ -> acc
+             | Term.Const v ->
+               let with_const =
+                 match Hashtbl.find_opt const_tbl (rel, i, v) with
+                 | Some b -> !b
+                 | None -> Int_set.empty
+               in
+               let with_var =
+                 match Hashtbl.find_opt var_tbl (rel, i) with
+                 | Some b -> !b
+                 | None -> Int_set.empty
+               in
+               Int_set.inter acc (Int_set.union with_const with_var))
+           !base
+    in
+    Int_set.elements ids
+    |> List.filter_map (fun id -> Int_map.find_opt id t.queries)
+
+(** [candidates t subst atom] — pending queries whose head might unify with
+    [atom] (resolved under [subst]).  With the head index this intersects
+    per-position buckets; without it, it scans the store filtering by
+    relation name only. *)
+let candidates t (subst : Subst.t) (atom : Atom.t) : Equery.t list =
+  let rel = rel_key atom.Atom.rel in
+  if not t.use_head_index then
+    Int_map.fold
+      (fun _ q acc ->
+        if
+          List.exists
+            (fun (h : Atom.t) -> rel_key h.Atom.rel = rel)
+            q.Equery.heads
+        then q :: acc
+        else acc)
+      t.queries []
+    |> List.rev
+  else
+    lookup_indexed t ~rel_tbl:t.by_rel ~const_tbl:t.by_const ~var_tbl:t.by_var
+      subst atom
+
+(** [interested t atom] — pending queries one of whose *answer constraints*
+    could unify with the ground atom [atom]; the coordinator's cascade uses
+    this to retry only the queries a fresh answer tuple could help. *)
+let interested t (atom : Atom.t) : Equery.t list =
+  if not t.use_head_index then
+    Int_map.fold
+      (fun _ q acc ->
+        if
+          List.exists
+            (fun (a : Atom.t) -> Atom.same_rel a atom)
+            q.Equery.ans_atoms
+        then q :: acc
+        else acc)
+      t.queries []
+    |> List.rev
+  else
+    lookup_indexed t ~rel_tbl:t.c_by_rel ~const_tbl:t.c_by_const
+      ~var_tbl:t.c_by_var Subst.empty atom
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Equery.pp) (to_list t)

@@ -1,0 +1,42 @@
+(** The pending-query store — the "internal tables that store the list of
+    pending queries" of the paper's coordination component.
+
+    Besides the id → query map, the store maintains a {b head index} (for
+    every head atom: buckets by answer-relation name plus, per argument
+    position, by constant value, with a separate bucket for variable
+    positions) and a mirror {b constraint index} over body answer atoms.  A
+    candidate lookup intersects per-position buckets, pruning most of the
+    pending set before any unification is attempted.  Both indexes can be
+    disabled ([~use_head_index:false]) for the ablation benchmark —
+    lookups then degrade to scans of the whole store. *)
+
+type t
+
+val create : ?use_head_index:bool -> unit -> t
+
+val size : t -> int
+val peak : t -> int
+(** Largest size the store ever reached (for the admin interface). *)
+
+val mem : t -> int -> bool
+val get : t -> int -> Equery.t option
+
+val add : t -> Equery.t -> unit
+(** Raises if the query has no assigned instance id (see
+    {!Equery.freshen}). *)
+
+val remove : t -> int -> unit
+val iter : (Equery.t -> unit) -> t -> unit
+val to_list : t -> Equery.t list
+
+val candidates : t -> Subst.t -> Atom.t -> Equery.t list
+(** [candidates t subst atom] — pending queries whose {i head} might unify
+    with [atom] (resolved under [subst]). *)
+
+val interested : t -> Atom.t -> Equery.t list
+(** [interested t atom] — pending queries one of whose {i answer
+    constraints} could unify with the ground atom [atom]; the coordinator's
+    cascade uses this to retry only the queries a fresh answer tuple could
+    help. *)
+
+val pp : Format.formatter -> t -> unit

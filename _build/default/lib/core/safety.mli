@@ -1,0 +1,27 @@
+(** Static admission checks for entangled queries.
+
+    A query that passes is {i safe to coordinate}: its joint evaluation with
+    other admitted queries is well-defined.  Mirrors the role of the static
+    analysis in the companion technical paper: ill-formed queries are
+    rejected with a diagnostic instead of waiting forever.
+
+    Checks:
+    - every answer relation mentioned (heads and constraints) is declared,
+      with matching arity;
+    - constant head arguments type-check against the answer schema;
+    - CHOOSE k with k ≥ 1;
+    - database atoms bind as many terms as their sub-plan produces columns;
+    - range restriction: every variable occurring in a head or predicate is
+      {i reachable} — bound by a database atom, pinned by an [x = const]
+      conjunct, or constrained through an answer atom (and hence groundable
+      by a partner's contribution). *)
+
+type verdict = Safe | Unsafe of string
+
+val check : Answers.t -> Equery.t -> verdict
+
+val check_matchable : Equery.t list -> (Equery.t * Atom.t) list
+(** Workload-level matchability: every answer constraint of every query
+    must unify with the head of at least one query in the workload
+    (possibly itself); returns the violations.  The admin interface uses it
+    to explain why a pending query can never be answered. *)

@@ -1,0 +1,55 @@
+(** Coordination-engine counters, exposed by the administrative interface
+    and consumed by the benchmarks. *)
+
+type t = {
+  mutable submitted : int;
+  mutable answered : int;  (** queries answered (group members) *)
+  mutable groups_fulfilled : int;
+  mutable rejected : int;  (** failed the safety check *)
+  mutable registered : int;  (** parked in the pending store *)
+  mutable cancelled : int;
+  mutable match_attempts : int;
+  mutable search_steps : int;  (** solve() invocations *)
+  mutable unify_attempts : int;
+  mutable groundings : int;  (** database-atom row bindings explored *)
+  mutable budget_exhausted : int;  (** searches cut off by max_steps *)
+}
+
+let create () =
+  {
+    submitted = 0;
+    answered = 0;
+    groups_fulfilled = 0;
+    rejected = 0;
+    registered = 0;
+    cancelled = 0;
+    match_attempts = 0;
+    search_steps = 0;
+    unify_attempts = 0;
+    groundings = 0;
+    budget_exhausted = 0;
+  }
+
+let reset s =
+  s.submitted <- 0;
+  s.answered <- 0;
+  s.groups_fulfilled <- 0;
+  s.rejected <- 0;
+  s.registered <- 0;
+  s.cancelled <- 0;
+  s.match_attempts <- 0;
+  s.search_steps <- 0;
+  s.unify_attempts <- 0;
+  s.groundings <- 0;
+  s.budget_exhausted <- 0
+
+let pp ppf s =
+  Fmt.pf ppf
+    "@[<v>submitted: %d@,answered: %d@,groups fulfilled: %d@,rejected: \
+     %d@,registered pending: %d@,cancelled: %d@,match attempts: %d@,search \
+     steps: %d@,unify attempts: %d@,groundings: %d@,budget exhausted: %d@]"
+    s.submitted s.answered s.groups_fulfilled s.rejected s.registered
+    s.cancelled s.match_attempts s.search_steps s.unify_attempts s.groundings
+    s.budget_exhausted
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,22 @@
+(** Coordination-engine counters, exposed by the administrative interface
+    and consumed by the benchmarks.  Fields are mutable and updated in
+    place by the engine; treat a handle as live. *)
+
+type t = {
+  mutable submitted : int;
+  mutable answered : int;  (** queries answered (group members) *)
+  mutable groups_fulfilled : int;
+  mutable rejected : int;  (** failed the safety check *)
+  mutable registered : int;  (** parked in the pending store *)
+  mutable cancelled : int;  (** cancelled or expired *)
+  mutable match_attempts : int;
+  mutable search_steps : int;  (** matcher [solve] invocations *)
+  mutable unify_attempts : int;
+  mutable groundings : int;  (** database-atom row bindings explored *)
+  mutable budget_exhausted : int;  (** searches cut off by [max_steps] *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,136 @@
+(** Workload-level template analysis.
+
+    Application developers register the *query templates* their middle tier
+    will submit (e.g. "pairwise flight coordination", "group flight+hotel").
+    The analysis answers, before any query runs:
+
+    - {b supply}: does every answer constraint of every template unify with
+      the head of some template?  A constraint with no possible supplier
+      will strand every instance of its template in the pending store.
+    - {b dependencies}: which templates can coordinate with which — the
+      template dependency graph (edge T → T' when a constraint of T can be
+      supplied by a head of T').  Mutual edges are the expected coordination
+      cliques; it is the dangling nodes that indicate design bugs.
+    - {b self-sufficiency}: templates with no answer constraints always
+      answer immediately.
+
+    This mirrors the role of the static analysis in the companion technical
+    paper: establishing, per application, that joint evaluation of the
+    workload is well-defined before deployment. *)
+
+type t = { mutable templates : (string * Equery.t) list }
+
+let create () = { templates = [] }
+
+let register t name query = t.templates <- t.templates @ [ name, query ]
+
+let names t = List.map fst t.templates
+
+let find t name = List.assoc_opt name t.templates
+
+(* Can some head of [supplier] supply [constraint_atom]? *)
+let supplies (supplier : Equery.t) (a : Atom.t) =
+  List.exists
+    (fun h -> Subst.unify_atoms Subst.empty a h <> None)
+    supplier.Equery.heads
+
+type report = {
+  self_sufficient : string list;  (** templates with no answer constraints *)
+  edges : (string * string) list;
+      (** (consumer, supplier): a constraint of consumer can be met by a
+          head of supplier *)
+  unsupplied : (string * Atom.t) list;
+      (** constraints no registered template can supply *)
+}
+
+let analyse t : report =
+  (* rename each template apart so accidental variable sharing between
+     templates cannot fake unifiability *)
+  let instances =
+    List.mapi
+      (fun i (name, q) -> name, Equery.freshen ~id:(i + 1) q)
+      t.templates
+  in
+  let self_sufficient =
+    List.filter_map
+      (fun (name, q) -> if q.Equery.ans_atoms = [] then Some name else None)
+      instances
+  in
+  let edges = ref [] in
+  let unsupplied = ref [] in
+  List.iter
+    (fun (consumer, q) ->
+      List.iter
+        (fun a ->
+          let suppliers =
+            List.filter_map
+              (fun (supplier, s) -> if supplies s a then Some supplier else None)
+              instances
+          in
+          if suppliers = [] then unsupplied := (consumer, a) :: !unsupplied
+          else
+            List.iter
+              (fun supplier ->
+                if not (List.mem (consumer, supplier) !edges) then
+                  edges := (consumer, supplier) :: !edges)
+              suppliers)
+        q.Equery.ans_atoms)
+    instances;
+  {
+    self_sufficient;
+    edges = List.rev !edges;
+    unsupplied = List.rev !unsupplied;
+  }
+
+(** A workload is deployable when every constraint has a supplier. *)
+let is_deployable report = report.unsupplied = []
+
+(** Strongly-interacting template groups: connected components of the
+    (undirected) dependency graph — each component is a set of templates
+    whose instances may end up in one match group. *)
+let coordination_groups t report =
+  let nodes = names t in
+  let adjacency name =
+    List.filter_map
+      (fun (a, b) ->
+        if a = name then Some b else if b = name then Some a else None)
+      report.edges
+  in
+  let visited = Hashtbl.create 16 in
+  List.filter_map
+    (fun start ->
+      if Hashtbl.mem visited start then None
+      else begin
+        let component = ref [] in
+        let rec dfs n =
+          if not (Hashtbl.mem visited n) then begin
+            Hashtbl.add visited n ();
+            component := n :: !component;
+            List.iter dfs (adjacency n)
+          end
+        in
+        dfs start;
+        Some (List.sort String.compare !component)
+      end)
+    nodes
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>";
+  (match r.self_sufficient with
+  | [] -> ()
+  | ss ->
+    Fmt.pf ppf "self-sufficient: %a@,"
+      Fmt.(list ~sep:(any ", ") string)
+      ss);
+  Fmt.pf ppf "dependencies:@,";
+  List.iter
+    (fun (a, b) -> Fmt.pf ppf "  %s -> %s@," a b)
+    r.edges;
+  (match r.unsupplied with
+  | [] -> Fmt.pf ppf "every constraint has a potential supplier"
+  | us ->
+    Fmt.pf ppf "UNSUPPLIED constraints:@,";
+    List.iter
+      (fun (name, a) -> Fmt.pf ppf "  %s: %a@," name Atom.pp a)
+      us);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,44 @@
+(** Workload-level template analysis.
+
+    Application developers register the {i query templates} their middle
+    tier will submit; the analysis answers, before any query runs:
+
+    - {b supply}: does every answer constraint of every template unify with
+      the head of some template?  A constraint with no possible supplier
+      will strand every instance of its template in the pending store.
+    - {b dependencies}: which templates can coordinate with which — the
+      template dependency graph.
+    - {b self-sufficiency}: templates with no answer constraints always
+      answer immediately.
+
+    This mirrors the role of the static analysis in the companion technical
+    paper: establishing, per application, that joint evaluation of the
+    workload is well-defined before deployment. *)
+
+type t
+
+val create : unit -> t
+val register : t -> string -> Equery.t -> unit
+val names : t -> string list
+val find : t -> string -> Equery.t option
+
+type report = {
+  self_sufficient : string list;  (** templates with no answer constraints *)
+  edges : (string * string) list;
+      (** (consumer, supplier): a constraint of consumer can be met by a
+          head of supplier *)
+  unsupplied : (string * Atom.t) list;
+      (** constraints no registered template can supply *)
+}
+
+val analyse : t -> report
+
+val is_deployable : report -> bool
+(** A workload is deployable when every constraint has a supplier. *)
+
+val coordination_groups : t -> report -> string list list
+(** Connected components of the (undirected) dependency graph — each
+    component is a set of templates whose instances may end up in one match
+    group. *)
+
+val pp_report : Format.formatter -> report -> unit

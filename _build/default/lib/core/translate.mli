@@ -1,0 +1,39 @@
+(** The query compiler of Figure 2: translate a parsed entangled SELECT into
+    the coordination IR ({!Equery}).
+
+    Entangled queries are conjunctive: the WHERE clause must be a conjunction
+    of
+    - [x̄ IN (SELECT …)] — a database atom; the subquery must be {i closed}
+      (plain SQL over database relations; it is compiled with the ordinary
+      planner and evaluated during matching),
+    - [ē IN ANSWER R] — an answer constraint,
+    - [e IN (v1, …, vn)] — a finite domain (compiled to a constant-table
+      database atom),
+    - scalar comparisons over variables, constants, and arithmetic
+      ([x = const] conjuncts pin the variable).
+
+    Free column names are logic variables — there is no FROM clause in an
+    entangled query; all database access goes through IN (SELECT …) atoms,
+    exactly as in the paper's Section 2.1 example.  Anything outside this
+    fragment (OR, NOT, FROM, GROUP BY, set operations, …) is rejected with
+    a diagnostic [Relational.Errors.Parse_error]. *)
+
+open Relational
+
+val of_select :
+  Catalog.t ->
+  owner:string ->
+  ?label:string ->
+  ?side_effects:Equery.side_effect list ->
+  Sql.Ast.select ->
+  Equery.t
+(** Compile one entangled SELECT (it must carry INTO ANSWER heads). *)
+
+val of_sql :
+  Catalog.t ->
+  owner:string ->
+  ?side_effects:Equery.side_effect list ->
+  string ->
+  Equery.t
+(** Parse and compile entangled SQL text.  The SQL text itself becomes the
+    query's label (visible in the admin interface). *)

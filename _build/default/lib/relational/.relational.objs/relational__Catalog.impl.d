@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Errors Fmt Hashtbl List Schema String Table

@@ -1,0 +1,1 @@
+lib/relational/csv.ml: Array Buffer Ctype Errors List Schema String Table Tuple Value

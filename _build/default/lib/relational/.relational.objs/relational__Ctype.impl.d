@@ -1,0 +1,1 @@
+lib/relational/ctype.ml: Errors Fmt String Value

@@ -1,0 +1,1 @@
+lib/relational/ctype.mli: Format Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Catalog Txn Wal

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Catalog Schema Table Txn Wal

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Array Buffer Catalog Expr List Option Plan Printf Schema String Table Tuple Value

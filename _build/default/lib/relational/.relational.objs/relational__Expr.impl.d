@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Errors Float Fmt List Option Stdlib String Tuple Value

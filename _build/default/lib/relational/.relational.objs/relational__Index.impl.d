@@ -1,0 +1,1 @@
+lib/relational/index.ml: Array Errors Int List Option Set Tuple

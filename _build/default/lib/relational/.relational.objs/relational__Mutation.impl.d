@@ -1,0 +1,1 @@
+lib/relational/mutation.ml: Array Expr List Table Txn

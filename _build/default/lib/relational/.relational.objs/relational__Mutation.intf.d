@@ -1,0 +1,1 @@
+lib/relational/mutation.mli: Expr Table Txn Value

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Ctype Errors Expr Fmt List Option Printf Schema Table Tuple Value

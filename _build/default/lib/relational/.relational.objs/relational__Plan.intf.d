@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Ctype Expr Format Schema Table Tuple Value

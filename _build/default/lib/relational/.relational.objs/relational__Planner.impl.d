@@ -1,0 +1,1 @@
+lib/relational/planner.ml: Array Errors Expr Index List Plan Schema Stdlib Table Tablestats Tuple Value

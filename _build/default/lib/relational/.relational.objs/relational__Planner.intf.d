@@ -1,0 +1,1 @@
+lib/relational/planner.mli: Expr Plan Schema Table Tuple

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Ctype Errors Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Errors Fmt Index List Schema Seq Tuple

@@ -1,0 +1,1 @@
+lib/relational/tablestats.ml: Array Fmt Hashtbl List Mutex Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/tablestats.mli: Format Table Value

@@ -1,0 +1,1 @@
+lib/relational/txn.ml: Errors List Mutex Table Tuple

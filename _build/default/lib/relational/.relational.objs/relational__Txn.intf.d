@@ -1,0 +1,1 @@
+lib/relational/txn.mli: Table Tuple Value

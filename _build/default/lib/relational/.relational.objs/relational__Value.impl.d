@@ -1,0 +1,1 @@
+lib/relational/value.ml: Errors Float Fmt Hashtbl Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/relational/wal.ml: Array Buffer Catalog Char Ctype Errors List Printf Schema String Sys Table Tuple Txn Value

@@ -1,0 +1,141 @@
+(** CSV import/export for tables (RFC 4180-style quoting). *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let encode_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let encode_row fields = String.concat "," (List.map encode_field fields)
+
+(** [parse contents] splits CSV text into rows of fields, honouring quoted
+    fields (embedded commas, doubled quotes, embedded newlines). *)
+let parse contents =
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length contents in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_row ())
+    else
+      match contents.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then Errors.fail (Errors.Parse_error "unterminated quoted CSV field")
+    else
+      match contents.[i] with
+      | '"' when i + 1 < n && contents.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+(** Parse one text field according to a column type.  Empty text is NULL for
+    nullable columns and an error otherwise (except TEXT, where it is the
+    empty string). *)
+let field_to_value (col : Schema.column) s =
+  let fail () =
+    Errors.type_errorf "CSV field %S does not parse as %s for column %s" s
+      (Ctype.to_string col.Schema.col_type)
+      col.Schema.col_name
+  in
+  match col.Schema.col_type with
+  | Ctype.TText ->
+    if s = "" && col.Schema.nullable then Value.Null else Value.Str s
+  | _ when s = "" ->
+    if col.Schema.nullable then Value.Null
+    else Errors.constraintf "empty CSV field for non-nullable %s" col.Schema.col_name
+  | Ctype.TInt -> (
+    match int_of_string_opt s with Some i -> Value.Int i | None -> fail ())
+  | Ctype.TFloat -> (
+    match float_of_string_opt s with Some f -> Value.Float f | None -> fail ())
+  | Ctype.TBool -> (
+    match String.lowercase_ascii s with
+    | "true" | "t" | "1" -> Value.Bool true
+    | "false" | "f" | "0" -> Value.Bool false
+    | _ -> fail ())
+
+(** [load table ~header contents] bulk-inserts CSV rows typed by the table
+    schema; returns the number of rows inserted. *)
+let load ?(header = false) table contents =
+  let schema = Table.schema table in
+  let rows = parse contents in
+  let rows = if header then (match rows with _ :: r -> r | [] -> []) else rows in
+  let count = ref 0 in
+  List.iter
+    (fun fields ->
+      if List.length fields <> Schema.arity schema then
+        Errors.schema_errorf "CSV row has %d fields, table %s expects %d"
+          (List.length fields) (Table.name table) (Schema.arity schema);
+      let row =
+        Array.of_list
+          (List.mapi
+             (fun i s -> field_to_value (Schema.column_at schema i) s)
+             fields)
+      in
+      ignore (Table.insert table row);
+      incr count)
+    rows;
+  !count
+
+(** [dump ~header table] renders the whole table as CSV text. *)
+let dump ?(header = true) table =
+  let schema = Table.schema table in
+  let buf = Buffer.create 1024 in
+  if header then begin
+    Buffer.add_string buf (encode_row (Schema.column_names schema));
+    Buffer.add_char buf '\n'
+  end;
+  Table.iter
+    (fun _ row ->
+      Buffer.add_string buf
+        (encode_row (List.map Value.to_display (Tuple.to_list row)));
+      Buffer.add_char buf '\n')
+    table;
+  Buffer.contents buf
+
+let load_file ?header table path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  load ?header table contents
+
+let dump_file ?header table path =
+  let oc = open_out_bin path in
+  output_string oc (dump ?header table);
+  close_out oc

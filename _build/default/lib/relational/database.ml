@@ -1,0 +1,53 @@
+(** A database handle: catalog + transaction manager + optional WAL.
+
+    This is the "regular DBMS" substrate that Youtopia's execution engine
+    runs on.  When a WAL is attached, every committed transaction and every
+    DDL operation is logged; {!recover} rebuilds an equivalent database from
+    the log alone. *)
+
+type t = {
+  catalog : Catalog.t;
+  txns : Txn.manager;
+  mutable wal : Wal.t option;
+}
+
+let create () = { catalog = Catalog.create (); txns = Txn.create_manager (); wal = None }
+
+(** [attach_wal db path] starts logging to [path] (appending). *)
+let attach_wal db path =
+  let wal = Wal.open_log path in
+  Wal.attach wal db.txns;
+  db.wal <- Some wal
+
+let log_ddl db record =
+  match db.wal with None -> () | Some wal -> Wal.append wal [ record; Wal.Commit 0 ]
+
+(** [create_table db schema] — DDL is auto-committed and logged. *)
+let create_table db schema =
+  let table = Catalog.create_table db.catalog schema in
+  log_ddl db (Wal.Create_table schema);
+  table
+
+let drop_table db name =
+  Catalog.drop_table db.catalog name;
+  log_ddl db (Wal.Drop_table name)
+
+let find_table db name = Catalog.find db.catalog name
+
+(** [recover path] rebuilds a database from a WAL file and re-attaches the
+    log so new commits append to it. *)
+let recover path =
+  let catalog = Wal.replay path in
+  let db = { catalog; txns = Txn.create_manager (); wal = None } in
+  attach_wal db path;
+  db
+
+let close db =
+  match db.wal with
+  | None -> ()
+  | Some wal ->
+    Wal.close wal;
+    db.wal <- None
+
+(** [with_txn db f] — serializable transaction over the database. *)
+let with_txn db f = Txn.with_txn db.txns f

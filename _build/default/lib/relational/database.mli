@@ -1,0 +1,34 @@
+(** A database handle: catalog + transaction manager + optional WAL.
+
+    This is the "regular DBMS" substrate that Youtopia's execution engine
+    runs on.  When a WAL is attached, every committed transaction and every
+    DDL operation is logged; {!recover} rebuilds an equivalent database from
+    the log alone. *)
+
+type t = {
+  catalog : Catalog.t;
+  txns : Txn.manager;
+  mutable wal : Wal.t option;
+}
+
+val create : unit -> t
+
+val attach_wal : t -> string -> unit
+(** Start logging to the given path (appending). *)
+
+val log_ddl : t -> Wal.record -> unit
+
+val create_table : t -> Schema.t -> Table.t
+(** DDL is auto-committed and logged. *)
+
+val drop_table : t -> string -> unit
+val find_table : t -> string -> Table.t
+
+val recover : string -> t
+(** Rebuild a database from a WAL file (complete batches only) and
+    re-attach the log so new commits append to it. *)
+
+val close : t -> unit
+
+val with_txn : t -> (Txn.t -> 'a) -> 'a
+(** Serializable transaction over the database. *)

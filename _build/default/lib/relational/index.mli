@@ -1,0 +1,31 @@
+(** Secondary indexes over tables.
+
+    An index maps the projection of a row onto a fixed set of column
+    positions to the set of row ids holding that key.  Two physical forms
+    exist: a hash index (point lookups) and an ordered index (range scans).
+    Indexes are maintained by {!Table} on every mutation. *)
+
+type kind = Hash | Ordered
+
+type t
+
+val create : ?unique:bool -> ?kind:kind -> string -> int array -> t
+val name : t -> string
+val positions : t -> int array
+val is_unique : t -> bool
+val cardinality : t -> int
+
+val key_of_row : t -> Tuple.t -> Tuple.t
+val mem_key : t -> Tuple.t -> bool
+
+val lookup : t -> Tuple.t -> int list
+(** Row ids holding exactly the key; empty list when absent. *)
+
+val lookup_range : t -> lo:Tuple.t -> hi:Tuple.t -> int list
+(** Row ids for keys in the inclusive range (ordered indexes only). *)
+
+val insert : t -> row_id:int -> Tuple.t -> unit
+(** Raises [Constraint_violation] on a unique-index duplicate. *)
+
+val remove : t -> row_id:int -> Tuple.t -> unit
+val clear : t -> unit

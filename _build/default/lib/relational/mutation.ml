@@ -1,0 +1,39 @@
+(** Statement-level mutations (INSERT / UPDATE / DELETE) executed through a
+    transaction. *)
+
+(** [insert_rows txn table rows] inserts every row, returning the count. *)
+let insert_rows txn table rows =
+  List.iter (fun row -> ignore (Txn.insert txn table row)) rows;
+  List.length rows
+
+(** [delete_where txn table pred] deletes rows satisfying [pred] (resolved
+    against the table schema); [None] deletes all rows.  Returns the count. *)
+let delete_where txn table pred =
+  let victims =
+    Table.fold
+      (fun acc row_id row ->
+        let keep = match pred with None -> true | Some p -> Expr.holds row p in
+        if keep then row_id :: acc else acc)
+      [] table
+  in
+  List.iter (fun row_id -> ignore (Txn.delete txn table row_id)) victims;
+  List.length victims
+
+(** [update_where txn table assignments pred] sets column [i] to the value of
+    expression [e] (evaluated on the old row) for each [(i, e)] in
+    [assignments], on every row satisfying [pred].  Returns the count. *)
+let update_where txn table assignments pred =
+  let targets =
+    Table.fold
+      (fun acc row_id row ->
+        let hit = match pred with None -> true | Some p -> Expr.holds row p in
+        if hit then (row_id, row) :: acc else acc)
+      [] table
+  in
+  List.iter
+    (fun (row_id, row) ->
+      let updated = Array.copy row in
+      List.iter (fun (i, e) -> updated.(i) <- Expr.eval row e) assignments;
+      ignore (Txn.update txn table row_id updated))
+    targets;
+  List.length targets

@@ -1,0 +1,230 @@
+(** In-memory heap tables.
+
+    Rows live in a growable slot array; a row id is its slot position and
+    stays stable for the row's lifetime (deleted slots are recycled).  Every
+    table with a declared primary key maintains a unique hash index on it;
+    further secondary indexes may be added at any time and are backfilled
+    from existing rows. *)
+
+type t = {
+  schema : Schema.t;
+  mutable slots : Tuple.t option array;
+  mutable high : int;  (** slots\[high..\] were never used *)
+  mutable free : int list;
+  mutable live : int;
+  mutable indexes : Index.t list;
+  mutable version : int;  (** bumped on every mutation; used by Tablestats *)
+}
+
+let pk_index_name = "#pk"
+
+let create schema =
+  let t =
+    {
+      schema;
+      slots = Array.make 16 None;
+      high = 0;
+      free = [];
+      live = 0;
+      indexes = [];
+      version = 0;
+    }
+  in
+  (match schema.Schema.primary_key with
+  | [] -> ()
+  | pk ->
+    t.indexes <-
+      [ Index.create ~unique:true pk_index_name (Array.of_list pk) ]);
+  t
+
+let schema t = t.schema
+let name t = t.schema.Schema.name
+let row_count t = t.live
+let version t = t.version
+
+let get t row_id =
+  if row_id < 0 || row_id >= t.high then None else t.slots.(row_id)
+
+let get_exn t row_id =
+  match get t row_id with
+  | Some row -> row
+  | None -> Errors.internalf "table %s has no row %d" (name t) row_id
+
+let ensure_capacity t =
+  if t.high >= Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 bigger 0 t.high;
+    t.slots <- bigger
+  end
+
+(** [insert t row] validates the row against the schema (including primary
+    key uniqueness) and returns the new row id. *)
+let insert t row =
+  let row = Schema.check_row t.schema row in
+  let row_id =
+    match t.free with
+    | id :: rest ->
+      t.free <- rest;
+      id
+    | [] ->
+      ensure_capacity t;
+      let id = t.high in
+      t.high <- t.high + 1;
+      id
+  in
+  (* Index maintenance first so a uniqueness violation leaves the slot
+     unoccupied. *)
+  (try List.iter (fun ix -> Index.insert ix ~row_id row) t.indexes
+   with e ->
+     List.iter
+       (fun ix -> try Index.remove ix ~row_id row with _ -> ())
+       t.indexes;
+     t.free <- row_id :: t.free;
+     raise e);
+  t.slots.(row_id) <- Some row;
+  t.live <- t.live + 1;
+  t.version <- t.version + 1;
+  row_id
+
+let delete t row_id =
+  match get t row_id with
+  | None -> Errors.internalf "delete: table %s has no row %d" (name t) row_id
+  | Some row ->
+    List.iter (fun ix -> Index.remove ix ~row_id row) t.indexes;
+    t.slots.(row_id) <- None;
+    t.free <- row_id :: t.free;
+    t.live <- t.live - 1;
+    t.version <- t.version + 1;
+    row
+
+let update t row_id row =
+  let row = Schema.check_row t.schema row in
+  match get t row_id with
+  | None -> Errors.internalf "update: table %s has no row %d" (name t) row_id
+  | Some old ->
+    List.iter (fun ix -> Index.remove ix ~row_id old) t.indexes;
+    (try List.iter (fun ix -> Index.insert ix ~row_id row) t.indexes
+     with e ->
+       (* Restore the old index entries to keep the table consistent. *)
+       List.iter (fun ix -> try Index.remove ix ~row_id row with _ -> ()) t.indexes;
+       List.iter (fun ix -> Index.insert ix ~row_id old) t.indexes;
+       raise e);
+    t.slots.(row_id) <- Some row;
+    t.version <- t.version + 1;
+    old
+
+let iter f t =
+  for id = 0 to t.high - 1 do
+    match t.slots.(id) with None -> () | Some row -> f id row
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun id row -> acc := f !acc id row) t;
+  !acc
+
+let to_seq t =
+  let rec next id () =
+    if id >= t.high then Seq.Nil
+    else
+      match t.slots.(id) with
+      | None -> next (id + 1) ()
+      | Some row -> Seq.Cons ((id, row), next (id + 1))
+  in
+  next 0
+
+let rows t = fold (fun acc _ row -> row :: acc) [] t |> List.rev
+
+let indexes t = t.indexes
+
+(** [find_index t positions] returns an index covering exactly [positions]
+    (in order), if any. *)
+let find_index t positions =
+  List.find_opt (fun ix -> Index.positions ix = positions) t.indexes
+
+let index_named t name =
+  List.find_opt (fun ix -> Index.name ix = name) t.indexes
+
+(** [create_index t name positions] adds (and backfills) a secondary index.
+    Raises on duplicate index names. *)
+let create_index ?(unique = false) ?(kind = Index.Hash) t index_name positions =
+  if index_named t index_name <> None then
+    Errors.schema_errorf "index %s already exists on %s" index_name (name t);
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= Schema.arity t.schema then
+        Errors.schema_errorf "index %s: column position %d out of range"
+          index_name p)
+    positions;
+  let ix = Index.create ~unique ~kind index_name positions in
+  iter (fun row_id row -> Index.insert ix ~row_id row) t;
+  t.indexes <- t.indexes @ [ ix ];
+  ix
+
+let drop_index t index_name =
+  if index_name = pk_index_name then
+    Errors.schema_errorf "cannot drop the primary key index of %s" (name t);
+  t.indexes <- List.filter (fun ix -> Index.name ix <> index_name) t.indexes
+
+(** Row ids whose projection on [positions] equals [key]; uses a covering
+    index when one exists, otherwise scans. *)
+let lookup_eq t positions key =
+  match find_index t positions with
+  | Some ix -> Index.lookup ix key
+  | None ->
+    fold
+      (fun acc row_id row ->
+        if Tuple.equal (Tuple.project positions row) key then row_id :: acc
+        else acc)
+      [] t
+    |> List.rev
+
+(** Primary-key point lookup; [None] when the table has no primary key or no
+    matching row. *)
+let lookup_pk t key =
+  match index_named t pk_index_name with
+  | None -> None
+  | Some ix -> (
+    match Index.lookup ix key with
+    | [ row_id ] -> Some row_id
+    | [] -> None
+    | _ -> Errors.internalf "primary key index of %s is not unique" (name t))
+
+(** [compact t] rebuilds the slot array without tombstones.  Row ids are
+    NOT stable across compaction — only call when no row ids are held
+    (e.g. between workloads); indexes are rebuilt. *)
+let compact t =
+  let live_rows = rows t in
+  t.slots <- Array.make (max 16 (List.length live_rows)) None;
+  t.high <- 0;
+  t.free <- [];
+  t.live <- 0;
+  t.version <- t.version + 1;
+  List.iter Index.clear t.indexes;
+  List.iter
+    (fun row ->
+      ensure_capacity t;
+      let row_id = t.high in
+      t.high <- t.high + 1;
+      List.iter (fun ix -> Index.insert ix ~row_id row) t.indexes;
+      t.slots.(row_id) <- Some row;
+      t.live <- t.live + 1)
+    live_rows
+
+(** Fraction of used slots that are tombstones. *)
+let fragmentation t =
+  if t.high = 0 then 0.0
+  else float_of_int (t.high - t.live) /. float_of_int t.high
+
+let clear t =
+  t.slots <- Array.make 16 None;
+  t.high <- 0;
+  t.free <- [];
+  t.live <- 0;
+  t.version <- t.version + 1;
+  List.iter Index.clear t.indexes
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>%a  -- %d row(s)@,%a@]" Schema.pp t.schema t.live
+    Fmt.(list ~sep:cut Tuple.pp)
+    (rows t)

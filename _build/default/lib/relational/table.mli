@@ -1,0 +1,67 @@
+(** In-memory heap tables.
+
+    Rows live in a growable slot array; a row id is its slot position and
+    stays stable for the row's lifetime (deleted slots are recycled).  Every
+    table with a declared primary key maintains a unique hash index on it;
+    further secondary indexes may be added at any time and are backfilled
+    from existing rows. *)
+
+type t
+
+val pk_index_name : string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val name : t -> string
+val row_count : t -> int
+
+val version : t -> int
+(** Bumped on every mutation; {!Tablestats} keys its cache on it. *)
+
+val get : t -> int -> Tuple.t option
+val get_exn : t -> int -> Tuple.t
+
+val insert : t -> Value.t array -> int
+(** Validates the row against the schema (including primary-key uniqueness)
+    and returns the new row id.  A failed insert leaves no trace. *)
+
+val delete : t -> int -> Tuple.t
+(** Returns the deleted row; its slot is recycled. *)
+
+val update : t -> int -> Value.t array -> Tuple.t
+(** Replaces the row in place (indexes follow); returns the old row. *)
+
+val iter : (int -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> int -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_seq : t -> (int * Tuple.t) Seq.t
+val rows : t -> Tuple.t list
+
+val indexes : t -> Index.t list
+val find_index : t -> int array -> Index.t option
+val index_named : t -> string -> Index.t option
+
+val create_index :
+  ?unique:bool -> ?kind:Index.kind -> t -> string -> int array -> Index.t
+(** Adds (and backfills) a secondary index; raises on duplicate names or a
+    uniqueness violation in existing data. *)
+
+val drop_index : t -> string -> unit
+
+val lookup_eq : t -> int array -> Value.t array -> int list
+(** Row ids whose projection on the positions equals the key; uses a
+    covering index when one exists, otherwise scans. *)
+
+val lookup_pk : t -> Value.t array -> int option
+(** Primary-key point lookup; [None] when the table has no primary key or
+    no matching row. *)
+
+val compact : t -> unit
+(** Rebuild the slot array without tombstones.  Row ids are NOT stable
+    across compaction — only call when no row ids are held; indexes are
+    rebuilt. *)
+
+val fragmentation : t -> float
+(** Fraction of used slots that are tombstones. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,255 @@
+(** Redo-only write-ahead log.
+
+    The transaction manager appends one batch of redo records per committed
+    transaction, terminated by a commit marker, and flushes.  Recovery
+    replays every *complete* batch into a fresh catalog; a trailing batch
+    without its commit marker (torn write) is discarded.
+
+    The format is line-oriented and text-based:
+    {v
+      S|<schema>          create table
+      X|<name>            drop table
+      I|<table>|<tuple>   insert
+      D|<table>|<tuple>   delete (by full tuple)
+      U|<table>|<old>|<new>
+      C|<txn id>          commit marker
+    v}
+    Field values are percent-escaped so [|] and newlines never appear raw. *)
+
+type record =
+  | Create_table of Schema.t
+  | Drop_table of string
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+  | Update of string * Tuple.t * Tuple.t
+  | Commit of int
+
+(* ---------------- escaping ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '|' -> Buffer.add_string buf "%7C"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | ';' -> Buffer.add_string buf "%3B"
+      | ',' -> Buffer.add_string buf "%2C"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '%' && i + 2 < n then begin
+      let code = int_of_string ("0x" ^ String.sub s (i + 1) 2) in
+      Buffer.add_char buf (Char.chr code);
+      loop (i + 3)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+(* ---------------- value / tuple / schema codecs ---------------- *)
+
+let encode_value = function
+  | Value.Null -> "n"
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Float f -> "f" ^ string_of_float f
+  | Value.Bool b -> "b" ^ string_of_bool b
+  | Value.Str s -> "s" ^ escape s
+
+let decode_value s =
+  if s = "" then Errors.fail (Errors.Wal_error "empty value field");
+  let body = String.sub s 1 (String.length s - 1) in
+  match s.[0] with
+  | 'n' -> Value.Null
+  | 'i' -> Value.Int (int_of_string body)
+  | 'f' -> Value.Float (float_of_string body)
+  | 'b' -> Value.Bool (bool_of_string body)
+  | 's' -> Value.Str (unescape body)
+  | c -> Errors.fail (Errors.Wal_error (Printf.sprintf "bad value tag %c" c))
+
+let encode_tuple (t : Tuple.t) =
+  String.concat "," (List.map encode_value (Tuple.to_list t))
+
+let decode_tuple s : Tuple.t =
+  if s = "" then [||]
+  else Tuple.of_list (List.map decode_value (String.split_on_char ',' s))
+
+let encode_schema (s : Schema.t) =
+  let col (c : Schema.column) =
+    Printf.sprintf "%s:%s:%b" (escape c.Schema.col_name)
+      (Ctype.to_string c.Schema.col_type)
+      c.Schema.nullable
+  in
+  Printf.sprintf "%s;%s;%s" (escape s.Schema.name)
+    (String.concat "," (List.map string_of_int s.Schema.primary_key))
+    (String.concat ";" (List.map col (Array.to_list s.Schema.columns)))
+
+let decode_schema s =
+  match String.split_on_char ';' s with
+  | name :: pk :: cols ->
+    let primary_key =
+      if pk = "" then []
+      else List.map int_of_string (String.split_on_char ',' pk)
+    in
+    let column c =
+      match String.split_on_char ':' c with
+      | [ n; ty; nul ] ->
+        let col_type =
+          match Ctype.of_string ty with
+          | Some t -> t
+          | None -> Errors.fail (Errors.Wal_error ("bad column type " ^ ty))
+        in
+        Schema.column ~nullable:(bool_of_string nul) (unescape n) col_type
+      | _ -> Errors.fail (Errors.Wal_error ("bad column spec " ^ c))
+    in
+    Schema.make ~primary_key (unescape name) (List.map column cols)
+  | _ -> Errors.fail (Errors.Wal_error ("bad schema record " ^ s))
+
+(* ---------------- record codec ---------------- *)
+
+let encode_record = function
+  | Create_table s -> "S|" ^ encode_schema s
+  | Drop_table n -> "X|" ^ escape n
+  | Insert (t, row) -> Printf.sprintf "I|%s|%s" (escape t) (encode_tuple row)
+  | Delete (t, row) -> Printf.sprintf "D|%s|%s" (escape t) (encode_tuple row)
+  | Update (t, o, n) ->
+    Printf.sprintf "U|%s|%s|%s" (escape t) (encode_tuple o) (encode_tuple n)
+  | Commit id -> "C|" ^ string_of_int id
+
+let decode_record line =
+  match String.split_on_char '|' line with
+  | [ "S"; s ] -> Create_table (decode_schema s)
+  | [ "X"; n ] -> Drop_table (unescape n)
+  | [ "I"; t; row ] -> Insert (unescape t, decode_tuple row)
+  | [ "D"; t; row ] -> Delete (unescape t, decode_tuple row)
+  | [ "U"; t; o; n ] -> Update (unescape t, decode_tuple o, decode_tuple n)
+  | [ "C"; id ] -> Commit (int_of_string id)
+  | _ -> Errors.fail (Errors.Wal_error ("unparsable record: " ^ line))
+
+(* ---------------- log handle ---------------- *)
+
+type t = { path : string; mutable oc : out_channel option }
+
+let open_log path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { path; oc = Some oc }
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None -> Errors.fail (Errors.Wal_error ("log closed: " ^ t.path))
+
+let append t records =
+  let oc = channel t in
+  List.iter
+    (fun r ->
+      output_string oc (encode_record r);
+      output_char oc '\n')
+    records;
+  flush oc
+
+(** Append one committed batch: the records followed by a commit marker. *)
+let append_commit t ~txn_id records = append t (records @ [ Commit txn_id ])
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out oc;
+    t.oc <- None
+
+(* ---------------- recovery ---------------- *)
+
+let read_records path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec loop acc =
+      match input_line ic with
+      | line -> loop (if line = "" then acc else decode_record line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    loop []
+  end
+
+(** [replay path] rebuilds a catalog from the log, applying only complete
+    (commit-terminated) batches. *)
+let replay path =
+  let cat = Catalog.create () in
+  let apply = function
+    | Create_table s -> ignore (Catalog.create_table cat s)
+    | Drop_table n -> Catalog.drop_table cat n
+    | Insert (t, row) -> ignore (Table.insert (Catalog.find cat t) row)
+    | Delete (t, row) ->
+      let table = Catalog.find cat t in
+      let victim =
+        Table.fold
+          (fun acc row_id r -> if Tuple.equal r row && acc = None then Some row_id else acc)
+          None table
+      in
+      (match victim with
+      | Some row_id -> ignore (Table.delete table row_id)
+      | None ->
+        Errors.fail
+          (Errors.Wal_error
+             (Printf.sprintf "replay: delete of absent row in %s" t)))
+    | Update (t, old_row, new_row) ->
+      let table = Catalog.find cat t in
+      let victim =
+        Table.fold
+          (fun acc row_id r ->
+            if Tuple.equal r old_row && acc = None then Some row_id else acc)
+          None table
+      in
+      (match victim with
+      | Some row_id -> ignore (Table.update table row_id new_row)
+      | None ->
+        Errors.fail
+          (Errors.Wal_error
+             (Printf.sprintf "replay: update of absent row in %s" t)))
+    | Commit _ -> ()
+  in
+  let rec batches pending = function
+    | [] -> ()  (* trailing records without commit marker: discarded *)
+    | Commit _ :: rest ->
+      List.iter apply (List.rev pending);
+      batches [] rest
+    | r :: rest -> batches (r :: pending) rest
+  in
+  batches [] (read_records path);
+  cat
+
+(** Convert a transaction's redo ops (from {!Txn.set_on_commit}) into WAL
+    records. *)
+let records_of_ops ops =
+  List.map
+    (fun op ->
+      match op with
+      | Txn.Ins (table, _, row) -> Insert (Table.name table, row)
+      | Txn.Del (table, row) -> Delete (Table.name table, row)
+      | Txn.Upd (table, _, old_row, new_row) ->
+        Update (Table.name table, old_row, new_row))
+    ops
+
+(** [attach wal mgr] wires a transaction manager's commit hook to the log. *)
+let attach t (mgr : Txn.manager) =
+  let counter = ref 0 in
+  Txn.set_on_commit mgr
+    (Some
+       (fun ops ->
+         incr counter;
+         append_commit t ~txn_id:!counter (records_of_ops ops)))

@@ -1,0 +1,56 @@
+(** Redo-only write-ahead log.
+
+    The transaction manager appends one batch of redo records per committed
+    transaction, terminated by a commit marker, and flushes.  Recovery
+    replays every {i complete} batch into a fresh catalog; a trailing batch
+    without its commit marker (torn write) is discarded.
+
+    The format is line-oriented text; field values are percent-escaped so
+    separators and newlines never appear raw. *)
+
+type record =
+  | Create_table of Schema.t
+  | Drop_table of string
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+  | Update of string * Tuple.t * Tuple.t
+  | Commit of int
+
+(** {1 Codecs} (exposed for tests) *)
+
+val escape : string -> string
+val unescape : string -> string
+val encode_value : Value.t -> string
+val decode_value : string -> Value.t
+val encode_tuple : Tuple.t -> string
+val decode_tuple : string -> Tuple.t
+val encode_schema : Schema.t -> string
+val decode_schema : string -> Schema.t
+val encode_record : record -> string
+val decode_record : string -> record
+
+(** {1 Log handle} *)
+
+type t
+
+val open_log : string -> t
+(** Opens for append, creating the file if needed. *)
+
+val append : t -> record list -> unit
+val append_commit : t -> txn_id:int -> record list -> unit
+(** One committed batch: the records followed by a commit marker. *)
+
+val close : t -> unit
+
+(** {1 Recovery} *)
+
+val read_records : string -> record list
+
+val replay : string -> Catalog.t
+(** Rebuild a catalog from the log, applying only complete
+    (commit-terminated) batches. *)
+
+val records_of_ops : Txn.op list -> record list
+
+val attach : t -> Txn.manager -> unit
+(** Wire a transaction manager's commit hook to the log. *)

@@ -1,0 +1,1 @@
+lib/sql/compile.ml: Array Ast Catalog Errors Executor Expr Fun List Option Parser Plan Planner Pretty Printf Relational Schema String Table Tuple Value

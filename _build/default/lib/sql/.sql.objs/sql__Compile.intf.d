@@ -1,0 +1,1 @@
+lib/sql/compile.mli: Ast Catalog Expr Plan Relational Schema Table Value

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Ctype Errors Expr Lexer List Plan Printf Relational String Token Value

@@ -1,0 +1,1 @@
+lib/sql/prepared.ml: Array Ast Errors List Option Parser Printf Relational Run

@@ -1,0 +1,1 @@
+lib/sql/prepared.mli: Ast Relational Run Value

@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Ctype Expr Fmt List Plan Relational Value

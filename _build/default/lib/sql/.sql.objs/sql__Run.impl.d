@@ -1,0 +1,1 @@
+lib/sql/run.ml: Array Ast Catalog Compile Database Errors Executor Fmt List Mutation Option Parser Plan Pretty Printf Relational Schema String Table Tablestats Tuple Txn Value

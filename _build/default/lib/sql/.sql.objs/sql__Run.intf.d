@@ -1,0 +1,1 @@
+lib/sql/run.mli: Ast Database Relational Schema Tuple Txn

@@ -1,0 +1,122 @@
+(** Abstract syntax for the Youtopia SQL dialect.
+
+    The dialect is standard SQL (a practical subset) extended with the
+    entangled-query constructs of the paper:
+    - [INTO ANSWER R] head clauses (a query's contribution to answer
+      relation [R]);
+    - [(e1, …, en) IN ANSWER R] answer constraints in WHERE;
+    - a trailing [CHOOSE k] clause.
+
+    JOIN … ON is normalised by the parser into the FROM list plus a WHERE
+    conjunct, so the AST has a single flat source list. *)
+
+open Relational
+
+type expr =
+  | E_lit of Value.t
+  | E_param of int  (** positional [?] parameter (0-based), bound by {!Prepared} *)
+  | E_col of string option * string  (** qualifier, name *)
+  | E_neg of expr
+  | E_not of expr
+  | E_is_null of expr * bool  (** [IS NULL] when [bool] is true, else [IS NOT NULL] *)
+  | E_bin of Expr.binop * expr * expr
+  | E_in_values of expr * expr list  (** [e IN (v1, …, vn)] *)
+  | E_in_select of expr list * bool * select
+      (** [(e…) [NOT] IN (SELECT …)]; the bool is the NOT *)
+  | E_in_answer of expr list * string  (** [(e…) IN ANSWER R] *)
+  | E_like of expr * expr * bool  (** [e [NOT] LIKE pattern]; bool = NOT *)
+  | E_func of string * expr list  (** function / aggregate call *)
+  | E_star  (** only valid inside COUNT(...) with a star, or as a select item *)
+  | E_tuple of expr list
+      (** transient tuple literal; only legal as the left-hand side of IN
+          (e.g. [('Jerry', fno) IN ANSWER Reservation]) or as an entangled
+          head tuple *)
+
+and select_item = S_star | S_expr of expr * string option  (** expr, alias *)
+
+and from_source =
+  | F_table of string
+  | F_subquery of select  (** derived table: FROM (SELECT …) alias *)
+
+and from_item = { f_source : from_source; f_alias : string option }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  into_answer : (expr list * string) list;
+      (** entangled heads: tuple INTO ANSWER name; empty for plain SQL *)
+  from : from_item list;
+  left_joins : (from_item * expr) list;
+      (** LEFT [OUTER] JOIN … ON …, applied in order after the inner FROM *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * Plan.order) list;
+  limit : int option;
+  choose : int option;  (** CHOOSE k; None for plain SQL *)
+  setop : (Plan.set_kind * bool * select) option;
+      (** trailing UNION / INTERSECT / EXCEPT [ALL]; the bool is ALL *)
+}
+
+type column_def = {
+  c_name : string;
+  c_type : Ctype.t;
+  c_nullable : bool;
+  c_primary : bool;  (** column-level PRIMARY KEY *)
+}
+
+type statement =
+  | Create_table of {
+      t_name : string;
+      t_columns : column_def list;
+      t_primary_key : string list;  (** table-level PRIMARY KEY (…) *)
+    }
+  | Create_table_as of { cta_name : string; cta_query : select }
+      (** CREATE TABLE name AS SELECT … *)
+  | Create_view of { v_name : string; v_query : select }
+  | Drop_view of string
+  | Drop_table of string
+  | Create_index of {
+      i_name : string;
+      i_table : string;
+      i_columns : string list;
+      i_unique : bool;
+    }
+  | Insert of {
+      in_table : string;
+      in_columns : string list option;
+      in_rows : expr list list;  (** VALUES rows; empty when [in_select] *)
+      in_select : select option;  (** INSERT INTO … SELECT … *)
+    }
+  | Select of select
+  | Update of { u_table : string; u_sets : (string * expr) list; u_where : expr option }
+  | Delete of { d_table : string; d_where : expr option }
+  | Explain of statement
+  | Explain_analyze of select  (** execute + per-operator row counts *)
+  | Analyze of string  (** table statistics report *)
+  | Show_tables
+  | Show_pending  (** admin: list pending entangled queries *)
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+
+(** True when the statement is an entangled query (has INTO ANSWER heads). *)
+let is_entangled = function
+  | Select s -> s.into_answer <> []
+  | _ -> false
+
+let empty_select =
+  {
+    distinct = false;
+    items = [];
+    into_answer = [];
+    from = [];
+    left_joins = [];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    choose = None;
+    setop = None;
+  }

@@ -1,0 +1,34 @@
+(** Compilation of plain (non-entangled) SELECTs into physical plans, plus
+    expression resolution helpers shared by UPDATE/DELETE.
+
+    Uncorrelated [IN (SELECT …)] subqueries and derived tables are evaluated
+    eagerly at compile time and folded into materialised constants; a
+    correlated reference surfaces as a [No_such_column] error inside the
+    subquery, which is the documented limitation.  Entangled constructs
+    ([INTO ANSWER], [IN ANSWER]) are rejected here — they are translated by
+    [Core.Translate] into the coordination IR instead. *)
+
+open Relational
+
+val is_aggregate_name : string -> bool
+val has_aggregate : Ast.expr -> bool
+
+(** Name-resolution environment: sources in FROM order. *)
+type env = { sources : (string * Schema.t * int) list }
+
+val env_of_schemas : (string * Schema.t) list -> env
+val lookup_env : env -> string option -> string -> int option
+
+val translate_expr : Catalog.t -> env -> Ast.expr -> Expr.t
+(** Resolve and translate an AST expression; evaluates IN-subqueries. *)
+
+val compile_select : Catalog.t -> Ast.select -> Plan.t
+(** Full SELECT compilation: FROM (incl. derived tables), LEFT JOINs,
+    WHERE, GROUP BY/HAVING, projection, ORDER BY, DISTINCT, LIMIT, and
+    trailing set operations. *)
+
+val expr_for_table : Catalog.t -> Table.t -> Ast.expr -> Expr.t
+(** Resolve an expression against a single table (UPDATE/DELETE). *)
+
+val constant_expr : Catalog.t -> Ast.expr -> Value.t
+(** Evaluate a constant expression (VALUES rows). *)

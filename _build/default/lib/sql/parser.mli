@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the Youtopia SQL dialect (see {!Ast}).
+
+    Operator precedence (low to high): OR, AND, NOT, comparison / IN / IS /
+    LIKE / BETWEEN, additive (plus, minus, concat), multiplicative (times,
+    div, mod), unary minus.
+
+    Entangled heads: the paper's grammar
+    [SELECT es INTO ANSWER R [, ANSWER R'] …] contributes the same tuple to
+    every listed relation; the extended form
+    [SELECT (es) INTO ANSWER R, (es') INTO ANSWER R' …] contributes distinct
+    tuples (needed for the flight+hotel coordination scenario).
+
+    All entry points raise [Relational.Errors.Db_error (Parse_error _)] with
+    a byte offset on malformed input. *)
+
+val parse_one : string -> Ast.statement
+(** Parse a single statement (trailing [;] allowed). *)
+
+val parse_prepared : string -> Ast.statement * int
+(** Like {!parse_one} but also returns the number of positional [?]
+    parameters (numbered left to right). *)
+
+val parse_script : string -> Ast.statement list
+(** Parse a [;]-separated script. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a standalone expression (for tests). *)

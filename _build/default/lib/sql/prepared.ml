@@ -1,0 +1,116 @@
+(** Prepared statements: parse once, execute many times with positional
+    [?] parameters.
+
+    Binding is purely syntactic — every [E_param i] is replaced by the i-th
+    value as a literal before compilation — so prepared statements work for
+    plain SQL and for entangled queries alike (bind, then hand the statement
+    to the coordinator via [Core.Translate]). *)
+
+open Relational
+
+type t = { statement : Ast.statement; n_params : int; text : string }
+
+let prepare text =
+  let statement, n_params = Parser.parse_prepared text in
+  { statement; n_params; text }
+
+let n_params t = t.n_params
+let text t = t.text
+
+let rec bind_expr params (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.E_param i -> Ast.E_lit params.(i)
+  | Ast.E_lit _ | Ast.E_col _ | Ast.E_star -> e
+  | Ast.E_neg a -> Ast.E_neg (bind_expr params a)
+  | Ast.E_not a -> Ast.E_not (bind_expr params a)
+  | Ast.E_is_null (a, b) -> Ast.E_is_null (bind_expr params a, b)
+  | Ast.E_bin (op, a, b) -> Ast.E_bin (op, bind_expr params a, bind_expr params b)
+  | Ast.E_in_values (a, vs) ->
+    Ast.E_in_values (bind_expr params a, List.map (bind_expr params) vs)
+  | Ast.E_in_select (es, negated, sub) ->
+    Ast.E_in_select (List.map (bind_expr params) es, negated, bind_select params sub)
+  | Ast.E_in_answer (es, rel) ->
+    Ast.E_in_answer (List.map (bind_expr params) es, rel)
+  | Ast.E_like (a, b, negated) ->
+    Ast.E_like (bind_expr params a, bind_expr params b, negated)
+  | Ast.E_func (f, args) -> Ast.E_func (f, List.map (bind_expr params) args)
+  | Ast.E_tuple es -> Ast.E_tuple (List.map (bind_expr params) es)
+
+and bind_select params (s : Ast.select) : Ast.select =
+  {
+    s with
+    Ast.items =
+      List.map
+        (function
+          | Ast.S_star -> Ast.S_star
+          | Ast.S_expr (e, a) -> Ast.S_expr (bind_expr params e, a))
+        s.Ast.items;
+    into_answer =
+      List.map
+        (fun (es, rel) -> List.map (bind_expr params) es, rel)
+        s.Ast.into_answer;
+    from =
+      List.map
+        (fun (f : Ast.from_item) ->
+          match f.Ast.f_source with
+          | Ast.F_table _ -> f
+          | Ast.F_subquery sub ->
+            { f with Ast.f_source = Ast.F_subquery (bind_select params sub) })
+        s.Ast.from;
+    left_joins =
+      List.map
+        (fun ((f : Ast.from_item), on) ->
+          let f =
+            match f.Ast.f_source with
+            | Ast.F_table _ -> f
+            | Ast.F_subquery sub ->
+              { f with Ast.f_source = Ast.F_subquery (bind_select params sub) }
+          in
+          f, bind_expr params on)
+        s.Ast.left_joins;
+    where = Option.map (bind_expr params) s.Ast.where;
+    group_by = List.map (bind_expr params) s.Ast.group_by;
+    having = Option.map (bind_expr params) s.Ast.having;
+    order_by = List.map (fun (e, d) -> bind_expr params e, d) s.Ast.order_by;
+    setop =
+      Option.map
+        (fun (k, all, rhs) -> k, all, bind_select params rhs)
+        s.Ast.setop;
+  }
+
+let bind_statement params (st : Ast.statement) : Ast.statement =
+  match st with
+  | Ast.Select s -> Ast.Select (bind_select params s)
+  | Ast.Insert { in_table; in_columns; in_rows; in_select } ->
+    Ast.Insert
+      {
+        in_table;
+        in_columns;
+        in_rows = List.map (List.map (bind_expr params)) in_rows;
+        in_select = Option.map (bind_select params) in_select;
+      }
+  | Ast.Create_table_as { cta_name; cta_query } ->
+    Ast.Create_table_as { cta_name; cta_query = bind_select params cta_query }
+  | Ast.Update { u_table; u_sets; u_where } ->
+    Ast.Update
+      {
+        u_table;
+        u_sets = List.map (fun (c, e) -> c, bind_expr params e) u_sets;
+        u_where = Option.map (bind_expr params) u_where;
+      }
+  | Ast.Delete { d_table; d_where } ->
+    Ast.Delete { d_table; d_where = Option.map (bind_expr params) d_where }
+  | Ast.Explain_analyze s -> Ast.Explain_analyze (bind_select params s)
+  | st -> st
+
+(** [bind t values] — the statement with every parameter substituted. *)
+let bind t values =
+  if List.length values <> t.n_params then
+    Errors.fail
+      (Errors.Parse_error
+         (Printf.sprintf "statement has %d parameter(s), %d value(s) given"
+            t.n_params (List.length values)));
+  bind_statement (Array.of_list values) t.statement
+
+(** [exec session t values] — bind and run a plain prepared statement. *)
+let exec session t values = Run.exec session (bind t values)

@@ -1,0 +1,24 @@
+(** Prepared statements: parse once, execute many times with positional
+    [?] parameters.
+
+    Binding is purely syntactic — every [?] is replaced by the corresponding
+    value as a literal before compilation — so prepared statements work for
+    plain SQL and for entangled queries alike (bind, then hand the statement
+    to the coordinator via [Core.Translate]). *)
+
+open Relational
+
+type t
+
+val prepare : string -> t
+(** Parse; raises [Parse_error] on malformed SQL. *)
+
+val n_params : t -> int
+val text : t -> string
+
+val bind : t -> Value.t list -> Ast.statement
+(** The statement with every parameter substituted; raises [Parse_error] on
+    an arity mismatch. *)
+
+val exec : Run.session -> t -> Value.t list -> Run.result
+(** Bind and run a plain prepared statement. *)

@@ -1,0 +1,159 @@
+(** Render AST back to SQL text (round-trip tested against the parser). *)
+
+open Relational
+
+let rec expr ppf (e : Ast.expr) =
+  match e with
+  | Ast.E_lit v -> Value.pp ppf v
+  | Ast.E_param i -> Fmt.pf ppf "?%d" i
+  | Ast.E_col (None, n) -> Fmt.string ppf n
+  | Ast.E_col (Some q, n) -> Fmt.pf ppf "%s.%s" q n
+  | Ast.E_neg e -> Fmt.pf ppf "(-%a)" expr e
+  | Ast.E_not e -> Fmt.pf ppf "(NOT %a)" expr e
+  | Ast.E_is_null (e, true) -> Fmt.pf ppf "(%a IS NULL)" expr e
+  | Ast.E_is_null (e, false) -> Fmt.pf ppf "(%a IS NOT NULL)" expr e
+  | Ast.E_bin (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" expr a (Expr.binop_to_string op) expr b
+  | Ast.E_in_values (e, vs) ->
+    Fmt.pf ppf "(%a IN (%a))" expr e Fmt.(list ~sep:(any ", ") expr) vs
+  | Ast.E_in_select (es, negated, sub) ->
+    Fmt.pf ppf "(%a %sIN (%a))" tuple es
+      (if negated then "NOT " else "")
+      select sub
+  | Ast.E_in_answer (es, rel) -> Fmt.pf ppf "(%a IN ANSWER %s)" tuple es rel
+  | Ast.E_like (a, b, negated) ->
+    Fmt.pf ppf "(%a %sLIKE %a)" expr a (if negated then "NOT " else "") expr b
+  | Ast.E_func (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") expr) args
+  | Ast.E_star -> Fmt.string ppf "*"
+  | Ast.E_tuple es -> tuple ppf es
+
+and tuple ppf = function
+  | [ e ] -> expr ppf e
+  | es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") expr) es
+
+and select ppf (s : Ast.select) =
+  Fmt.pf ppf "SELECT ";
+  if s.Ast.distinct then Fmt.pf ppf "DISTINCT ";
+  (match s.Ast.items, s.Ast.into_answer with
+  | items, [] ->
+    Fmt.(list ~sep:(any ", "))
+      (fun ppf -> function
+        | Ast.S_star -> Fmt.string ppf "*"
+        | Ast.S_expr (e, None) -> expr ppf e
+        | Ast.S_expr (e, Some a) -> Fmt.pf ppf "%a AS %s" expr e a)
+      ppf items
+  | _, heads ->
+    Fmt.(list ~sep:(any ", "))
+      (fun ppf (es, rel) -> Fmt.pf ppf "%a INTO ANSWER %s" tuple es rel)
+      ppf heads);
+  let from_item ppf (f : Ast.from_item) =
+    (match f.Ast.f_source with
+    | Ast.F_table name -> Fmt.string ppf name
+    | Ast.F_subquery sub -> Fmt.pf ppf "(%a)" select sub);
+    match f.Ast.f_alias with None -> () | Some a -> Fmt.pf ppf " %s" a
+  in
+  (match s.Ast.from with
+  | [] -> ()
+  | from ->
+    Fmt.pf ppf " FROM %a" Fmt.(list ~sep:(any ", ") from_item) from);
+  List.iter
+    (fun (f, on_pred) ->
+      Fmt.pf ppf " LEFT JOIN %a ON %a" from_item f expr on_pred)
+    s.Ast.left_joins;
+  (match s.Ast.where with
+  | None -> ()
+  | Some w -> Fmt.pf ppf " WHERE %a" expr w);
+  (match s.Ast.group_by with
+  | [] -> ()
+  | gs -> Fmt.pf ppf " GROUP BY %a" Fmt.(list ~sep:(any ", ") expr) gs);
+  (match s.Ast.having with
+  | None -> ()
+  | Some h -> Fmt.pf ppf " HAVING %a" expr h);
+  (match s.Ast.order_by with
+  | [] -> ()
+  | os ->
+    Fmt.pf ppf " ORDER BY %a"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (e, d) ->
+            Fmt.pf ppf "%a %s" expr e
+              (match d with Plan.Asc -> "ASC" | Plan.Desc -> "DESC")))
+      os);
+  (match s.Ast.limit with None -> () | Some n -> Fmt.pf ppf " LIMIT %d" n);
+  (match s.Ast.choose with None -> () | Some k -> Fmt.pf ppf " CHOOSE %d" k);
+  match s.Ast.setop with
+  | None -> ()
+  | Some (kind, all, rhs) ->
+    Fmt.pf ppf " %s%s %a"
+      (match kind with
+      | Relational.Plan.Union -> "UNION"
+      | Relational.Plan.Intersect -> "INTERSECT"
+      | Relational.Plan.Except -> "EXCEPT")
+      (if all then " ALL" else "")
+      select rhs
+
+let rec statement ppf (st : Ast.statement) =
+  match st with
+  | Ast.Select s -> select ppf s
+  | Ast.Create_table { t_name; t_columns; t_primary_key } ->
+    let col ppf (c : Ast.column_def) =
+      Fmt.pf ppf "%s %s%s" c.Ast.c_name
+        (Ctype.to_string c.Ast.c_type)
+        (if c.Ast.c_nullable then "" else " NOT NULL")
+    in
+    Fmt.pf ppf "CREATE TABLE %s (%a%a)" t_name
+      Fmt.(list ~sep:(any ", ") col)
+      t_columns
+      (fun ppf -> function
+        | [] -> ()
+        | pk ->
+          Fmt.pf ppf ", PRIMARY KEY (%a)" Fmt.(list ~sep:(any ", ") string) pk)
+      t_primary_key
+  | Ast.Drop_table n -> Fmt.pf ppf "DROP TABLE %s" n
+  | Ast.Create_view { v_name; v_query } ->
+    Fmt.pf ppf "CREATE VIEW %s AS %a" v_name select v_query
+  | Ast.Drop_view n -> Fmt.pf ppf "DROP VIEW %s" n
+  | Ast.Create_index { i_name; i_table; i_columns; i_unique } ->
+    Fmt.pf ppf "CREATE %sINDEX %s ON %s (%a)"
+      (if i_unique then "UNIQUE " else "")
+      i_name i_table
+      Fmt.(list ~sep:(any ", ") string)
+      i_columns
+  | Ast.Insert { in_table; in_columns; in_rows; in_select } -> (
+    Fmt.pf ppf "INSERT INTO %s%a " in_table
+      (fun ppf -> function
+        | None -> ()
+        | Some cols ->
+          Fmt.pf ppf " (%a)" Fmt.(list ~sep:(any ", ") string) cols)
+      in_columns;
+    match in_select with
+    | Some sub -> select ppf sub
+    | None ->
+      Fmt.pf ppf "VALUES %a"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf row ->
+              Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") expr) row))
+        in_rows)
+  | Ast.Create_table_as { cta_name; cta_query } ->
+    Fmt.pf ppf "CREATE TABLE %s AS %a" cta_name select cta_query
+  | Ast.Update { u_table; u_sets; u_where } ->
+    Fmt.pf ppf "UPDATE %s SET %a" u_table
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (c, e) -> Fmt.pf ppf "%s = %a" c expr e))
+      u_sets;
+    (match u_where with None -> () | Some w -> Fmt.pf ppf " WHERE %a" expr w)
+  | Ast.Delete { d_table; d_where } ->
+    Fmt.pf ppf "DELETE FROM %s" d_table;
+    (match d_where with None -> () | Some w -> Fmt.pf ppf " WHERE %a" expr w)
+  | Ast.Explain s -> Fmt.pf ppf "EXPLAIN %a" statement s
+  | Ast.Explain_analyze s -> Fmt.pf ppf "EXPLAIN ANALYZE %a" select s
+  | Ast.Analyze t -> Fmt.pf ppf "ANALYZE %s" t
+  | Ast.Show_tables -> Fmt.string ppf "SHOW TABLES"
+  | Ast.Show_pending -> Fmt.string ppf "SHOW PENDING"
+  | Ast.Begin_txn -> Fmt.string ppf "BEGIN"
+  | Ast.Commit_txn -> Fmt.string ppf "COMMIT"
+  | Ast.Rollback_txn -> Fmt.string ppf "ROLLBACK"
+
+let expr_to_string e = Fmt.str "%a" expr e
+let select_to_string s = Fmt.str "%a" select s
+let statement_to_string st = Fmt.str "%a" statement st

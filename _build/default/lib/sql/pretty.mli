@@ -1,0 +1,13 @@
+(** Render AST back to SQL text.
+
+    Expressions print fully parenthesised, so printing followed by parsing
+    is the identity on ASTs — a property enforced by the random round-trip
+    fuzzer in the test suite (`test/test_ast_fuzz.ml`). *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val select : Format.formatter -> Ast.select -> unit
+val statement : Format.formatter -> Ast.statement -> unit
+
+val expr_to_string : Ast.expr -> string
+val select_to_string : Ast.select -> string
+val statement_to_string : Ast.statement -> string

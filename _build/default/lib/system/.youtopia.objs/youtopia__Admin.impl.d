@@ -1,0 +1,1 @@
+lib/system/admin.ml: Catalog Core Fmt List Printf Relational String System Table

@@ -1,0 +1,1 @@
+lib/system/admin.mli: System

@@ -1,0 +1,1 @@
+lib/system/session.ml: Core List Mutex Queue Sql

@@ -1,0 +1,1 @@
+lib/system/session.mli: Core Mutex Queue Relational Sql

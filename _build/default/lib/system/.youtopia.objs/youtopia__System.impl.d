@@ -1,0 +1,1 @@
+lib/system/system.ml: Core Database Fmt List Mutex Printf Relational Session Sql

@@ -1,0 +1,1 @@
+lib/system/system.mli: Catalog Core Database Relational Schema Session Sql

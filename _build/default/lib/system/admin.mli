@@ -1,0 +1,24 @@
+(** The administrative ("debugging") interface of Section 3.2: inspect the
+    set of pending entangled queries, the answer relations, the engine
+    counters, and — in its special mode — the state created by the matching
+    algorithm (a dry-run search trace for any pending query). *)
+
+val dump_pending : System.t -> string
+(** Pending entangled queries and their internal representation. *)
+
+val dump_answers : System.t -> string
+(** Contents of every answer relation. *)
+
+val dump_stats : System.t -> string
+val dump_tables : System.t -> string
+
+val explain_match : System.t -> int -> string
+(** Dry-run the matcher for the given pending query with tracing on;
+    reports the search trace and whether a match exists right now, without
+    fulfilling anything. *)
+
+val dump_unmatchable : System.t -> string
+(** Pending constraints that no pending head can ever satisfy. *)
+
+val report : System.t -> string
+(** One-shot full report (tables, answers, pending, matchability, stats). *)

@@ -1,0 +1,45 @@
+(** Client sessions.
+
+    A session belongs to a user (the [owner] of the entangled queries it
+    submits), carries the interactive-transaction state for plain SQL, and
+    owns a mailbox of asynchronous notifications — answers to entangled
+    queries arrive whenever the match completes, which may be long after
+    submission (the demo delivers them as Facebook messages; here they queue
+    in the mailbox). *)
+
+type t = {
+  user : string;
+  sql : Sql.Run.session;
+  mailbox : Core.Events.notification Queue.t;
+  mu : Mutex.t;
+}
+
+let create db user =
+  {
+    user;
+    sql = Sql.Run.make_session db;
+    mailbox = Queue.create ();
+    mu = Mutex.create ();
+  }
+
+let user t = t.user
+
+let deliver t notification =
+  Mutex.lock t.mu;
+  Queue.push notification t.mailbox;
+  Mutex.unlock t.mu
+
+(** [drain t] removes and returns all queued notifications, oldest first. *)
+let drain t =
+  Mutex.lock t.mu;
+  let out = List.of_seq (Queue.to_seq t.mailbox) in
+  Queue.clear t.mailbox;
+  Mutex.unlock t.mu;
+  out
+
+(** [peek_count t] — queued notifications without draining. *)
+let peek_count t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.mailbox in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,25 @@
+(** Client sessions.
+
+    A session belongs to a user (the [owner] of the entangled queries it
+    submits), carries the interactive-transaction state for plain SQL, and
+    owns a mailbox of asynchronous notifications — answers to entangled
+    queries arrive whenever the match completes, which may be long after
+    submission (the demo delivers them as Facebook messages; here they
+    queue in the mailbox). *)
+
+type t = {
+  user : string;
+  sql : Sql.Run.session;
+  mailbox : Core.Events.notification Queue.t;
+  mu : Mutex.t;
+}
+
+val create : Relational.Database.t -> string -> t
+val user : t -> string
+
+val deliver : t -> Core.Events.notification -> unit
+
+val drain : t -> Core.Events.notification list
+(** Remove and return all queued notifications, oldest first. *)
+
+val peek_count : t -> int

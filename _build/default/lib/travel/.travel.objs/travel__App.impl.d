@@ -1,0 +1,1 @@
+lib/travel/app.ml: Array Core Database Datagen Errors Fmt List Mutex Printf Relational Social Sql String Table Txn Value Youtopia

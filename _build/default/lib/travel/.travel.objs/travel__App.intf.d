@@ -1,0 +1,1 @@
+lib/travel/app.mli: Core Relational Social Tuple Youtopia

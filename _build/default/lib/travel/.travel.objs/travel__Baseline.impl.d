@@ -1,0 +1,1 @@
+lib/travel/baseline.ml: Array Database List Option Relational Table Txn Value

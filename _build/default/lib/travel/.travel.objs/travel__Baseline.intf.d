@@ -1,0 +1,1 @@
+lib/travel/baseline.mli: Database Relational

@@ -1,0 +1,1 @@
+lib/travel/datagen.ml: Array Ctype Database Random Relational Schema Table Value Youtopia

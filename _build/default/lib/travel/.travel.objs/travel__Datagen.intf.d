@@ -1,0 +1,1 @@
+lib/travel/datagen.mli: Core Relational Schema Youtopia

@@ -1,0 +1,1 @@
+lib/travel/frontend.ml: App Core Errors Fmt List Printf Relational Social String Tuple Value

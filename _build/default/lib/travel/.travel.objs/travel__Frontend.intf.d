@@ -1,0 +1,1 @@
+lib/travel/frontend.mli: App

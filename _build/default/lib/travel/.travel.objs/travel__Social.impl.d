@@ -1,0 +1,1 @@
+lib/travel/social.ml: Hashtbl List Printf Random Set String

@@ -1,0 +1,1 @@
+lib/travel/social.mli:

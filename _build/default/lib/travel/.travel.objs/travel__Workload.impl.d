@@ -1,0 +1,1 @@
+lib/travel/workload.ml: Array Core Fmt List Printf Random String Unix

@@ -1,0 +1,1 @@
+lib/travel/workload.mli: Catalog Core Format Relational

@@ -1,0 +1,151 @@
+(** The out-of-band coordination baseline.
+
+    This is what the paper's introduction says users must do *without*
+    entangled queries: delegate or "coordinate out-of-band to choose the
+    flight and try to make near-simultaneous bookings".  We simulate the
+    polling protocol an application developer would write in the middle
+    tier with plain transactions only:
+
+    + the pair's leader picks the cheapest acceptable flight and books it
+      (capacity-checked transaction);
+    + the leader "messages" the partner (a mailbox write — out-of-band);
+    + the partner polls the mailbox, then tries to book the same flight;
+    + if the partner finds the flight full (someone else took the last
+      seat between the two bookings), the pair *restarts*: the leader
+      cancels, excludes that flight, and picks another — until success or
+      the retry budget runs out.
+
+    Pairs are stepped round-robin so their bookings interleave, which is
+    exactly the race the protocol suffers from.  The benchmark compares
+    success rate and bookkeeping cost (transactions issued) against the
+    entangled-query path on the same database. *)
+
+open Relational
+
+type outcome = { succeeded : int; failed : int; txns : int; restarts : int }
+
+type phase =
+  | Pick  (** leader chooses a flight *)
+  | Partner_turn of int  (** leader booked fno; partner must book it *)
+  | Finished of bool
+
+type pair = {
+  leader : string;
+  partner : string;
+  dest : string;
+  mutable excluded : int list;  (** flights that already failed for us *)
+  mutable phase : phase;
+  mutable attempts : int;
+}
+
+let make_pair (leader, partner, dest) =
+  { leader; partner; dest; excluded = []; phase = Pick; attempts = 0 }
+
+(* capacity-checked booking; true on success *)
+let try_book db stats_txns user fno =
+  incr stats_txns;
+  let flights = Database.find_table db "Flights" in
+  let bookings = Database.find_table db "FlightBookings" in
+  Database.with_txn db (fun txn ->
+      match Table.lookup_pk flights [| Value.Int fno |] with
+      | None -> false
+      | Some row_id ->
+        let row = Table.get_exn flights row_id in
+        if Value.as_int row.(5) < 1 then false
+        else begin
+          let updated = Array.copy row in
+          updated.(5) <- Value.Int (Value.as_int row.(5) - 1);
+          ignore (Txn.update txn flights row_id updated);
+          ignore (Txn.insert txn bookings [| Value.Str user; Value.Int fno |]);
+          true
+        end)
+
+let cancel_booking db stats_txns user fno =
+  incr stats_txns;
+  let flights = Database.find_table db "Flights" in
+  let bookings = Database.find_table db "FlightBookings" in
+  Database.with_txn db (fun txn ->
+      let victim =
+        Table.fold
+          (fun acc row_id row ->
+            if
+              acc = None
+              && Value.equal row.(0) (Value.Str user)
+              && Value.equal row.(1) (Value.Int fno)
+            then Some row_id
+            else acc)
+          None bookings
+      in
+      (match victim with
+      | Some row_id -> ignore (Txn.delete txn bookings row_id)
+      | None -> ());
+      match Table.lookup_pk flights [| Value.Int fno |] with
+      | None -> ()
+      | Some row_id ->
+        let row = Table.get_exn flights row_id in
+        let updated = Array.copy row in
+        updated.(5) <- Value.Int (Value.as_int row.(5) + 1);
+        ignore (Txn.update txn flights row_id updated))
+
+(* cheapest flight to dest with a free seat, excluding already-failed ones *)
+let pick_flight db stats_txns ~dest ~excluded =
+  incr stats_txns;
+  let flights = Database.find_table db "Flights" in
+  Table.fold
+    (fun best _ row ->
+      let fno = Value.as_int row.(0) in
+      if
+        Value.equal row.(2) (Value.Str dest)
+        && Value.as_int row.(5) >= 1
+        && not (List.mem fno excluded)
+      then
+        match best with
+        | Some (_, price) when price <= Value.as_float row.(4) -> best
+        | _ -> Some (fno, Value.as_float row.(4))
+      else best)
+    None flights
+  |> Option.map fst
+
+(** [run db pairs ~max_restarts] — drive every pair to completion with
+    round-robin interleaving. *)
+let run db (specs : (string * string * string) list) ?(max_restarts = 8) () :
+    outcome =
+  let txns = ref 0 in
+  let restarts = ref 0 in
+  let pairs = List.map make_pair specs in
+  let unfinished () =
+    List.exists (fun p -> match p.phase with Finished _ -> false | _ -> true) pairs
+  in
+  let step p =
+    match p.phase with
+    | Finished _ -> ()
+    | Pick -> (
+      match pick_flight db txns ~dest:p.dest ~excluded:p.excluded with
+      | None -> p.phase <- Finished false
+      | Some fno ->
+        if try_book db txns p.leader fno then p.phase <- Partner_turn fno
+        else p.excluded <- fno :: p.excluded)
+    | Partner_turn fno ->
+      if try_book db txns p.partner fno then p.phase <- Finished true
+      else begin
+        (* the race: the seat vanished between the two bookings *)
+        cancel_booking db txns p.leader fno;
+        p.excluded <- fno :: p.excluded;
+        p.attempts <- p.attempts + 1;
+        incr restarts;
+        p.phase <-
+          (if p.attempts > max_restarts then Finished false else Pick)
+      end
+  in
+  while unfinished () do
+    List.iter step pairs
+  done;
+  let succeeded =
+    List.length (List.filter (fun p -> p.phase = Finished true) pairs)
+  in
+  {
+    succeeded;
+    failed = List.length pairs - succeeded;
+    txns = !txns;
+    restarts = !restarts;
+  }

@@ -1,0 +1,29 @@
+(** The out-of-band coordination baseline.
+
+    This is what the paper's introduction says users must do {i without}
+    entangled queries: "coordinate out-of-band to choose the flight and try
+    to make near-simultaneous bookings".  We simulate the polling protocol
+    an application developer would write with plain transactions only: the
+    pair's leader books, messages the partner out-of-band, the partner
+    books the same flight, and the pair restarts (leader cancels, excludes
+    the flight) whenever the partner finds it full.  Pairs are stepped
+    round-robin so their bookings interleave — exactly the race the
+    protocol suffers from. *)
+
+open Relational
+
+type outcome = {
+  succeeded : int;
+  failed : int;  (** pairs that gave up after the restart budget *)
+  txns : int;  (** transactions issued (bookings, cancels, searches) *)
+  restarts : int;
+}
+
+val run :
+  Database.t ->
+  (string * string * string) list ->
+  ?max_restarts:int ->
+  unit ->
+  outcome
+(** [run db pairs ()] — each pair is (leader, partner, destination); the
+    database needs the travel schema (see {!Datagen}). *)

@@ -1,0 +1,137 @@
+(** Schema and synthetic data for the travel web site.
+
+    Substitutes for the authors' demo dataset (flights, hotels, seats) with
+    a deterministic generator; the schema is what the demo scenarios need:
+    flight/hotel search with date and price constraints, per-flight seat
+    maps for the adjacent-seat request, and capacity columns so that
+    bookings contend. *)
+
+open Relational
+
+let cities =
+  [| "Paris"; "Rome"; "London"; "Berlin"; "Madrid"; "Athens"; "Oslo"; "Vienna" |]
+
+(** Regular tables. *)
+let flights_schema =
+  Schema.make ~primary_key:[ 0 ] "Flights"
+    [
+      Schema.column "fno" Ctype.TInt;
+      Schema.column "orig" Ctype.TText;
+      Schema.column "dest" Ctype.TText;
+      Schema.column "day" Ctype.TInt;
+      Schema.column "price" Ctype.TFloat;
+      Schema.column "seats" Ctype.TInt;
+    ]
+
+let hotels_schema =
+  Schema.make ~primary_key:[ 0 ] "Hotels"
+    [
+      Schema.column "hid" Ctype.TInt;
+      Schema.column "city" Ctype.TText;
+      Schema.column "day" Ctype.TInt;
+      Schema.column "price" Ctype.TFloat;
+      Schema.column "rooms" Ctype.TInt;
+    ]
+
+let seats_schema =
+  Schema.make ~primary_key:[ 0; 1 ] "Seats"
+    [
+      Schema.column "fno" Ctype.TInt;
+      Schema.column "seat" Ctype.TInt;
+      Schema.column "taken" Ctype.TInt;
+    ]
+
+let flight_bookings_schema =
+  Schema.make "FlightBookings"
+    [ Schema.column "who" Ctype.TText; Schema.column "fno" Ctype.TInt ]
+
+let hotel_bookings_schema =
+  Schema.make "HotelBookings"
+    [ Schema.column "who" Ctype.TText; Schema.column "hid" Ctype.TInt ]
+
+(** Answer relations. *)
+let flight_res_schema =
+  Schema.make "FlightRes"
+    [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]
+
+let hotel_res_schema =
+  Schema.make "HotelRes"
+    [ Schema.column "name" Ctype.TText; Schema.column "hid" Ctype.TInt ]
+
+let seat_res_schema =
+  Schema.make "SeatRes"
+    [
+      Schema.column "name" Ctype.TText;
+      Schema.column "fno" Ctype.TInt;
+      Schema.column "seat" Ctype.TInt;
+    ]
+
+(** [setup sys] creates all tables, answer relations, and the secondary
+    indexes the workload needs. *)
+let setup (sys : Youtopia.System.t) =
+  let db = Youtopia.System.database sys in
+  let flights = Database.create_table db flights_schema in
+  let hotels = Database.create_table db hotels_schema in
+  ignore (Database.create_table db seats_schema);
+  ignore (Database.create_table db flight_bookings_schema);
+  ignore (Database.create_table db hotel_bookings_schema);
+  ignore (Table.create_index flights "flights_by_dest" [| 2 |]);
+  ignore (Table.create_index hotels "hotels_by_city" [| 1 |]);
+  Youtopia.System.declare_answer_relation sys flight_res_schema;
+  Youtopia.System.declare_answer_relation sys hotel_res_schema;
+  Youtopia.System.declare_answer_relation sys seat_res_schema
+
+(** [populate sys ~seed ~n_flights ~n_hotels ?seats_per_flight ()] fills the
+    tables.  Flight numbers start at 100, hotel ids at 1.  Every city gets
+    flights on several days; [seats_per_flight] rows go into [Seats] for the
+    adjacency scenario, and the same number seeds the capacity column. *)
+let populate (sys : Youtopia.System.t) ~seed ~n_flights ~n_hotels
+    ?(seats_per_flight = 8) () =
+  let db = Youtopia.System.database sys in
+  let rng = Random.State.make [| seed |] in
+  let flights = Database.find_table db "Flights" in
+  let seats = Database.find_table db "Seats" in
+  let hotels = Database.find_table db "Hotels" in
+  for i = 0 to n_flights - 1 do
+    let fno = 100 + i in
+    (* round-robin cities so every destination has flights *)
+    let dest = cities.(i mod Array.length cities) in
+    let day = 1 + Random.State.int rng 30 in
+    let price = 100. +. Random.State.float rng 500. in
+    ignore
+      (Table.insert flights
+         [|
+           Value.Int fno;
+           Value.Str "NYC";
+           Value.Str dest;
+           Value.Int day;
+           Value.Float price;
+           Value.Int seats_per_flight;
+         |]);
+    for seat = 1 to seats_per_flight do
+      ignore
+        (Table.insert seats [| Value.Int fno; Value.Int seat; Value.Int 0 |])
+    done
+  done;
+  for i = 0 to n_hotels - 1 do
+    let hid = 1 + i in
+    let city = cities.(i mod Array.length cities) in
+    let day = 1 + Random.State.int rng 30 in
+    let price = 50. +. Random.State.float rng 250. in
+    ignore
+      (Table.insert hotels
+         [|
+           Value.Int hid;
+           Value.Str city;
+           Value.Int day;
+           Value.Float price;
+           Value.Int 20;
+         |])
+  done
+
+(** [make_system ~seed ~n_flights ~n_hotels ()] — a ready travel system. *)
+let make_system ?config ~seed ~n_flights ~n_hotels ?seats_per_flight () =
+  let sys = Youtopia.System.create ?config () in
+  setup sys;
+  populate sys ~seed ~n_flights ~n_hotels ?seats_per_flight ();
+  sys

@@ -1,0 +1,48 @@
+(** Schema and synthetic data for the travel web site.
+
+    Substitutes for the authors' demo dataset (flights, hotels, seats) with
+    a deterministic generator; the schema is what the demo scenarios need:
+    flight/hotel search with date and price constraints, per-flight seat
+    maps for the adjacent-seat request, and capacity columns so that
+    bookings contend. *)
+
+open Relational
+
+val cities : string array
+(** Destinations; flights round-robin over them so every city is served. *)
+
+(** {1 Schemas} *)
+
+val flights_schema : Schema.t  (* fno, orig, dest, day, price, seats *)
+val hotels_schema : Schema.t  (* hid, city, day, price, rooms *)
+val seats_schema : Schema.t  (* fno, seat, taken *)
+val flight_bookings_schema : Schema.t  (* who, fno *)
+val hotel_bookings_schema : Schema.t  (* who, hid *)
+val flight_res_schema : Schema.t  (* answer relation: name, fno *)
+val hotel_res_schema : Schema.t  (* answer relation: name, hid *)
+val seat_res_schema : Schema.t  (* answer relation: name, fno, seat *)
+
+val setup : Youtopia.System.t -> unit
+(** Create all tables, answer relations, and secondary indexes. *)
+
+val populate :
+  Youtopia.System.t ->
+  seed:int ->
+  n_flights:int ->
+  n_hotels:int ->
+  ?seats_per_flight:int ->
+  unit ->
+  unit
+(** Deterministic data: flight numbers from 100, hotel ids from 1; every
+    city gets flights; [seats_per_flight] seeds both the seat map and the
+    capacity column (default 8). *)
+
+val make_system :
+  ?config:Core.Coordinator.config ->
+  seed:int ->
+  n_flights:int ->
+  n_hotels:int ->
+  ?seats_per_flight:int ->
+  unit ->
+  Youtopia.System.t
+(** A ready travel system: [setup] + [populate]. *)

@@ -1,0 +1,163 @@
+(** The front-end protocol of the travel web site.
+
+    The demo's graphical browser front end talks to the middle tier through
+    a small request vocabulary (log in, search, pick friends, coordinate,
+    view account).  This module is that boundary as a text protocol, so the
+    whole three-tier stack is exercisable from a terminal, a script, or a
+    test — each command line maps to exactly one middle-tier call.
+
+    {v
+      login <user>
+      friends
+      befriend <user>
+      search flights <city> [max <price>]
+      search hotels <city> [max <price>]
+      browse-bookings                     (friends' existing flight bookings)
+      book <fno>                          (direct booking, no coordination)
+      coordinate flight <city> with <friend> [, <friend>]*
+      coordinate trip <city> with <friend> [, <friend>]*   (flight + hotel)
+      coordinate seat <city> next-to <friend>
+      coordinate seat <city> with <friend>                 (partner side)
+      account
+      inbox
+    v} *)
+
+open Relational
+
+type t = { app : App.t; mutable user : string option }
+
+let create app = { app; user = None }
+
+let logged_in t =
+  match t.user with
+  | Some user -> user
+  | None -> Errors.fail (Errors.Parse_error "not logged in (use: login <user>)")
+
+let outcome_text = function
+  | Core.Coordinator.Registered id ->
+    Printf.sprintf
+      "request registered (Q%d); you will be messaged when it completes" id
+  | Core.Coordinator.Answered n ->
+    Fmt.str "coordinated! %a"
+      Fmt.(
+        list ~sep:(any "; ") (fun ppf (rel, row) ->
+            Fmt.pf ppf "%s%a" rel Tuple.pp row))
+      n.Core.Events.answers
+  | Core.Coordinator.Rejected m -> "request rejected: " ^ m
+  | Core.Coordinator.Multi outcomes ->
+    Printf.sprintf "%d requests submitted" (List.length outcomes)
+
+let row_text row =
+  String.concat "  " (List.map Value.to_display (Tuple.to_list row))
+
+(* Split on whitespace, dropping empties. *)
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* "a, b, c" after a keyword: collect names, stripping commas. *)
+let name_list ws =
+  List.filter_map
+    (fun w ->
+      match String.trim (String.concat "" (String.split_on_char ',' w)) with
+      | "" -> None
+      | name -> Some name)
+    ws
+
+let parse_max = function
+  | [ "max"; p ] -> (
+    match float_of_string_opt p with
+    | Some price -> Some price
+    | None -> Errors.fail (Errors.Parse_error ("bad price " ^ p)))
+  | [] -> None
+  | _ -> Errors.fail (Errors.Parse_error "trailing arguments")
+
+(** [execute t line] — run one front-end command, returning the display
+    text.  Raises [Errors.Db_error] with a user-readable message on bad
+    input. *)
+let execute t line =
+  match words (String.lowercase_ascii line), words line with
+  | [ "login"; _ ], [ _; user ] ->
+    t.user <- Some user;
+    let friends = Social.friends_of (App.social t.app) user in
+    Printf.sprintf "welcome %s; friends imported: %s" user
+      (match friends with [] -> "(none)" | fs -> String.concat ", " fs)
+  | [ "friends" ], _ ->
+    let user = logged_in t in
+    (match Social.friends_of (App.social t.app) user with
+    | [] -> "no friends yet (use: befriend <user>)"
+    | fs -> String.concat ", " fs)
+  | [ "befriend"; _ ], [ _; other ] ->
+    let user = logged_in t in
+    Social.befriend (App.social t.app) user other;
+    Printf.sprintf "%s and %s are now friends" user other
+  | "search" :: "flights" :: _ :: rest, _ :: _ :: city :: _ ->
+    let user = logged_in t in
+    let max_price = parse_max rest in
+    let rows = App.search_flights t.app user ~dest:city ?max_price () in
+    if rows = [] then "no flights found"
+    else
+      "fno  dest  day  price  seats\n"
+      ^ String.concat "\n" (List.map row_text rows)
+  | "search" :: "hotels" :: _ :: rest, _ :: _ :: city :: _ ->
+    let user = logged_in t in
+    let max_price = parse_max rest in
+    let rows = App.search_hotels t.app user ~city ?max_price () in
+    if rows = [] then "no hotels found"
+    else
+      "hid  city  day  price  rooms\n"
+      ^ String.concat "\n" (List.map row_text rows)
+  | [ "browse-bookings" ], _ ->
+    let user = logged_in t in
+    (match App.friends_flight_bookings t.app user with
+    | [] -> "none of your friends have flight bookings"
+    | views ->
+      String.concat "\n"
+        (List.map
+           (fun (friend, fno) ->
+             Printf.sprintf "%s is booked on flight %d" friend fno)
+           views))
+  | [ "book"; fno ], _ -> (
+    let user = logged_in t in
+    match int_of_string_opt fno with
+    | None -> Errors.fail (Errors.Parse_error ("bad flight number " ^ fno))
+    | Some fno ->
+      if App.book_flight_direct t.app user ~fno then
+        Printf.sprintf "booked flight %d" fno
+      else Printf.sprintf "flight %d is unavailable" fno)
+  | "coordinate" :: "flight" :: _ :: "with" :: _, _ :: _ :: city :: _ :: rest ->
+    let user = logged_in t in
+    let friends = name_list rest in
+    if friends = [] then Errors.fail (Errors.Parse_error "with whom?");
+    outcome_text (App.coordinate_flight t.app user ~friends ~dest:city ())
+  | "coordinate" :: "trip" :: _ :: "with" :: _, _ :: _ :: city :: _ :: rest ->
+    let user = logged_in t in
+    let friends = name_list rest in
+    if friends = [] then Errors.fail (Errors.Parse_error "with whom?");
+    outcome_text (App.coordinate_flight_hotel t.app user ~friends ~dest:city ())
+  | [ "coordinate"; "seat"; _; "next-to"; _ ], [ _; _; city; _; friend ] ->
+    let user = logged_in t in
+    outcome_text (App.coordinate_adjacent_seat t.app user ~friend ~dest:city ())
+  | [ "coordinate"; "seat"; _; "with"; _ ], [ _; _; city; _; friend ] ->
+    let user = logged_in t in
+    outcome_text (App.coordinate_any_seat t.app user ~friend ~dest:city ())
+  | [ "account" ], _ -> App.account_view t.app (logged_in t)
+  | [ "inbox" ], _ -> (
+    let user = logged_in t in
+    match App.inbox t.app user with
+    | [] -> "no new messages"
+    | notifications ->
+      String.concat "\n"
+        (List.map Core.Events.notification_to_string notifications))
+  | [], _ -> ""
+  | _ ->
+    Errors.fail
+      (Errors.Parse_error
+         ("unrecognised command: " ^ line ^ " (see module documentation)"))
+
+(** [execute_safe t line] — like {!execute} but renders errors as text. *)
+let execute_safe t line =
+  match execute t line with
+  | text -> text
+  | exception Errors.Db_error kind -> "error: " ^ Errors.kind_to_string kind

@@ -1,0 +1,34 @@
+(** The front-end protocol of the travel web site.
+
+    The demo's graphical browser front end talks to the middle tier through
+    a small request vocabulary; this module is that boundary as a text
+    protocol, so the whole three-tier stack is exercisable from a terminal,
+    a script, or a test.
+
+    {v
+      login <user>
+      friends
+      befriend <user>
+      search flights <city> [max <price>]
+      search hotels <city> [max <price>]
+      browse-bookings
+      book <fno>
+      coordinate flight <city> with <friend> [, <friend>]*
+      coordinate trip <city> with <friend> [, <friend>]*
+      coordinate seat <city> next-to <friend>
+      coordinate seat <city> with <friend>
+      account
+      inbox
+    v} *)
+
+type t
+
+val create : App.t -> t
+
+val execute : t -> string -> string
+(** Run one front-end command, returning the display text.  Raises
+    [Relational.Errors.Db_error] with a user-readable message on bad
+    input. *)
+
+val execute_safe : t -> string -> string
+(** Like {!execute} but renders errors as text. *)

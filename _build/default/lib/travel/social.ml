@@ -1,0 +1,81 @@
+(** Simulated social graph — the substitute for the demo's Facebook friend
+    import (see DESIGN.md, substitutions).  Deterministic given a seed, so
+    examples and benchmarks are reproducible. *)
+
+module S = Set.Make (String)
+
+type t = {
+  mutable users : S.t;
+  friends : (string, S.t ref) Hashtbl.t;
+}
+
+let create () = { users = S.empty; friends = Hashtbl.create 64 }
+
+let add_user t name = t.users <- S.add name t.users
+
+let users t = S.elements t.users
+
+let bucket t name =
+  match Hashtbl.find_opt t.friends name with
+  | Some b -> b
+  | None ->
+    let b = ref S.empty in
+    Hashtbl.add t.friends name b;
+    b
+
+(** [befriend t a b] — symmetric friendship; registers both users. *)
+let befriend t a b =
+  if a <> b then begin
+    add_user t a;
+    add_user t b;
+    let ba = bucket t a and bb = bucket t b in
+    ba := S.add b !ba;
+    bb := S.add a !bb
+  end
+
+let friends_of t name =
+  match Hashtbl.find_opt t.friends name with
+  | None -> []
+  | Some b -> S.elements !b
+
+let are_friends t a b =
+  match Hashtbl.find_opt t.friends a with
+  | None -> false
+  | Some b' -> S.mem b !b'
+
+(** [clique t names] — make every pair in [names] friends (group travel). *)
+let clique t names =
+  List.iteri
+    (fun i a -> List.iteri (fun j b -> if i < j then befriend t a b) names)
+    names
+
+(** [ring t names] — befriend consecutive members (chain coordination). *)
+let ring t names =
+  match names with
+  | [] | [ _ ] -> List.iter (add_user t) names
+  | first :: _ ->
+    let rec loop = function
+      | a :: (b :: _ as rest) ->
+        befriend t a b;
+        loop rest
+      | [ last ] -> befriend t last first
+      | [] -> ()
+    in
+    loop names
+
+(** [generate ~seed ~n_users ~avg_friends] — random graph with [n_users]
+    users named [user0 … userN-1] and roughly [avg_friends] friends each. *)
+let generate ~seed ~n_users ~avg_friends =
+  let rng = Random.State.make [| seed |] in
+  let t = create () in
+  let name i = Printf.sprintf "user%d" i in
+  for i = 0 to n_users - 1 do
+    add_user t (name i)
+  done;
+  let edges = n_users * avg_friends / 2 in
+  for _ = 1 to edges do
+    let a = Random.State.int rng n_users in
+    let b = Random.State.int rng n_users in
+    if a <> b then befriend t (name a) (name b)
+  done;
+  t

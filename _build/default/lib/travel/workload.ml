@@ -1,0 +1,109 @@
+(** Workload generation for the "loaded system" demonstration (Section 3 of
+    the paper: "a large number of entangled queries … trying to coordinate
+    simultaneously") and for the benchmark sweeps. *)
+
+(** [pair_query cat ~user ~friend ~dest] — the canonical pairwise flight
+    coordination query (no side effects; pure coordination load). *)
+let pair_query cat ~user ~friend ~dest =
+  Core.Translate.of_sql cat ~owner:user
+    (Printf.sprintf
+       "SELECT %s, fno INTO ANSWER FlightRes WHERE fno IN (SELECT fno FROM \
+        Flights WHERE dest = '%s') AND (%s, fno) IN ANSWER FlightRes CHOOSE 1"
+       ("'" ^ user ^ "'") dest
+       ("'" ^ friend ^ "'"))
+
+(** [group_queries cat ~members ~dest] — clique coordination: every member
+    requires every other member on the same flight. *)
+let group_queries cat ~members ~dest =
+  List.map
+    (fun user ->
+      let friends = List.filter (fun f -> f <> user) members in
+      let constraints =
+        List.map
+          (fun f -> Printf.sprintf "('%s', fno) IN ANSWER FlightRes" f)
+          friends
+      in
+      Core.Translate.of_sql cat ~owner:user
+        (Printf.sprintf
+           "SELECT '%s', fno INTO ANSWER FlightRes WHERE fno IN (SELECT fno \
+            FROM Flights WHERE dest = '%s') AND %s CHOOSE 1"
+           user dest
+           (String.concat " AND " constraints)))
+    members
+
+(** [noise_queries cat ~n ~dests] — queries that can never match: each waits
+    for a ghost partner who never submits.  They only load the pending
+    store, which is exactly what the scalability sweep needs. *)
+let noise_queries cat ~n ~dests =
+  List.init n (fun i ->
+      let dest = dests.(i mod Array.length dests) in
+      pair_query cat
+        ~user:(Printf.sprintf "noise%d" i)
+        ~friend:(Printf.sprintf "ghost%d" i)
+        ~dest)
+
+(** [pair_arrivals ~seed ~n ~dests] — [n] pairs of symmetric requests.  The
+    returned list interleaves all first requests, then all second requests
+    (shuffled), so the pending store grows to [n] before matches begin —
+    the "multiple simultaneous bookings" scenario at scale. *)
+let pair_arrivals ~seed ~n ~dests =
+  let rng = Random.State.make [| seed |] in
+  let firsts, seconds =
+    List.init n (fun i ->
+        let dest = dests.(Random.State.int rng (Array.length dests)) in
+        let a = Printf.sprintf "pairA%d" i in
+        let b = Printf.sprintf "pairB%d" i in
+        (a, b, dest), (b, a, dest))
+    |> List.split
+  in
+  let shuffle l =
+    l
+    |> List.map (fun x -> Random.State.bits rng, x)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  shuffle firsts @ shuffle seconds
+
+type metrics = {
+  submitted : int;
+  fulfilled : int;  (** queries answered *)
+  still_pending : int;
+  elapsed : float;  (** seconds *)
+  mean_arrival_latency : float;  (** mean seconds per submit call *)
+  max_arrival_latency : float;
+}
+
+(** [run_pairs coordinator cat arrivals] — submit every arrival, timing each
+    submission (the arrival-triggered match attempt dominates). *)
+let run_pairs coordinator cat arrivals : metrics =
+  let t0 = Unix.gettimeofday () in
+  let latencies = ref [] in
+  let fulfilled = ref 0 in
+  List.iter
+    (fun (user, friend, dest) ->
+      let q = pair_query cat ~user ~friend ~dest in
+      let s = Unix.gettimeofday () in
+      (match Core.Coordinator.submit coordinator q with
+      | Core.Coordinator.Answered _ -> fulfilled := !fulfilled + 2
+      | Core.Coordinator.Registered _ | Core.Coordinator.Rejected _
+      | Core.Coordinator.Multi _ -> ());
+      latencies := (Unix.gettimeofday () -. s) :: !latencies)
+    arrivals;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let n = List.length arrivals in
+  {
+    submitted = n;
+    fulfilled = !fulfilled;
+    still_pending = Core.Pending.size (Core.Coordinator.pending coordinator);
+    elapsed;
+    mean_arrival_latency =
+      (if n = 0 then 0. else List.fold_left ( +. ) 0. !latencies /. float_of_int n);
+    max_arrival_latency = List.fold_left max 0. !latencies;
+  }
+
+let pp_metrics ppf m =
+  Fmt.pf ppf
+    "submitted=%d fulfilled=%d pending=%d elapsed=%.3fs mean_lat=%.6fs \
+     max_lat=%.6fs"
+    m.submitted m.fulfilled m.still_pending m.elapsed m.mean_arrival_latency
+    m.max_arrival_latency

@@ -1,0 +1,39 @@
+(** Workload generation for the "loaded system" demonstration (Section 3 of
+    the paper) and for the benchmark sweeps. *)
+
+open Relational
+
+val pair_query :
+  Catalog.t -> user:string -> friend:string -> dest:string -> Core.Equery.t
+(** The canonical pairwise flight coordination query (no side effects;
+    pure coordination load). *)
+
+val group_queries :
+  Catalog.t -> members:string list -> dest:string -> Core.Equery.t list
+(** Clique coordination: every member requires every other member on the
+    same flight. *)
+
+val noise_queries : Catalog.t -> n:int -> dests:string array -> Core.Equery.t list
+(** Queries that can never match (each waits for a ghost partner who never
+    submits) — they only load the pending store. *)
+
+val pair_arrivals :
+  seed:int -> n:int -> dests:string array -> (string * string * string) list
+(** [n] pairs of symmetric requests, interleaved (all first halves, then
+    all second halves, both shuffled) so the pending store grows to [n]
+    before matches begin. *)
+
+type metrics = {
+  submitted : int;
+  fulfilled : int;  (** queries answered *)
+  still_pending : int;
+  elapsed : float;  (** seconds *)
+  mean_arrival_latency : float;
+  max_arrival_latency : float;
+}
+
+val run_pairs :
+  Core.Coordinator.t -> Catalog.t -> (string * string * string) list -> metrics
+(** Submit every arrival, timing each submission. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

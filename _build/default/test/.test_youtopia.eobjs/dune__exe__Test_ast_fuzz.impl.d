@@ -1,0 +1,1 @@
+test/test_ast_fuzz.ml: Errors Expr Plan Printf QCheck QCheck_alcotest Relational Sql Value

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Core Ctype Database Errors List Relational Schema Sql String Table Value

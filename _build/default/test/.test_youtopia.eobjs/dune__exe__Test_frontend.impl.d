@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest App Frontend List Social String Travel

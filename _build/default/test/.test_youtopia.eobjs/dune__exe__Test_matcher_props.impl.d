@@ -1,0 +1,1 @@
+test/test_matcher_props.ml: Array Coordinator Core Ctype Database List Pending Printf QCheck QCheck_alcotest Random Relational Schema Stats String Table Translate Value

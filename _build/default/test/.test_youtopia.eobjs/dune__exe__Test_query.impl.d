@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Catalog Ctype Executor Expr List Plan Planner QCheck QCheck_alcotest Relational Schema String Table Tuple Value

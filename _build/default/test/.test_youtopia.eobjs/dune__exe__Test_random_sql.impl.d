@@ -1,0 +1,1 @@
+test/test_random_sql.ml: Array Core Ctype Database Int List Map Option Printf QCheck QCheck_alcotest Random Relational Schema Sql String Table Tuple Value

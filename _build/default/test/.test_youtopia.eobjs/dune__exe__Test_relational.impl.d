@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Catalog Ctype Errors Expr Index List Option QCheck QCheck_alcotest Relational Schema Stdlib Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Database Errors Expr List Option Relational Sql String Value

@@ -1,0 +1,1 @@
+test/test_sql_features.ml: Alcotest Array Core Ctype Database Errors Expr List QCheck QCheck_alcotest Relational Schema Sql String Table Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Catalog Ctype Executor Expr Float List Option Plan Planner QCheck QCheck_alcotest Relational Schema String Table Tablestats Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Csv Ctype Database Errors Filename Fun List Option QCheck QCheck_alcotest Relational Schema String Sys Table Txn Value Wal

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Core Ctype Database Filename Fun List Printf Relational Schema Sql String Sys Table Value Youtopia

@@ -1,0 +1,1 @@
+test/test_travel.ml: Alcotest App Array Baseline Core Database Datagen Errors List Option Printf Relational Social String Table Travel Value Workload Youtopia

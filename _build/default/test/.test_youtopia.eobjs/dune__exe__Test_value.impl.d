@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Errors List QCheck QCheck_alcotest Relational Value

@@ -1,0 +1,275 @@
+(* Edge cases across the stack: executor corner semantics, parser
+   precedence, full-pipeline string handling, and entangled queries with
+   multiple interacting database atoms. *)
+
+open Relational
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let setup () =
+  let db = Database.create () in
+  let session = Sql.Run.make_session db in
+  let exec sql = Sql.Run.exec_sql session sql in
+  db, exec
+
+let rows_of = function
+  | Sql.Run.Rows (_, rows) -> rows
+  | r -> Alcotest.failf "expected rows, got %s" (Sql.Run.result_to_string r)
+
+(* ---------------- executor corner semantics ---------------- *)
+
+let test_order_by_stable () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (id INT PRIMARY KEY, k INT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (1, 5), (2, 5), (3, 5), (4, 1)");
+  let rows = rows_of (exec "SELECT id FROM t ORDER BY k") in
+  (* equal keys keep insertion order: 4 first (k=1), then 1,2,3 *)
+  check bool "stable" true
+    (List.map (fun r -> r.(0)) rows
+    = [ Value.Int 4; Value.Int 1; Value.Int 2; Value.Int 3 ])
+
+let test_limit_zero_and_overshoot () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY)");
+  ignore (exec "INSERT INTO t VALUES (1), (2)");
+  check int "limit 0" 0 (List.length (rows_of (exec "SELECT a FROM t LIMIT 0")));
+  check int "limit beyond" 2 (List.length (rows_of (exec "SELECT a FROM t LIMIT 99")))
+
+let test_distinct_and_group_with_nulls () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  ignore (exec "INSERT INTO t VALUES (1, NULL), (2, NULL), (3, 7)");
+  (* SQL treats NULLs as duplicates for DISTINCT and as one group *)
+  check int "distinct nulls collapse" 2
+    (List.length (rows_of (exec "SELECT DISTINCT b FROM t")));
+  let rows = rows_of (exec "SELECT b, count(*) AS n FROM t GROUP BY b") in
+  check int "null group exists" 2 (List.length rows);
+  let null_group = List.find (fun r -> Value.is_null r.(0)) rows in
+  check bool "null group counts 2" true (Value.equal null_group.(1) (Value.Int 2));
+  (* count(b) skips nulls *)
+  let rows = rows_of (exec "SELECT count(b) FROM t") in
+  check bool "count skips null" true (Value.equal (List.hd rows).(0) (Value.Int 1))
+
+let test_group_by_empty_input () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)");
+  (* grouped aggregate over empty input: no rows (unlike global aggregate) *)
+  check int "no groups" 0
+    (List.length (rows_of (exec "SELECT b, count(*) FROM t GROUP BY b")));
+  check int "global agg yields one row" 1
+    (List.length (rows_of (exec "SELECT count(*) FROM t")))
+
+let test_self_join_aliases () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE e (id INT PRIMARY KEY, boss INT)");
+  ignore (exec "INSERT INTO e VALUES (1, NULL), (2, 1), (3, 1), (4, 2)");
+  let rows =
+    rows_of
+      (exec
+         "SELECT a.id, b.id FROM e a JOIN e b ON a.boss = b.id ORDER BY a.id")
+  in
+  check int "three managed" 3 (List.length rows);
+  (match exec "SELECT id FROM e a JOIN e a ON a.id = a.id" with
+  | exception Errors.Db_error (Errors.Parse_error _) -> ()
+  | _ -> Alcotest.fail "duplicate alias accepted")
+
+let test_nested_in_subqueries () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE a (x INT PRIMARY KEY)");
+  ignore (exec "CREATE TABLE b (x INT PRIMARY KEY)");
+  ignore (exec "CREATE TABLE c (x INT PRIMARY KEY)");
+  ignore (exec "INSERT INTO a VALUES (1), (2), (3)");
+  ignore (exec "INSERT INTO b VALUES (2), (3)");
+  ignore (exec "INSERT INTO c VALUES (3)");
+  let rows =
+    rows_of
+      (exec
+         "SELECT x FROM a WHERE x IN (SELECT x FROM b WHERE x IN (SELECT x \
+          FROM c))")
+  in
+  check int "doubly nested" 1 (List.length rows);
+  check bool "it is 3" true (Value.equal (List.hd rows).(0) (Value.Int 3))
+
+(* ---------------- parser precedence and literals ---------------- *)
+
+let test_precedence () =
+  let _, exec = setup () in
+  let one sql =
+    match rows_of (exec sql) with [ r ] -> r.(0) | _ -> Alcotest.fail "one row"
+  in
+  check bool "mul before add" true (Value.equal (one "SELECT 2 + 3 * 4") (Value.Int 14));
+  check bool "unary minus" true (Value.equal (one "SELECT -2 * 3") (Value.Int (-6)));
+  check bool "parens" true (Value.equal (one "SELECT (2 + 3) * 4") (Value.Int 20));
+  check bool "cmp then and" true
+    (Value.equal (one "SELECT 1 < 2 AND 3 < 4") (Value.Bool true));
+  check bool "or weaker than and" true
+    (Value.equal (one "SELECT TRUE OR FALSE AND FALSE") (Value.Bool true));
+  check bool "not" true (Value.equal (one "SELECT NOT FALSE") (Value.Bool true));
+  check bool "float exp" true (Value.equal (one "SELECT 1.5e2") (Value.Float 150.));
+  check bool "mod" true (Value.equal (one "SELECT 7 % 3") (Value.Int 1));
+  check bool "concat" true
+    (Value.equal (one "SELECT 'a' || 'b' || 'c'") (Value.Str "abc"))
+
+let test_string_escaping_full_pipeline () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (s TEXT PRIMARY KEY)");
+  ignore (exec "INSERT INTO t VALUES ('it''s a ''test''')");
+  let rows = rows_of (exec "SELECT s FROM t WHERE s = 'it''s a ''test'''") in
+  check int "found" 1 (List.length rows);
+  check bool "content" true
+    (Value.equal (List.hd rows).(0) (Value.Str "it's a 'test'"))
+
+let test_order_by_position_and_expression () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)");
+  let rows = rows_of (exec "SELECT a, b FROM t ORDER BY 2") in
+  check bool "by position" true
+    (List.map (fun r -> r.(0)) rows = [ Value.Int 2; Value.Int 3; Value.Int 1 ]);
+  let rows = rows_of (exec "SELECT a FROM t ORDER BY b * -1") in
+  check bool "by expression" true
+    (List.map (fun r -> r.(0)) rows = [ Value.Int 1; Value.Int 3; Value.Int 2 ])
+
+let test_create_index_via_sql_used_by_planner () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY, b TEXT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')");
+  ignore (exec "CREATE INDEX t_b ON t (b)");
+  (match exec "EXPLAIN SELECT a FROM t WHERE b = 'x'" with
+  | Sql.Run.Explained text ->
+    let has needle =
+      let lh = String.length text and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub text i ln = needle || go (i + 1)) in
+      go 0
+    in
+    check bool "planner picked the index" true (has "index_lookup")
+  | _ -> Alcotest.fail "explain");
+  check int "correct rows" 2
+    (List.length (rows_of (exec "SELECT a FROM t WHERE b = 'x'")))
+
+let test_insert_negative_and_expression_values () =
+  let _, exec = setup () in
+  ignore (exec "CREATE TABLE t (a INT PRIMARY KEY, b FLOAT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (-5, 2.5 * 2)");
+  let rows = rows_of (exec "SELECT a, b FROM t") in
+  check bool "negative" true (Value.equal (List.hd rows).(0) (Value.Int (-5)));
+  check bool "computed" true (Value.equal (List.hd rows).(1) (Value.Float 5.))
+
+(* ---------------- entangled: interacting database atoms ---------------- *)
+
+let make_coord () =
+  let db = Database.create () in
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [
+           Schema.column "fno" Ctype.TInt;
+           Schema.column "dest" Ctype.TText;
+           Schema.column "price" Ctype.TFloat;
+         ])
+  in
+  List.iter
+    (fun (f, d, p) ->
+      ignore
+        (Table.insert flights [| Value.Int f; Value.Str d; Value.Float p |]))
+    [ 122, "Paris", 300.; 123, "Paris", 120.; 134, "Paris", 500. ];
+  let coord = Core.Coordinator.create db in
+  Core.Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  db, coord
+
+(* two database atoms over the same variable act as an intersection *)
+let test_entangled_atom_intersection () =
+  let db, coord = make_coord () in
+  let cat = db.Database.catalog in
+  let q =
+    Core.Translate.of_sql cat ~owner:"x"
+      "SELECT 'x', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights \
+       WHERE dest='Paris') AND fno IN (SELECT fno FROM Flights WHERE price \
+       < 200.0) CHOOSE 1"
+  in
+  match Core.Coordinator.submit coord q with
+  | Core.Coordinator.Answered n ->
+    let _, row = List.hd n.Core.Events.answers in
+    check bool "only cheap paris flight" true (Value.equal row.(1) (Value.Int 123))
+  | _ -> Alcotest.fail "intersection query should answer"
+
+(* a predicate across two partners' variables *)
+let test_entangled_cross_partner_predicate () =
+  let db, coord = make_coord () in
+  let cat = db.Database.catalog in
+  (* A wants any Paris flight; B wants a strictly cheaper flight than A's *)
+  let a =
+    Core.Translate.of_sql cat ~owner:"A"
+      "SELECT 'A', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights \
+       WHERE dest='Paris') AND ('B', bfno) IN ANSWER R CHOOSE 1"
+  in
+  (match Core.Coordinator.submit coord a with
+  | Core.Coordinator.Registered _ -> ()
+  | Core.Coordinator.Rejected m -> Alcotest.failf "rejected: %s" m
+  | _ -> Alcotest.fail "A waits");
+  (* B pins his own flight to 122 ($300) and requires A on 134 ($500) *)
+  let b =
+    Core.Translate.of_sql cat ~owner:"B"
+      "SELECT 'B', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights \
+       WHERE dest='Paris') AND fno = 122 AND ('A', afno) IN ANSWER R AND \
+       afno = 134 CHOOSE 1"
+  in
+  match Core.Coordinator.submit coord b with
+  | Core.Coordinator.Answered n ->
+    let _, row = List.hd n.Core.Events.answers in
+    check bool "B on 122" true (Value.equal row.(1) (Value.Int 122));
+    let r_table = Database.find_table db "R" in
+    let a_row =
+      Table.rows r_table
+      |> List.find (fun r -> Value.equal r.(0) (Value.Str "A"))
+    in
+    check bool "A forced onto 134" true (Value.equal a_row.(1) (Value.Int 134))
+  | Core.Coordinator.Rejected m -> Alcotest.failf "rejected: %s" m
+  | _ -> Alcotest.fail "B should complete the match"
+
+(* entangled query over an empty domain parks and later matches via poke *)
+let test_entangled_empty_domain_then_poke () =
+  let db, coord = make_coord () in
+  let cat = db.Database.catalog in
+  let q =
+    Core.Translate.of_sql cat ~owner:"x"
+      "SELECT 'x', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights \
+       WHERE dest='Atlantis') CHOOSE 1"
+  in
+  (match Core.Coordinator.submit coord q with
+  | Core.Coordinator.Registered _ -> ()
+  | _ -> Alcotest.fail "empty domain must park");
+  let flights = Database.find_table db "Flights" in
+  ignore
+    (Table.insert flights [| Value.Int 999; Value.Str "Atlantis"; Value.Float 1. |]);
+  check int "poke fulfils" 1 (List.length (Core.Coordinator.poke coord))
+
+let suite =
+  [
+    Alcotest.test_case "ORDER BY stable" `Quick test_order_by_stable;
+    Alcotest.test_case "LIMIT 0 / overshoot" `Quick test_limit_zero_and_overshoot;
+    Alcotest.test_case "DISTINCT/GROUP with NULLs" `Quick
+      test_distinct_and_group_with_nulls;
+    Alcotest.test_case "GROUP BY empty input" `Quick test_group_by_empty_input;
+    Alcotest.test_case "self join aliases" `Quick test_self_join_aliases;
+    Alcotest.test_case "nested IN subqueries" `Quick test_nested_in_subqueries;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "string escaping pipeline" `Quick
+      test_string_escaping_full_pipeline;
+    Alcotest.test_case "ORDER BY position/expr" `Quick
+      test_order_by_position_and_expression;
+    Alcotest.test_case "SQL index used by planner" `Quick
+      test_create_index_via_sql_used_by_planner;
+    Alcotest.test_case "INSERT computed values" `Quick
+      test_insert_negative_and_expression_values;
+    Alcotest.test_case "entangled atom intersection" `Quick
+      test_entangled_atom_intersection;
+    Alcotest.test_case "entangled cross-partner predicate" `Quick
+      test_entangled_cross_partner_predicate;
+    Alcotest.test_case "entangled empty domain + poke" `Quick
+      test_entangled_empty_domain_then_poke;
+  ]

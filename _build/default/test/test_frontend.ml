@@ -1,0 +1,116 @@
+(* Tests for the travel front-end protocol: each command maps to one
+   middle-tier call; two front ends drive a full coordination. *)
+
+open Travel
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let make () =
+  let social = Social.create () in
+  Social.befriend social "Jerry" "Kramer";
+  let app = App.create ~social ~seed:12 ~n_flights:24 ~n_hotels:12 () in
+  app
+
+let test_login_and_friends () =
+  let app = make () in
+  let fe = Frontend.create app in
+  let out = Frontend.execute fe "login Jerry" in
+  check bool "welcome" true (contains out "welcome Jerry");
+  check bool "friends imported" true (contains out "Kramer");
+  check bool "friends cmd" true (contains (Frontend.execute fe "friends") "Kramer");
+  let out = Frontend.execute fe "befriend Elaine" in
+  check bool "befriended" true (contains out "Elaine");
+  check bool "symmetric" true
+    (Social.are_friends (App.social app) "Elaine" "Jerry")
+
+let test_requires_login () =
+  let app = make () in
+  let fe = Frontend.create app in
+  let out = Frontend.execute_safe fe "search flights Paris" in
+  check bool "login required" true (contains out "not logged in")
+
+let test_search_and_book () =
+  let app = make () in
+  let fe = Frontend.create app in
+  ignore (Frontend.execute fe "login Jerry");
+  let out = Frontend.execute fe "search flights Paris" in
+  check bool "has rows" true (contains out "Paris");
+  let out = Frontend.execute fe "search flights Paris max 1.0" in
+  check bool "price filter" true (contains out "no flights found");
+  let out = Frontend.execute fe "search hotels Rome" in
+  check bool "hotels" true (contains out "Rome");
+  (* book the first listed flight *)
+  let listing = Frontend.execute fe "search flights Paris" in
+  let fno =
+    (* second line, first token *)
+    match String.split_on_char '\n' listing with
+    | _ :: row :: _ -> List.hd (String.split_on_char ' ' (String.trim row))
+    | _ -> Alcotest.fail "no listing"
+  in
+  let out = Frontend.execute fe ("book " ^ fno) in
+  check bool "booked" true (contains out "booked flight");
+  (* Kramer sees it *)
+  let fe2 = Frontend.create app in
+  ignore (Frontend.execute fe2 "login Kramer");
+  let out = Frontend.execute fe2 "browse-bookings" in
+  check bool "kramer sees jerry's booking" true (contains out "Jerry")
+
+let test_two_frontends_coordinate () =
+  let app = make () in
+  let jerry = Frontend.create app in
+  let kramer = Frontend.create app in
+  ignore (Frontend.execute jerry "login Jerry");
+  ignore (Frontend.execute kramer "login Kramer");
+  let out = Frontend.execute jerry "coordinate flight Paris with Kramer" in
+  check bool "jerry waits" true (contains out "registered");
+  let out = Frontend.execute jerry "account" in
+  check bool "pending in account" true (contains out "pending requests: 1");
+  let out = Frontend.execute kramer "coordinate flight Paris with Jerry" in
+  check bool "kramer completes" true (contains out "coordinated!");
+  let out = Frontend.execute jerry "inbox" in
+  check bool "jerry messaged" true (contains out "answered");
+  let out = Frontend.execute jerry "account" in
+  check bool "confirmed" true (contains out "flight ")
+
+let test_trip_and_seats () =
+  let app = make () in
+  let jerry = Frontend.create app in
+  let kramer = Frontend.create app in
+  ignore (Frontend.execute jerry "login Jerry");
+  ignore (Frontend.execute kramer "login Kramer");
+  ignore (Frontend.execute jerry "coordinate trip Rome with Kramer");
+  let out = Frontend.execute kramer "coordinate trip Rome with Jerry" in
+  check bool "flight+hotel" true
+    (contains out "FlightRes" && contains out "HotelRes");
+  ignore (Frontend.execute jerry "coordinate seat Oslo next-to Kramer");
+  let out = Frontend.execute kramer "coordinate seat Oslo with Jerry" in
+  check bool "seats coordinated" true (contains out "SeatRes")
+
+let test_bad_commands () =
+  let app = make () in
+  let fe = Frontend.create app in
+  ignore (Frontend.execute fe "login Jerry");
+  check bool "unknown" true
+    (contains (Frontend.execute_safe fe "frobnicate") "unrecognised");
+  check bool "bad price" true
+    (contains (Frontend.execute_safe fe "search flights Paris max abc") "bad price");
+  check bool "bad fno" true
+    (contains (Frontend.execute_safe fe "book xyz") "bad flight number");
+  check bool "missing friends" true
+    (contains (Frontend.execute_safe fe "coordinate flight Paris with") "with whom")
+
+let suite =
+  [
+    Alcotest.test_case "login/friends" `Quick test_login_and_friends;
+    Alcotest.test_case "requires login" `Quick test_requires_login;
+    Alcotest.test_case "search/book/browse" `Quick test_search_and_book;
+    Alcotest.test_case "two frontends coordinate" `Quick test_two_frontends_coordinate;
+    Alcotest.test_case "trip + adjacent seats" `Quick test_trip_and_seats;
+    Alcotest.test_case "bad commands" `Quick test_bad_commands;
+  ]

@@ -1,0 +1,192 @@
+(* Property-based tests of the coordination semantics on randomly generated
+   workloads.  These check the *invariants* of a match rather than specific
+   scenarios:
+
+   I1 (mutual consistency): when a pair coordinates, both members' answer
+      tuples carry the same coordinated value, and that value satisfies
+      both database conditions.
+   I2 (completeness): a pair whose two sides have a common satisfying
+      database choice is always fulfilled once both sides have arrived.
+   I3 (soundness): a pair with no common choice is never fulfilled.
+   I4 (justification / minimality): every tuple in an answer relation is
+      the head contribution of some fulfilled query — no spurious tuples.
+   I5 (no lost queries): fulfilled + pending = submitted (no query ever
+      disappears). *)
+
+open Relational
+open Core
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+(* A workload: flights over a few destinations, and pairs of queries where
+   each side independently picks a destination (possibly different — those
+   pairs must never match). *)
+
+type pair_spec = { pid : int; dest_a : string; dest_b : string }
+
+let dests = [| "Paris"; "Rome"; "Oslo"; "NoFlight" |]
+
+let workload_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 12)
+      (map2
+         (fun a b -> a, b)
+         (int_bound (Array.length dests - 1))
+         (int_bound (Array.length dests - 1))))
+
+let make_db () =
+  let db = Database.create () in
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  (* several flights per real destination; none to "NoFlight" *)
+  List.iteri
+    (fun i d ->
+      if d <> "NoFlight" then begin
+        ignore (Table.insert flights [| v_int (100 + (2 * i)); v_str d |]);
+        ignore (Table.insert flights [| v_int (101 + (2 * i)); v_str d |])
+      end)
+    (Array.to_list dests);
+  let coord = Coordinator.create db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  db, coord
+
+let side_query cat ~me ~partner ~dest =
+  Translate.of_sql cat ~owner:me
+    (Printf.sprintf
+       "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM Flights \
+        WHERE dest='%s') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+       me dest partner)
+
+let run_workload specs =
+  let db, coord = make_db () in
+  let cat = db.Database.catalog in
+  let pairs =
+    List.mapi
+      (fun i (a, b) -> { pid = i; dest_a = dests.(a); dest_b = dests.(b) })
+      specs
+  in
+  (* first all A sides, then all B sides *)
+  List.iter
+    (fun p ->
+      let me = Printf.sprintf "A%d" p.pid and partner = Printf.sprintf "B%d" p.pid in
+      ignore (Coordinator.submit coord (side_query cat ~me ~partner ~dest:p.dest_a)))
+    pairs;
+  List.iter
+    (fun p ->
+      let me = Printf.sprintf "B%d" p.pid and partner = Printf.sprintf "A%d" p.pid in
+      ignore (Coordinator.submit coord (side_query cat ~me ~partner ~dest:p.dest_b)))
+    pairs;
+  db, coord, pairs
+
+let flight_exists dest = dest <> "NoFlight"
+let pair_can_match p = p.dest_a = p.dest_b && flight_exists p.dest_a
+
+let answer_rows db =
+  Table.rows (Database.find_table db "R")
+  |> List.map (fun r -> Value.as_string r.(0), Value.as_int r.(1))
+
+let prop_pair_semantics =
+  QCheck.Test.make ~name:"pair workload: I1-I5 invariants" ~count:100
+    (QCheck.make workload_gen) (fun specs ->
+      let db, coord, pairs = run_workload specs in
+      let answers = answer_rows db in
+      let fulfilled name = List.mem_assoc name answers in
+      let stats = Coordinator.stats coord in
+      List.for_all
+        (fun p ->
+          let a = Printf.sprintf "A%d" p.pid and b = Printf.sprintf "B%d" p.pid in
+          if pair_can_match p then begin
+            (* I2 + I1 *)
+            fulfilled a && fulfilled b
+            && List.assoc a answers = List.assoc b answers
+          end
+          else (* I3 *)
+            (not (fulfilled a)) && not (fulfilled b))
+        pairs
+      (* I4: every tuple belongs to a submitted query's owner *)
+      && List.for_all
+           (fun (name, _) ->
+             String.length name >= 2 && (name.[0] = 'A' || name.[0] = 'B'))
+           answers
+      (* I5 *)
+      && stats.Stats.answered + Pending.size (Coordinator.pending coord)
+         = stats.Stats.submitted)
+
+(* Arrival order must not change the outcome set (determinism of the
+   fulfilled/pending partition, not of the chosen flight). *)
+let prop_order_independence =
+  QCheck.Test.make ~name:"outcome independent of arrival order" ~count:60
+    (QCheck.make QCheck.Gen.(pair workload_gen (int_bound 1000)))
+    (fun (specs, seed) ->
+      let outcome order_seed =
+        let db, coord = make_db () in
+        let cat = db.Database.catalog in
+        let submissions =
+          List.concat
+            (List.mapi
+               (fun i (a, b) ->
+                 [
+                   (Printf.sprintf "A%d" i, Printf.sprintf "B%d" i, dests.(a));
+                   (Printf.sprintf "B%d" i, Printf.sprintf "A%d" i, dests.(b));
+                 ])
+               specs)
+        in
+        let rng = Random.State.make [| order_seed |] in
+        let shuffled =
+          submissions
+          |> List.map (fun s -> Random.State.bits rng, s)
+          |> List.sort compare |> List.map snd
+        in
+        List.iter
+          (fun (me, partner, dest) ->
+            ignore (Coordinator.submit coord (side_query cat ~me ~partner ~dest)))
+          shuffled;
+        answer_rows db |> List.map fst |> List.sort compare
+      in
+      outcome 1 = outcome seed)
+
+(* Group cliques: every member of a random-size clique gets the same value;
+   a clique over a flightless destination never matches. *)
+let prop_group_cliques =
+  QCheck.Test.make ~name:"clique groups coordinate consistently" ~count:60
+    QCheck.(pair (int_range 2 6) (int_range 0 3))
+    (fun (size, dest_idx) ->
+      let dest = dests.(dest_idx) in
+      let db, coord = make_db () in
+      let cat = db.Database.catalog in
+      let members = List.init size (fun i -> Printf.sprintf "m%d" i) in
+      let queries =
+        List.map
+          (fun me ->
+            let constraints =
+              members
+              |> List.filter (fun f -> f <> me)
+              |> List.map (fun f -> Printf.sprintf "('%s', fno) IN ANSWER R" f)
+            in
+            Translate.of_sql cat ~owner:me
+              (Printf.sprintf
+                 "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT fno \
+                  FROM Flights WHERE dest='%s') AND %s CHOOSE 1"
+                 me dest
+                 (String.concat " AND " constraints)))
+          members
+      in
+      List.iter (fun q -> ignore (Coordinator.submit coord q)) queries;
+      let answers = answer_rows db in
+      if flight_exists dest then
+        List.length answers = size
+        && List.length (List.sort_uniq compare (List.map snd answers)) = 1
+      else answers = [] && Pending.size (Coordinator.pending coord) = size)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pair_semantics;
+    QCheck_alcotest.to_alcotest prop_order_independence;
+    QCheck_alcotest.to_alcotest prop_group_cliques;
+  ]

@@ -1,0 +1,238 @@
+(* Randomised end-to-end checks:
+
+   - random select-project-join queries over random tables, executed through
+     the full parser/compiler/planner/executor pipeline, compared against a
+     naive reference evaluator written directly over the storage layer;
+   - a coordinator soak test: a long random interleaving of submissions,
+     cancellations, database updates and pokes, with conservation invariants
+     checked throughout. *)
+
+open Relational
+
+(* ------------------------------------------------------------------ *)
+(* Random SPJ queries vs a reference evaluator. *)
+
+(* Tables R(a, b) and S(b, c) with small integer domains so joins hit. *)
+let table_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_bound 20) (pair (int_bound 5) (int_bound 5)))
+      (list_size (int_bound 20) (pair (int_bound 5) (int_bound 5))))
+
+(* A random WHERE over columns r.a, r.b, s.b, s.c. *)
+type cond =
+  | Join  (** r.b = s.b *)
+  | Cmp of string * string * int  (** column <op> const *)
+
+let cond_gen =
+  QCheck.Gen.(
+    list_size (int_bound 3)
+      (oneof
+         [
+           return Join;
+           map2
+             (fun col (op, k) -> Cmp (col, op, k))
+             (oneofl [ "r.a"; "r.b"; "s.b"; "s.c" ])
+             (pair (oneofl [ "="; "<"; ">"; "<=" ]) (int_bound 5));
+         ]))
+
+let scenario_gen = QCheck.Gen.pair table_gen cond_gen
+
+let build_db (r_rows, s_rows) =
+  let db = Database.create () in
+  let r =
+    Database.create_table db
+      (Schema.make "R" [ Schema.column "a" Ctype.TInt; Schema.column "b" Ctype.TInt ])
+  in
+  let s =
+    Database.create_table db
+      (Schema.make "S" [ Schema.column "b" Ctype.TInt; Schema.column "c" Ctype.TInt ])
+  in
+  List.iter (fun (a, b) -> ignore (Table.insert r [| Value.Int a; Value.Int b |])) r_rows;
+  List.iter (fun (b, c) -> ignore (Table.insert s [| Value.Int b; Value.Int c |])) s_rows;
+  db
+
+let cond_sql = function
+  | Join -> "r.b = s.b"
+  | Cmp (col, op, k) -> Printf.sprintf "%s %s %d" col op k
+
+let reference_eval (r_rows, s_rows) conds =
+  (* cartesian product, filtered *)
+  List.concat_map
+    (fun (ra, rb) ->
+      List.filter_map
+        (fun (sb, sc) ->
+          let sat = function
+            | Join -> rb = sb
+            | Cmp (col, op, k) ->
+              let v =
+                match col with
+                | "r.a" -> ra
+                | "r.b" -> rb
+                | "s.b" -> sb
+                | _ -> sc
+              in
+              (match op with
+              | "=" -> v = k
+              | "<" -> v < k
+              | ">" -> v > k
+              | _ -> v <= k)
+          in
+          if List.for_all sat conds then Some [ ra; rb; sb; sc ] else None)
+        s_rows)
+    r_rows
+
+let prop_spj_matches_reference =
+  QCheck.Test.make ~name:"random SPJ query matches reference evaluator"
+    ~count:200 (QCheck.make scenario_gen) (fun (tables, conds) ->
+      let db = build_db tables in
+      let session = Sql.Run.make_session db in
+      let where =
+        match conds with
+        | [] -> ""
+        | cs -> " WHERE " ^ String.concat " AND " (List.map cond_sql cs)
+      in
+      let sql =
+        "SELECT r.a, r.b, s.b, s.c FROM R r, S s" ^ where
+      in
+      let rows =
+        match Sql.Run.exec_sql session sql with
+        | Sql.Run.Rows (_, rows) ->
+          List.map
+            (fun row -> List.map Value.as_int (Tuple.to_list row))
+            rows
+        | _ -> []
+      in
+      let expected = reference_eval tables conds in
+      List.sort compare rows = List.sort compare expected)
+
+(* Aggregates vs reference: counts and sums per group. *)
+let prop_aggregate_matches_reference =
+  QCheck.Test.make ~name:"random GROUP BY matches reference" ~count:200
+    (QCheck.make table_gen) (fun ((r_rows, _) as tables) ->
+      let db = build_db tables in
+      let session = Sql.Run.make_session db in
+      let rows =
+        match
+          Sql.Run.exec_sql session
+            "SELECT b, count(*) AS n, sum(a) AS s FROM R GROUP BY b"
+        with
+        | Sql.Run.Rows (_, rows) ->
+          List.map
+            (fun row ->
+              ( Value.as_int row.(0),
+                Value.as_int row.(1),
+                match row.(2) with Value.Null -> 0 | v -> Value.as_int v ))
+            rows
+        | _ -> []
+      in
+      let module M = Map.Make (Int) in
+      let expected =
+        List.fold_left
+          (fun m (a, b) ->
+            let n, s = Option.value ~default:(0, 0) (M.find_opt b m) in
+            M.add b (n + 1, s + a) m)
+          M.empty r_rows
+        |> M.bindings
+        |> List.map (fun (b, (n, s)) -> b, n, s)
+      in
+      List.sort compare rows = List.sort compare expected)
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator soak test. *)
+
+type action = Submit_pair | Submit_half | Cancel_random | Add_flight | Poke
+
+let action_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        4, return Submit_pair;
+        3, return Submit_half;
+        2, return Cancel_random;
+        1, return Add_flight;
+        1, return Poke;
+      ])
+
+let prop_soak_conservation =
+  QCheck.Test.make ~name:"soak: submissions are conserved" ~count:25
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 10 60) action_gen) (int_bound 999)))
+    (fun (actions, seed) ->
+      let db = Database.create () in
+      let flights =
+        Database.create_table db
+          (Schema.make ~primary_key:[ 0 ] "Flights"
+             [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+      in
+      ignore (Table.insert flights [| Value.Int 1; Value.Str "Paris" |]);
+      let coord = Core.Coordinator.create db in
+      Core.Coordinator.declare_answer_relation coord
+        (Schema.make "R"
+           [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+      let cat = db.Database.catalog in
+      let rng = Random.State.make [| seed |] in
+      let counter = ref 0 in
+      let cancelled = ref 0 in
+      let pending_ids = ref [] in
+      let submit me friend dest =
+        let q =
+          Core.Translate.of_sql cat ~owner:me
+            (Printf.sprintf
+               "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT fno \
+                FROM Flights WHERE dest='%s') AND ('%s', fno) IN ANSWER R \
+                CHOOSE 1"
+               me dest friend)
+        in
+        match Core.Coordinator.submit coord q with
+        | Core.Coordinator.Registered id -> pending_ids := id :: !pending_ids
+        | _ -> ()
+      in
+      let next_dest () =
+        if Random.State.bool rng then "Paris" else "Tokyo"  (* Tokyo absent at start *)
+      in
+      List.iter
+        (fun action ->
+          incr counter;
+          let i = !counter in
+          match action with
+          | Submit_pair ->
+            let d = next_dest () in
+            submit (Printf.sprintf "a%d" i) (Printf.sprintf "b%d" i) d;
+            submit (Printf.sprintf "b%d" i) (Printf.sprintf "a%d" i) d
+          | Submit_half ->
+            submit (Printf.sprintf "h%d" i) (Printf.sprintf "ghost%d" i) (next_dest ())
+          | Cancel_random -> (
+            match !pending_ids with
+            | [] -> ()
+            | id :: rest ->
+              if Core.Coordinator.cancel coord id then incr cancelled;
+              pending_ids := rest)
+          | Add_flight ->
+            ignore
+              (Table.insert flights [| Value.Int (100 + i); Value.Str "Tokyo" |])
+          | Poke -> ignore (Core.Coordinator.poke coord))
+        actions;
+      let stats = Core.Coordinator.stats coord in
+      let pending_now = Core.Pending.size (Core.Coordinator.pending coord) in
+      (* conservation: every submitted query is answered, cancelled, or
+         still pending *)
+      stats.Core.Stats.answered + !cancelled + pending_now
+      = stats.Core.Stats.submitted
+      (* the answer relation only ever contains justified tuples: every
+         tuple's owner is a submitted user name *)
+      && Table.fold
+           (fun acc _ row ->
+             acc
+             &&
+             let name = Value.as_string row.(0) in
+             String.length name >= 2
+             && (name.[0] = 'a' || name.[0] = 'b' || name.[0] = 'h'))
+           true
+           (Database.find_table db "R"))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_spj_matches_reference;
+    QCheck_alcotest.to_alcotest prop_aggregate_matches_reference;
+    QCheck_alcotest.to_alcotest prop_soak_conservation;
+  ]

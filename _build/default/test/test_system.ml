@@ -1,0 +1,181 @@
+(* Tests for the system facade: SQL routing, sessions/mailboxes, and the
+   administrative interface. *)
+
+open Relational
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let make_sys () =
+  let sys = Youtopia.System.create () in
+  let admin = Youtopia.System.session sys "admin" in
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT NOT NULL)");
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome')");
+  Youtopia.System.declare_answer_relation sys
+    (Schema.make "Reservation"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  sys
+
+let entangled name friend =
+  Printf.sprintf
+    "SELECT '%s', fno INTO ANSWER Reservation WHERE fno IN (SELECT fno FROM \
+     Flights WHERE dest='Paris') AND ('%s', fno) IN ANSWER Reservation CHOOSE 1"
+    name friend
+
+let test_routing () =
+  let sys = make_sys () in
+  let jerry = Youtopia.System.session sys "Jerry" in
+  (* plain SQL goes to the execution engine *)
+  (match Youtopia.System.exec_sql sys jerry "SELECT count(*) FROM Flights" with
+  | Youtopia.System.Sql (Sql.Run.Rows (_, [ row ])) ->
+    check bool "three flights" true (Value.equal row.(0) (Value.Int 3))
+  | _ -> Alcotest.fail "plain SQL misrouted");
+  (* entangled SQL goes to the coordinator *)
+  match Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer") with
+  | Youtopia.System.Coordination (Core.Coordinator.Registered _) -> ()
+  | _ -> Alcotest.fail "entangled query misrouted"
+
+let test_mailbox_delivery () =
+  let sys = make_sys () in
+  let jerry = Youtopia.System.session sys "Jerry" in
+  let kramer = Youtopia.System.session sys "Kramer" in
+  ignore (Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer"));
+  check int "jerry inbox empty" 0 (Youtopia.Session.peek_count jerry);
+  (match Youtopia.System.exec_sql sys kramer (entangled "Kramer" "Jerry") with
+  | Youtopia.System.Coordination (Core.Coordinator.Answered _) -> ()
+  | _ -> Alcotest.fail "kramer should be answered");
+  (* both sessions got a notification — Jerry's asynchronously *)
+  check int "jerry notified" 1 (List.length (Youtopia.Session.drain jerry));
+  check int "kramer notified" 1 (List.length (Youtopia.Session.drain kramer));
+  check int "drained" 0 (Youtopia.Session.peek_count jerry)
+
+let test_show_pending () =
+  let sys = make_sys () in
+  let jerry = Youtopia.System.session sys "Jerry" in
+  ignore (Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer"));
+  match Youtopia.System.exec_sql sys jerry "SHOW PENDING" with
+  | Youtopia.System.Pending_listing text ->
+    check bool "lists jerry" true (contains text "Jerry")
+  | _ -> Alcotest.fail "SHOW PENDING misrouted"
+
+let test_exec_script_mixed () =
+  let sys = make_sys () in
+  let s = Youtopia.System.session sys "Solo" in
+  let responses =
+    Youtopia.System.exec_script sys s
+      "INSERT INTO Flights VALUES (200, 'Oslo'); SELECT 'Solo', fno INTO \
+       ANSWER Reservation WHERE fno IN (SELECT fno FROM Flights WHERE \
+       dest='Oslo') CHOOSE 1"
+  in
+  check int "two responses" 2 (List.length responses);
+  match List.nth responses 1 with
+  | Youtopia.System.Coordination (Core.Coordinator.Answered n) ->
+    check bool "answered with 200" true
+      (Value.equal (snd (List.hd n.Core.Events.answers)).(1) (Value.Int 200))
+  | _ -> Alcotest.fail "script entangled part failed"
+
+let test_admin_dumps () =
+  let sys = make_sys () in
+  let jerry = Youtopia.System.session sys "Jerry" in
+  ignore (Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer"));
+  check bool "pending dump" true
+    (contains (Youtopia.Admin.dump_pending sys) "Jerry");
+  check bool "tables dump" true
+    (contains (Youtopia.Admin.dump_tables sys) "Flights");
+  check bool "stats dump" true
+    (contains (Youtopia.Admin.dump_stats sys) "submitted: 1");
+  check bool "answers dump" true
+    (contains (Youtopia.Admin.dump_answers sys) "Reservation");
+  (* nobody offers a ('Kramer', _) head yet *)
+  check bool "unmatchable report" true
+    (contains (Youtopia.Admin.dump_unmatchable sys) "Kramer");
+  check bool "full report" true (contains (Youtopia.Admin.report sys) "STATISTICS")
+
+let test_admin_explain_match () =
+  let sys = make_sys () in
+  let jerry = Youtopia.System.session sys "Jerry" in
+  let id =
+    match Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer") with
+    | Youtopia.System.Coordination (Core.Coordinator.Registered id) -> id
+    | _ -> Alcotest.fail "expected registration"
+  in
+  (* no partner yet: dry run reports no match *)
+  check bool "no match yet" true
+    (contains (Youtopia.Admin.explain_match sys id) "no match currently possible");
+  (* disable auto-match by submitting Kramer's query while Jerry's pending —
+     Kramer matches immediately, so instead create a fresh pending pair that
+     cannot match and one that could: use a second system state. *)
+  check bool "missing id" true
+    (contains (Youtopia.Admin.explain_match sys 9999) "no pending query")
+
+let test_admin_explain_match_trace_found () =
+  (* Build a state where a match exists but was not taken: budget-limited
+     coordinator parks the query; the admin dry-run (full budget) finds it. *)
+  let config =
+    {
+      Core.Coordinator.default_config with
+      Core.Coordinator.matcher =
+        { Core.Matcher.default_config with Core.Matcher.max_steps = 1 };
+    }
+  in
+  let sys = Youtopia.System.create ~config () in
+  let admin = Youtopia.System.session sys "admin" in
+  ignore
+    (Youtopia.System.exec_sql sys admin
+       "CREATE TABLE Flights (fno INT PRIMARY KEY, dest TEXT NOT NULL)");
+  ignore
+    (Youtopia.System.exec_sql sys admin "INSERT INTO Flights VALUES (122, 'Paris')");
+  Youtopia.System.declare_answer_relation sys
+    (Schema.make "Reservation"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  let jerry = Youtopia.System.session sys "Jerry" in
+  let kramer = Youtopia.System.session sys "Kramer" in
+  ignore (Youtopia.System.exec_sql sys jerry (entangled "Jerry" "Kramer"));
+  let id =
+    match Youtopia.System.exec_sql sys kramer (entangled "Kramer" "Jerry") with
+    | Youtopia.System.Coordination (Core.Coordinator.Registered id) -> id
+    | _ -> Alcotest.fail "budget should park kramer too"
+  in
+  let report = Youtopia.Admin.explain_match sys id in
+  check bool "dry run finds the match" true (contains report "match FOUND");
+  check bool "trace mentions unification" true (contains report "unifies")
+
+let test_wal_backed_system () =
+  let path = Filename.temp_file "youtopia_sys" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let sys = Youtopia.System.create ~wal_path:path () in
+      let s = Youtopia.System.session sys "admin" in
+      ignore
+        (Youtopia.System.exec_sql sys s
+           "CREATE TABLE T (a INT PRIMARY KEY)");
+      ignore (Youtopia.System.exec_sql sys s "INSERT INTO T VALUES (1), (2)");
+      Database.close (Youtopia.System.database sys);
+      let db = Database.recover path in
+      check int "recovered rows" 2
+        (Table.row_count (Database.find_table db "T"));
+      Database.close db)
+
+let suite =
+  [
+    Alcotest.test_case "statement routing" `Quick test_routing;
+    Alcotest.test_case "mailbox delivery" `Quick test_mailbox_delivery;
+    Alcotest.test_case "SHOW PENDING" `Quick test_show_pending;
+    Alcotest.test_case "mixed script" `Quick test_exec_script_mixed;
+    Alcotest.test_case "admin dumps" `Quick test_admin_dumps;
+    Alcotest.test_case "admin explain (no match)" `Quick test_admin_explain_match;
+    Alcotest.test_case "admin explain (match trace)" `Quick
+      test_admin_explain_match_trace_found;
+    Alcotest.test_case "wal-backed system" `Quick test_wal_backed_system;
+  ]

@@ -1,0 +1,96 @@
+(* Unit and property tests for Relational.Value. *)
+
+open Relational
+
+let check = Alcotest.check
+let vstr = Alcotest.testable Value.pp Value.equal
+
+let bool = Alcotest.bool
+
+let test_compare_total_order () =
+  check bool "null smallest" true (Value.compare Value.Null (Value.Int 0) < 0);
+  check bool "bool before int" true
+    (Value.compare (Value.Bool true) (Value.Int (-5)) < 0);
+  check bool "int/float numeric" true
+    (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  check bool "int = float when equal" true
+    (Value.compare (Value.Int 2) (Value.Float 2.0) = 0);
+  check bool "strings last" true
+    (Value.compare (Value.Float 1e9) (Value.Str "a") < 0)
+
+let test_equal_hash_consistent () =
+  (* equal values must hash equally, incl. the Int/Float numeric overlap *)
+  check bool "int/float equal" true
+    (Value.equal (Value.Int 7) (Value.Float 7.0));
+  check Alcotest.int "hash agrees" (Value.hash (Value.Int 7))
+    (Value.hash (Value.Float 7.0))
+
+let test_arithmetic () =
+  check vstr "int add" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  check vstr "mixed add promotes" (Value.Float 5.5)
+    (Value.add (Value.Int 2) (Value.Float 3.5));
+  check vstr "null propagates" Value.Null (Value.add Value.Null (Value.Int 1));
+  check vstr "int div" (Value.Int 3) (Value.div (Value.Int 7) (Value.Int 2));
+  check vstr "float div" (Value.Float 3.5)
+    (Value.div (Value.Float 7.0) (Value.Int 2));
+  check vstr "mod" (Value.Int 1) (Value.rem (Value.Int 7) (Value.Int 2));
+  check vstr "neg" (Value.Int (-4)) (Value.neg (Value.Int 4));
+  check vstr "concat" (Value.Str "ab1") (Value.concat (Value.Str "ab") (Value.Int 1))
+
+let test_arithmetic_errors () =
+  Alcotest.check_raises "div by zero" (Errors.Db_error (Errors.Type_error "division by zero"))
+    (fun () -> ignore (Value.div (Value.Int 1) (Value.Int 0)));
+  (match Value.add (Value.Str "x") (Value.Int 1) with
+  | exception Errors.Db_error (Errors.Type_error _) -> ()
+  | v -> Alcotest.failf "expected type error, got %s" (Value.to_string v))
+
+let test_rendering () =
+  check Alcotest.string "sql string quoting" "'it''s'"
+    (Value.to_string (Value.Str "it's"));
+  check Alcotest.string "display null" "" (Value.to_display Value.Null);
+  check Alcotest.string "display float" "2.5" (Value.to_display (Value.Float 2.5))
+
+(* Property: compare is a total order (antisymmetric + transitive on samples). *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.);
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.Str s) (string_size (int_bound 8));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0))
+
+let prop_compare_trans =
+  QCheck.Test.make ~name:"compare transitive" ~count:500
+    (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0
+      | _ -> false)
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal implies same hash" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "compare total order" `Quick test_compare_total_order;
+    Alcotest.test_case "equal/hash consistent" `Quick test_equal_hash_consistent;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "arithmetic errors" `Quick test_arithmetic_errors;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_compare_trans;
+    QCheck_alcotest.to_alcotest prop_equal_hash;
+  ]

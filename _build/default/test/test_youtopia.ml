@@ -1,0 +1,22 @@
+(* Test runner: every suite registered here; `dune runtest` runs them all. *)
+
+let () =
+  Alcotest.run "youtopia"
+    [
+      "value", Test_value.suite;
+      "relational", Test_relational.suite;
+      "query", Test_query.suite;
+      "storage", Test_storage.suite;
+      "stats", Test_stats.suite;
+      "sql", Test_sql.suite;
+      "sql-features", Test_sql_features.suite;
+      "entangled", Test_entangled.suite;
+      "system", Test_system.suite;
+      "travel", Test_travel.suite;
+      "extensions", Test_extensions.suite;
+      "matcher-props", Test_matcher_props.suite;
+      "frontend", Test_frontend.suite;
+      "edge-cases", Test_edge_cases.suite;
+      "random-sql", Test_random_sql.suite;
+      "ast-fuzz", Test_ast_fuzz.suite;
+    ]
