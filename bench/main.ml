@@ -8,7 +8,9 @@
 
    Run all:         dune exec bench/main.exe
    Run one:         dune exec bench/main.exe -- E8
-   Fast mode (CI):  dune exec bench/main.exe -- --fast *)
+   Fast mode (CI):  dune exec bench/main.exe -- --fast
+   Networked only:  dune exec bench/main.exe -- --net
+   Reproducible:    dune exec bench/main.exe -- --seed 42 *)
 
 open Relational
 open Bechamel
@@ -48,6 +50,10 @@ let time_once f =
   let result = f () in
   Unix.gettimeofday () -. t0, result
 
+(** Run options: [--fast] shrinks sweeps, [--seed] makes the synthetic
+    data and arrival shuffles reproducible run-to-run. *)
+type opts = { fast : bool; seed : int }
+
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures. *)
 
@@ -76,8 +82,8 @@ let pair_sql name friend =
      CHOOSE 1"
     name friend
 
-let fresh_travel ?config ~n_flights () =
-  Travel.Datagen.make_system ?config ~seed:1 ~n_flights ~n_hotels:8 ()
+let fresh_travel ?config ~seed ~n_flights () =
+  Travel.Datagen.make_system ?config ~seed ~n_flights ~n_hotels:8 ()
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Figure 1: the mutual-match primitive, microbenchmarked. *)
@@ -119,18 +125,19 @@ let e1_fig1 () =
 (* ------------------------------------------------------------------ *)
 (* E4 — multiple simultaneous bookings: pair throughput sweep. *)
 
-let e4_pairs fast =
+let e4_pairs { fast; seed } =
   header "E4 (§3.1 multiple simultaneous bookings) — pair throughput";
   say "%8s %10s %12s %14s %14s" "pairs" "queries" "elapsed(s)" "pairs/s"
     "mean lat(us)";
   let sizes = if fast then [ 1; 8; 32 ] else [ 1; 4; 16; 64; 256 ] in
   List.iter
     (fun n ->
-      let sys = fresh_travel ~n_flights:64 () in
+      let sys = fresh_travel ~seed ~n_flights:64 () in
       let coordinator = Youtopia.System.coordinator sys in
       let cat = Youtopia.System.catalog sys in
       let arrivals =
-        Travel.Workload.pair_arrivals ~seed:5 ~n ~dests:Travel.Datagen.cities
+        Travel.Workload.pair_arrivals ~seed:(seed + 4) ~n
+          ~dests:Travel.Datagen.cities
       in
       let m = Travel.Workload.run_pairs coordinator cat arrivals in
       assert (m.Travel.Workload.fulfilled = 2 * n);
@@ -143,13 +150,13 @@ let e4_pairs fast =
 (* ------------------------------------------------------------------ *)
 (* E5 — group size sweep: cost of closing a clique of size g. *)
 
-let e5_groups fast =
+let e5_groups { fast; seed } =
   header "E5/E6 (§3.1 group booking) — group-size sweep (clique constraints)";
   say "%8s %16s %16s %14s" "group" "close lat(us)" "search steps" "unify/group";
   let sizes = if fast then [ 2; 4; 8 ] else [ 2; 4; 6; 8; 12; 16 ] in
   List.iter
     (fun g ->
-      let sys = fresh_travel ~n_flights:64 () in
+      let sys = fresh_travel ~seed ~n_flights:64 () in
       let coordinator = Youtopia.System.coordinator sys in
       let cat = Youtopia.System.catalog sys in
       let members = List.init g (fun i -> Printf.sprintf "m%d" i) in
@@ -182,7 +189,7 @@ let e5_groups fast =
 (* ------------------------------------------------------------------ *)
 (* E8 — loaded pending store: arrival latency vs pending size. *)
 
-let run_pending_sweep ?(probes = 20) ~use_head_index sizes =
+let run_pending_sweep ?(probes = 20) ~seed ~use_head_index sizes =
   List.map
     (fun n ->
       let config =
@@ -191,7 +198,7 @@ let run_pending_sweep ?(probes = 20) ~use_head_index sizes =
           Core.Coordinator.use_head_index;
         }
       in
-      let sys = fresh_travel ~config ~n_flights:64 () in
+      let sys = fresh_travel ~config ~seed ~n_flights:64 () in
       let coordinator = Youtopia.System.coordinator sys in
       let cat = Youtopia.System.catalog sys in
       List.iter
@@ -217,26 +224,26 @@ let run_pending_sweep ?(probes = 20) ~use_head_index sizes =
       n, !total /. float_of_int probes)
     sizes
 
-let e8_pending fast =
+let e8_pending { fast; seed } =
   header "E8 (§3 loaded system) — match latency vs pending-store size";
   let sizes = if fast then [ 16; 128; 1024 ] else [ 16; 64; 256; 1024; 4096 ] in
   say "%10s %20s" "pending" "pair match lat(us)";
   List.iter
     (fun (n, lat) -> say "%10d %20.1f" n (lat *. 1e6))
-    (run_pending_sweep ~use_head_index:true sizes);
+    (run_pending_sweep ~seed ~use_head_index:true sizes);
   say "(head-indexed candidate lookup keeps arrival latency nearly flat";
   say " as unrelated pending queries accumulate)"
 
 (* ------------------------------------------------------------------ *)
 (* E11 — ablation: pending-store head index on vs off. *)
 
-let e11_ablation fast =
+let e11_ablation { fast; seed } =
   header "E11 (ablation) — pending-store head/constraint index on vs off";
   (* the scan variant is quadratic (every fulfilment retries every pending
      query), so the ablation sweep stops at 1024 *)
   let sizes = if fast then [ 16; 128 ] else [ 16; 64; 256; 1024 ] in
-  let indexed = run_pending_sweep ~probes:5 ~use_head_index:true sizes in
-  let scanned = run_pending_sweep ~probes:5 ~use_head_index:false sizes in
+  let indexed = run_pending_sweep ~probes:5 ~seed ~use_head_index:true sizes in
+  let scanned = run_pending_sweep ~probes:5 ~seed ~use_head_index:false sizes in
   say "%10s %18s %18s %10s" "pending" "indexed(us)" "scan(us)" "speedup";
   List.iter2
     (fun (n, a) (_, b) ->
@@ -246,13 +253,13 @@ let e11_ablation fast =
 (* ------------------------------------------------------------------ *)
 (* E9 — database size sensitivity of grounding. *)
 
-let e9_dbsize fast =
+let e9_dbsize { fast; seed } =
   header "E9 — grounding cost vs database size (|Flights| sweep)";
   let sizes = if fast then [ 16; 256 ] else [ 16; 128; 1024; 8192 ] in
   say "%10s %16s %20s" "flights" "paris flights" "pair match lat(us)";
   List.iter
     (fun f ->
-      let sys = fresh_travel ~n_flights:f () in
+      let sys = fresh_travel ~seed ~n_flights:f () in
       let coordinator = Youtopia.System.coordinator sys in
       let cat = Youtopia.System.catalog sys in
       let probes = 20 in
@@ -279,7 +286,7 @@ let e9_dbsize fast =
 (* ------------------------------------------------------------------ *)
 (* E10 — entangled coordination vs out-of-band baseline. *)
 
-let e10_baseline fast =
+let e10_baseline { fast; seed } =
   header
     "E10 (§1 motivation) — entangled queries vs out-of-band polling baseline";
   say "%28s %8s %10s %8s %10s %12s" "mode" "pairs" "succeeded" "failed"
@@ -294,7 +301,7 @@ let e10_baseline fast =
       in
       (* baseline *)
       let sys_b =
-        Travel.Datagen.make_system ~seed:9 ~n_flights:16 ~n_hotels:4
+        Travel.Datagen.make_system ~seed:(seed + 8) ~n_flights:16 ~n_hotels:4
           ~seats_per_flight:seats ()
       in
       let elapsed_b, result =
@@ -308,7 +315,7 @@ let e10_baseline fast =
       let social = Travel.Social.create () in
       List.iter (fun (a, b, _) -> Travel.Social.befriend social a b) specs;
       let app =
-        Travel.App.create ~social ~seed:9 ~n_flights:16 ~n_hotels:4 ()
+        Travel.App.create ~social ~seed:(seed + 8) ~n_flights:16 ~n_hotels:4 ()
       in
       (* shrink seats to match *)
       let db = Youtopia.System.database (Travel.App.system app) in
@@ -346,7 +353,7 @@ let e10_baseline fast =
 (* ------------------------------------------------------------------ *)
 (* E13 — cascade chains: one arrival unwinds a dependency chain. *)
 
-let e13_cascade fast =
+let e13_cascade { fast; _ } =
   header "E13 (cascades) — one arrival fulfils a k-deep dependency chain";
   say "%8s %18s %16s" "depth" "arrival lat(us)" "fulfilled";
   let depths = if fast then [ 1; 8; 32 ] else [ 1; 4; 16; 64; 256 ] in
@@ -381,6 +388,98 @@ let e13_cascade fast =
     depths;
   say "(latency grows linearly with chain depth: the cascade retries only";
   say " the queries each fresh tuple can actually help)"
+
+(* ------------------------------------------------------------------ *)
+(* NET — the travel pair workload end-to-end over loopback TCP. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let e_net { fast; seed } =
+  header
+    "NET — travel pair workload over loopback TCP (wire protocol, pushed \
+     answers)";
+  let n = if fast then 32 else 256 in
+  let n_workers = 8 in
+  let sys = fresh_travel ~seed ~n_flights:64 () in
+  let config = { Net.Server.default_config with Net.Server.port = 0 } in
+  let server = Net.Server.start ~config sys in
+  let port = Net.Server.port server in
+  say "server on 127.0.0.1:%d; %d pairs across %d client connections" port n
+    n_workers;
+  let arrivals =
+    Travel.Workload.pair_arrivals ~seed:(seed + 4) ~n ~dests:Travel.Datagen.cities
+  in
+  let shares = Array.make n_workers [] in
+  List.iteri
+    (fun i a -> shares.(i mod n_workers) <- a :: shares.(i mod n_workers))
+    arrivals;
+  Array.iteri (fun i l -> shares.(i) <- List.rev l) shares;
+  let results = Array.make n_workers ([], 0) in
+  let elapsed, () =
+    time_once (fun () ->
+        let workers =
+          Array.init n_workers (fun w ->
+              Thread.create
+                (fun () ->
+                  let client =
+                    Net.Client.connect ~port
+                      ~user:(Printf.sprintf "worker%d" w)
+                      ()
+                  in
+                  let latencies =
+                    List.map
+                      (fun (user, friend, dest) ->
+                        let s = Unix.gettimeofday () in
+                        ignore
+                          (Net.Client.submit client
+                             (Travel.Workload.pair_sql ~user ~friend ~dest));
+                        Unix.gettimeofday () -. s)
+                      shares.(w)
+                  in
+                  (* every submitted query eventually matches (both halves
+                     of every pair are in the workload), so this worker is
+                     owed exactly one pushed answer per submission *)
+                  let expected = List.length shares.(w) in
+                  let rec collect got =
+                    if got >= expected then got
+                    else
+                      match Net.Client.wait_notification ~timeout:30. client with
+                      | Some _ -> collect (got + 1)
+                      | None -> got
+                  in
+                  let pushes = collect (List.length (Net.Client.poll_notifications client)) in
+                  Net.Client.close client;
+                  results.(w) <- (latencies, pushes))
+                ())
+        in
+        Array.iter Thread.join workers)
+  in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc (l, _) -> l @ acc) [] results)
+  in
+  Array.sort compare latencies;
+  let pushes = Array.fold_left (fun acc (_, p) -> acc + p) 0 results in
+  let submits = Array.length latencies in
+  say "%10s %12s %14s %12s %12s %12s" "queries" "elapsed(s)" "queries/s"
+    "p50(us)" "p99(us)" "max(us)";
+  say "%10d %12.4f %14.0f %12.1f %12.1f %12.1f" submits elapsed
+    (float_of_int submits /. elapsed)
+    (percentile latencies 0.50 *. 1e6)
+    (percentile latencies 0.99 *. 1e6)
+    (percentile latencies 1.0 *. 1e6);
+  say "pushed answers received: %d (expected %d — every query matched)" pushes
+    submits;
+  (* server-side counters via the admin probe, over the wire *)
+  let probe = Net.Client.connect ~port ~user:"bench-admin" () in
+  say "server counters (ADMIN|server):";
+  String.split_on_char '\n' (Net.Client.admin probe "server")
+  |> List.iter (fun l -> say "  %s" l);
+  Net.Client.close probe;
+  Net.Server.stop server;
+  if pushes <> submits then failwith "NET: missing pushed answers"
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks of the engine primitives (supporting table). *)
@@ -420,7 +519,7 @@ let e_micro () =
 
 let experiments =
   [
-    "E1", ("Figure 1 mutual match (bechamel)", fun _fast -> e1_fig1 ());
+    "E1", ("Figure 1 mutual match (bechamel)", fun (_ : opts) -> e1_fig1 ());
     "E4", ("pair throughput sweep", e4_pairs);
     "E5", ("group size sweep", e5_groups);
     "E8", ("pending store sweep", e8_pending);
@@ -428,10 +527,12 @@ let experiments =
     "E10", ("baseline comparison", e10_baseline);
     "E11", ("head index ablation", e11_ablation);
     "E13", ("cascade chain depth", e13_cascade);
-    "MICRO", ("engine primitive microbenchmarks", fun _fast -> e_micro ());
+    "NET", ("travel workload over loopback TCP", e_net);
+    "MICRO", ("engine primitive microbenchmarks", fun (_ : opts) -> e_micro ());
   ]
 
-let run only fast =
+let run only fast seed net =
+  let only = if net && only = [] then [ "NET" ] else only in
   let chosen =
     match only with
     | [] -> experiments
@@ -449,9 +550,10 @@ let run only fast =
     1
   end
   else begin
-    say "Youtopia benchmark harness — experiments: %s"
-      (String.concat ", " (List.map fst chosen));
-    List.iter (fun (_, (_, f)) -> f fast) chosen;
+    say "Youtopia benchmark harness — experiments: %s (seed %d)"
+      (String.concat ", " (List.map fst chosen))
+      seed;
+    List.iter (fun (_, (_, f)) -> f { fast; seed }) chosen;
     say "@.%s" hrule;
     say "done.";
     0
@@ -465,8 +567,21 @@ let only_arg =
 let fast_flag =
   Arg.(value & flag & info [ "fast" ] ~doc:"Smaller sweeps (CI-friendly).")
 
+let seed_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Data-generator and workload seed (reproducible runs).")
+
+let net_flag =
+  Arg.(
+    value & flag
+    & info [ "net" ]
+        ~doc:"Run the networked experiment only (travel workload over loopback TCP).")
+
 let cmd =
   let doc = "Regenerate every table/figure-equivalent of the Youtopia demo paper" in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ only_arg $ fast_flag)
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ only_arg $ fast_flag $ seed_opt $ net_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,96 @@
+(* The Youtopia server daemon: one shared system behind a TCP endpoint.
+
+   Usage:
+     dune exec bin/youtopia_server.exe                       # empty system
+     dune exec bin/youtopia_server.exe -- --travel           # demo dataset
+     dune exec bin/youtopia_server.exe -- --port 7077 --wal /tmp/y.wal
+     dune exec bin/youtopia_server.exe -- --read-timeout 300
+
+   Connect with bin/youtopia_client.exe (or any speaker of
+   docs/PROTOCOL.md).  Ctrl-C shuts down gracefully: in-flight responses
+   are flushed before connections close. *)
+
+let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.Src.set_level Net.Server.log_src (Some Logs.Debug)
+  end;
+  let sys =
+    if travel then Travel.Datagen.make_system ~seed ~n_flights:32 ~n_hotels:16 ()
+    else Youtopia.System.create ?wal_path:wal ()
+  in
+  let config = { Net.Server.default_config with host; port; read_timeout; max_frame } in
+  let server = Net.Server.start ~config sys in
+  Printf.printf "youtopia server listening on %s:%d (protocol v%d)\n%!" host
+    (Net.Server.port server) Net.Wire.protocol_version;
+  if travel then print_endline "travel dataset loaded (32 flights, 16 hotels)";
+  (* Signal handlers only run at safepoints in a thread executing OCaml
+     code; a main thread parked in Condition.wait never reaches one, so a
+     Ctrl-C would stay pending forever.  Poll a flag instead — Thread.delay
+     returns to OCaml code regularly, giving the runtime a safepoint to run
+     the handler at. *)
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop) do
+    Thread.delay 0.2
+  done;
+  print_endline "shutting down...";
+  Net.Server.stop server;
+  print_endline (Net.Server_stats.render (Net.Server.stats server));
+  0
+
+open Cmdliner
+
+let host_opt =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+
+let port_opt =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.port
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let travel_flag =
+  Arg.(value & flag & info [ "travel" ] ~doc:"Serve the demo travel dataset.")
+
+let seed_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"Travel dataset generator seed.")
+
+let wal_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"PATH" ~doc:"Attach a write-ahead log at $(docv).")
+
+let read_timeout_opt =
+  Arg.(
+    value & opt float 0.
+    & info [ "read-timeout" ] ~docv:"SECONDS"
+        ~doc:"Close connections idle for $(docv) seconds (0 = never).")
+
+let max_frame_opt =
+  Arg.(
+    value
+    & opt int Net.Wire.default_max_frame
+    & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Maximum frame payload size.")
+
+let verbose_flag =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log connection events.")
+
+let cmd =
+  let doc = "Youtopia TCP server (shared system, pushed coordination answers)" in
+  Cmd.v
+    (Cmd.info "youtopia_server" ~doc)
+    Term.(
+      const (fun host port travel seed wal read_timeout max_frame verbose ->
+          run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~verbose)
+      $ host_opt $ port_opt $ travel_flag $ seed_opt $ wal_opt $ read_timeout_opt
+      $ max_frame_opt $ verbose_flag)
+
+let () = exit (Cmd.eval' cmd)

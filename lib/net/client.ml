@@ -1,0 +1,170 @@
+(** Blocking client for the Youtopia wire protocol.
+
+    One TCP connection, one session owner.  Requests are synchronous:
+    [submit]/[cancel]/[admin]/[ping] send a frame and block until the
+    correlated response arrives.  [PUSH] frames — coordination answers
+    delivered asynchronously by the server — can arrive interleaved with
+    responses; they are stashed in a local queue and surfaced by
+    {!poll_notifications} / {!wait_notification}.
+
+    Not thread-safe: use one client per thread (the benchmark drives one
+    connection per simulated user). *)
+
+exception Server_error of string
+(** The server answered with an ERROR frame. *)
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  user : string;
+  mutable banner : string;
+  mutable next_id : int;
+  pushes : Core.Events.notification Queue.t;
+  mutable closed : bool;
+}
+
+let user t = t.user
+let banner t = t.banner
+
+let connect ?(host = "127.0.0.1") ?(port = 7077)
+    ?(max_frame = Wire.default_max_frame) ~user () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  let t =
+    {
+      fd;
+      max_frame;
+      user;
+      banner = "";
+      next_id = 1;
+      pushes = Queue.create ();
+      closed = false;
+    }
+  in
+  Wire.write_frame ~max_frame fd
+    (Wire.encode_request (Wire.Hello { version = Wire.protocol_version; user }));
+  (match Wire.decode_response (Wire.read_frame ~max_frame fd) with
+  | Wire.Welcome { banner; _ } -> t.banner <- banner
+  | Wire.Error { message; _ } ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Server_error message)
+  | _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Wire.Protocol_error "expected WELCOME"));
+  t
+
+(* ---------------- response pump ---------------- *)
+
+let read_response t = Wire.decode_response (Wire.read_frame ~max_frame:t.max_frame t.fd)
+
+(** Block until the response correlated with [id] arrives, stashing any
+    pushes encountered on the way. *)
+let rec await t id =
+  match read_response t with
+  | Wire.Push n ->
+    Queue.push n t.pushes;
+    await t id
+  | Wire.Result { id = id'; body } when id' = id -> Ok body
+  | Wire.Error { id = id'; message } when id' = id || id' = 0 -> Error message
+  | Wire.Pong { id = id'; payload } when id' = id -> Ok (Wire.Sql_result payload)
+  | Wire.Stats { id = id'; body } when id' = id -> Ok (Wire.Listing body)
+  | Wire.Welcome _ | Wire.Result _ | Wire.Error _ | Wire.Pong _ | Wire.Stats _ ->
+    raise (Wire.Protocol_error "response for an unknown request id")
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let rpc t request id =
+  if t.closed then raise (Wire.Protocol_error "client is closed");
+  Wire.write_frame ~max_frame:t.max_frame t.fd (Wire.encode_request request);
+  match await t id with Ok body -> body | Error m -> raise (Server_error m)
+
+(* ---------------- calls ---------------- *)
+
+let submit t sql =
+  let id = fresh_id t in
+  rpc t (Wire.Submit { id; sql }) id
+
+let cancel t query_id =
+  let id = fresh_id t in
+  match rpc t (Wire.Cancel { id; query_id }) id with
+  | Wire.Listing m -> m
+  | _ -> raise (Wire.Protocol_error "unexpected cancel response")
+
+let admin t what =
+  let id = fresh_id t in
+  match rpc t (Wire.Admin { id; what }) id with
+  | Wire.Listing body -> body
+  | _ -> raise (Wire.Protocol_error "unexpected admin response")
+
+let ping ?(payload = "ping") t =
+  let id = fresh_id t in
+  match rpc t (Wire.Ping { id; payload }) id with
+  | Wire.Sql_result echo -> echo
+  | _ -> raise (Wire.Protocol_error "unexpected ping response")
+
+(* ---------------- notifications ---------------- *)
+
+let drain t =
+  let out = List.of_seq (Queue.to_seq t.pushes) in
+  Queue.clear t.pushes;
+  out
+
+(** [poll_notifications t] — drain everything already readable without
+    blocking: pushed answers that arrived since the last call. *)
+let poll_notifications t =
+  let rec slurp () =
+    match Unix.select [ t.fd ] [] [] 0. with
+    | [ _ ], _, _ -> (
+      match read_response t with
+      | Wire.Push n ->
+        Queue.push n t.pushes;
+        slurp ()
+      | _ -> raise (Wire.Protocol_error "unsolicited non-push response")
+      | exception Wire.Closed -> ())
+    | _ -> ()
+  in
+  if not t.closed then slurp ();
+  drain t
+
+(** [wait_notification ?timeout t] — block until a pushed answer arrives
+    ([None] on timeout).  The no-polling path: the thread sleeps in
+    [select] until the server's writer thread puts a PUSH on the wire. *)
+let wait_notification ?(timeout = -1.) t =
+  if not (Queue.is_empty t.pushes) then Some (Queue.pop t.pushes)
+  else begin
+    let deadline = if timeout < 0. then None else Some (Unix.gettimeofday () +. timeout) in
+    let rec wait () =
+      let left =
+        match deadline with
+        | None -> -1.
+        | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+      in
+      if left = 0. && deadline <> None then None
+      else
+        match Unix.select [ t.fd ] [] [] left with
+        | [ _ ], _, _ -> (
+          match read_response t with
+          | Wire.Push n -> Some n
+          | _ -> raise (Wire.Protocol_error "unsolicited non-push response")
+          | exception Wire.Closed -> None)
+        | _ -> wait ()
+    in
+    wait ()
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Wire.write_frame ~max_frame:t.max_frame t.fd (Wire.encode_request Wire.Bye)
+     with Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

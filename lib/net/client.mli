@@ -1,0 +1,47 @@
+(** Blocking client for the Youtopia wire protocol.
+
+    Synchronous request/response over one TCP connection, plus a local
+    queue of asynchronously pushed coordination answers.  Not thread-safe;
+    use one client per thread. *)
+
+exception Server_error of string
+(** The server answered with an ERROR frame. *)
+
+type t
+
+val connect :
+  ?host:string ->
+  ?port:int ->
+  ?max_frame:int ->
+  user:string ->
+  unit ->
+  t
+(** Dial, handshake (HELLO/WELCOME), and return a connected client whose
+    entangled queries are owned by [user].  Raises {!Server_error} if the
+    server rejects the handshake. *)
+
+val user : t -> string
+val banner : t -> string
+
+val submit : t -> string -> Wire.result_body
+(** Execute SQL text (one statement or a [;]-separated script) on the
+    server.  Raises {!Server_error} on SQL errors. *)
+
+val cancel : t -> int -> string
+(** Withdraw a pending entangled query by id. *)
+
+val admin : t -> string -> string
+(** Admin probe: "server" (wire/server counters), "stats", "pending",
+    "answers", "tables", "report". *)
+
+val ping : ?payload:string -> t -> string
+
+val poll_notifications : t -> Core.Events.notification list
+(** Drain pushed coordination answers without blocking. *)
+
+val wait_notification : ?timeout:float -> t -> Core.Events.notification option
+(** Block until a pushed answer arrives; [None] on timeout (seconds;
+    negative = wait forever). *)
+
+val close : t -> unit
+(** Send BYE (best effort) and close the socket.  Idempotent. *)

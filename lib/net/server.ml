@@ -1,0 +1,349 @@
+(** Multi-threaded TCP server exposing one shared {!Youtopia.System.t}.
+
+    Thread model: one accept thread; per connection, one {b reader} thread
+    (frames in, dispatch) and one {b writer} thread draining a
+    per-connection outbound queue.  All engine work — SQL execution,
+    coordinator submission, admin dumps — is serialised by a single global
+    engine mutex: the in-process engine is single-writer, and the
+    coordination path (match + joint atomic fulfilment) must not interleave
+    with other statements.  The blocking coordination path therefore never
+    sits on the accept path, and slow clients never hold the engine: the
+    reader computes a response under the engine lock, enqueues it, and the
+    writer thread owns the socket send.
+
+    Push delivery: each connection's handshake creates a session for the
+    connection's user and installs a {!Youtopia.Session.set_listener}
+    hand-off, so the coordinator's notification — raised inside some other
+    connection's fulfilment, under the engine lock — is enqueued on the
+    owner's outbound queue immediately and hits the wire as a [PUSH] frame
+    without any polling. *)
+
+let log_src = Logs.Src.create "youtopia.net" ~doc:"Youtopia network server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  backlog : int;
+  max_frame : int;
+  read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  banner : string;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7077;
+    backlog = 64;
+    max_frame = Wire.default_max_frame;
+    read_timeout = 0.;
+    banner = "youtopia";
+  }
+
+type conn = {
+  conn_id : int;
+  fd : Unix.file_descr;
+  outq : string Queue.t;
+  out_mu : Mutex.t;
+  out_cond : Condition.t;
+  mutable closing : bool;
+  mutable reader : Thread.t option;
+  mutable writer : Thread.t option;
+}
+
+type t = {
+  sys : Youtopia.System.t;
+  config : config;
+  stats : Server_stats.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  engine_mu : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  conns_mu : Mutex.t;
+  mutable next_conn_id : int;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let stats t = t.stats
+let system t = t.sys
+
+(* ---------------- engine access ---------------- *)
+
+let with_engine t f =
+  Mutex.lock t.engine_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.engine_mu) f
+
+(* ---------------- outbound queue ---------------- *)
+
+let enqueue conn payload =
+  Mutex.lock conn.out_mu;
+  if not conn.closing then begin
+    Queue.push payload conn.outq;
+    Condition.signal conn.out_cond
+  end;
+  Mutex.unlock conn.out_mu
+
+let send t conn response =
+  ignore t;
+  enqueue conn (Wire.encode_response response)
+
+(** Writer thread body: drain the queue to the socket; exit once the
+    connection is closing {i and} the queue is empty, so queued frames
+    (final errors, goodbye-time pushes) still reach the peer. *)
+let writer_loop t conn =
+  let rec next () =
+    Mutex.lock conn.out_mu;
+    let rec wait () =
+      if Queue.is_empty conn.outq && not conn.closing then begin
+        Condition.wait conn.out_cond conn.out_mu;
+        wait ()
+      end
+    in
+    wait ();
+    let item = if Queue.is_empty conn.outq then None else Some (Queue.pop conn.outq) in
+    Mutex.unlock conn.out_mu;
+    match item with
+    | None -> () (* closing and drained *)
+    | Some payload ->
+      (match Wire.write_frame ~max_frame:t.config.max_frame conn.fd payload with
+      | () ->
+        Server_stats.on_frame_out t.stats ~bytes:(String.length payload + 4);
+        next ()
+      | exception (Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error _) ->
+        (* peer gone or unwritable: stop draining; the reader notices EOF *)
+        Mutex.lock conn.out_mu;
+        conn.closing <- true;
+        Queue.clear conn.outq;
+        Mutex.unlock conn.out_mu)
+  in
+  next ()
+
+(* ---------------- request handling ---------------- *)
+
+let rec body_of_outcome (o : Core.Coordinator.outcome) : Wire.result_body =
+  match o with
+  | Core.Coordinator.Rejected m -> Wire.Rejected m
+  | Core.Coordinator.Answered n -> Wire.Answered n
+  | Core.Coordinator.Registered id -> Wire.Registered id
+  | Core.Coordinator.Multi os -> Wire.Multi (List.map body_of_outcome os)
+
+let body_of_response : Youtopia.System.response -> Wire.result_body = function
+  | Youtopia.System.Sql r -> Wire.Sql_result (Sql.Run.result_to_string r)
+  | Youtopia.System.Coordination o -> body_of_outcome o
+  | Youtopia.System.Pending_listing s -> Wire.Listing s
+
+let handle_submit t session ~id ~sql =
+  let t0 = Unix.gettimeofday () in
+  let response =
+    match
+      with_engine t (fun () ->
+          Relational.Errors.guard (fun () ->
+              Youtopia.System.exec_script t.sys session sql))
+    with
+    | Ok [ r ] -> Wire.Result { id; body = body_of_response r }
+    | Ok rs -> Wire.Result { id; body = Wire.Multi (List.map body_of_response rs) }
+    | Error kind ->
+      Server_stats.on_error t.stats;
+      Wire.Error { id; message = Relational.Errors.kind_to_string kind }
+    | exception exn ->
+      Server_stats.on_error t.stats;
+      Wire.Error { id; message = Printexc.to_string exn }
+  in
+  Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
+  response
+
+let handle_cancel t ~id ~query_id =
+  match
+    with_engine t (fun () ->
+        Core.Coordinator.cancel (Youtopia.System.coordinator t.sys) query_id)
+  with
+  | true -> Wire.Result { id; body = Wire.Listing (Printf.sprintf "cancelled Q%d" query_id) }
+  | false ->
+    Server_stats.on_error t.stats;
+    Wire.Error { id; message = Printf.sprintf "Q%d is not pending" query_id }
+
+let handle_admin t ~id ~what =
+  match what with
+  | "server" -> Wire.Stats { id; body = Server_stats.render t.stats }
+  | "stats" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_stats t.sys) }
+  | "pending" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_pending t.sys) }
+  | "answers" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_answers t.sys) }
+  | "tables" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_tables t.sys) }
+  | "report" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.report t.sys) }
+  | other ->
+    Server_stats.on_error t.stats;
+    Wire.Error { id; message = "unknown admin probe: " ^ other }
+
+(* ---------------- connection lifecycle ---------------- *)
+
+exception Goodbye
+
+(** Handshake: the first frame must be a HELLO speaking our protocol
+    version; the reply is WELCOME (or ERROR, then the connection drops). *)
+let handshake t conn =
+  let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
+  Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+  match Wire.decode_request payload with
+  | Wire.Hello { version; user } when version = Wire.protocol_version ->
+    let session = Youtopia.System.session t.sys user in
+    Youtopia.Session.set_listener session
+      (Some
+         (fun n ->
+           Server_stats.on_push t.stats;
+           send t conn (Wire.Push n)));
+    send t conn
+      (Wire.Welcome { version = Wire.protocol_version; banner = t.config.banner });
+    session
+  | Wire.Hello { version; _ } ->
+    raise
+      (Wire.Protocol_error
+         (Printf.sprintf "unsupported protocol version %d (server speaks %d)"
+            version Wire.protocol_version))
+  | _ -> raise (Wire.Protocol_error "expected HELLO as the first frame")
+
+let reader_loop t conn =
+  let session = ref None in
+  (try
+     let s = handshake t conn in
+     session := Some s;
+     let rec loop () =
+       let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
+       Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+       (match Wire.decode_request payload with
+       | Wire.Hello _ -> raise (Wire.Protocol_error "duplicate HELLO")
+       | Wire.Submit { id; sql } -> send t conn (handle_submit t s ~id ~sql)
+       | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
+       | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
+       | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
+       | Wire.Bye -> raise Goodbye);
+       loop ()
+     in
+     loop ()
+   with
+  | Wire.Closed | Goodbye -> ()
+  | Wire.Protocol_error m ->
+    Server_stats.on_error t.stats;
+    Log.debug (fun f -> f "conn %d: protocol error: %s" conn.conn_id m);
+    send t conn (Wire.Error { id = 0; message = m })
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+    Log.debug (fun f -> f "conn %d: read timeout" conn.conn_id);
+    send t conn (Wire.Error { id = 0; message = "read timeout; closing" })
+  | Unix.Unix_error _ -> ());
+  (* teardown: detach the session, drain the writer, close the socket *)
+  (match !session with
+  | Some s ->
+    Youtopia.Session.set_listener s None;
+    Youtopia.System.close_session t.sys s
+  | None -> ());
+  Mutex.lock conn.out_mu;
+  conn.closing <- true;
+  Condition.signal conn.out_cond;
+  Mutex.unlock conn.out_mu;
+  (match conn.writer with Some th -> Thread.join th | None -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mu;
+  Hashtbl.remove t.conns conn.conn_id;
+  Mutex.unlock t.conns_mu;
+  Server_stats.on_disconnect t.stats;
+  Log.debug (fun f -> f "conn %d: closed" conn.conn_id)
+
+let spawn_connection t fd =
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  if t.config.read_timeout > 0. then
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout;
+  Mutex.lock t.conns_mu;
+  let conn_id = t.next_conn_id in
+  t.next_conn_id <- conn_id + 1;
+  let conn =
+    {
+      conn_id;
+      fd;
+      outq = Queue.create ();
+      out_mu = Mutex.create ();
+      out_cond = Condition.create ();
+      closing = false;
+      reader = None;
+      writer = None;
+    }
+  in
+  Hashtbl.replace t.conns conn_id conn;
+  Mutex.unlock t.conns_mu;
+  Server_stats.on_connect t.stats;
+  conn.writer <- Some (Thread.create (fun () -> writer_loop t conn) ());
+  conn.reader <- Some (Thread.create (fun () -> reader_loop t conn) ());
+  Log.debug (fun f -> f "conn %d: accepted" conn_id)
+
+let accept_loop t =
+  while t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _addr -> spawn_connection t fd
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      ->
+      () (* listen socket closed during shutdown, or a racy abort *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ---------------- lifecycle ---------------- *)
+
+let start ?(config = default_config) sys =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (match Unix.bind listen_fd addr with
+  | () -> ()
+  | exception e ->
+    Unix.close listen_fd;
+    raise e);
+  Unix.listen listen_fd config.backlog;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    {
+      sys;
+      config;
+      stats = Server_stats.create ();
+      listen_fd;
+      bound_port;
+      engine_mu = Mutex.create ();
+      conns = Hashtbl.create 64;
+      conns_mu = Mutex.create ();
+      next_conn_id = 1;
+      running = true;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  Log.info (fun f -> f "listening on %s:%d" config.host bound_port);
+  t
+
+(** Graceful shutdown: stop accepting, nudge every connection's reader off
+    its blocking read, and join all threads.  Queued responses are still
+    flushed by each writer before its socket closes. *)
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    let conns =
+      Mutex.lock t.conns_mu;
+      let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      Mutex.unlock t.conns_mu;
+      cs
+    in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    List.iter
+      (fun c -> match c.reader with Some th -> Thread.join th | None -> ())
+      conns;
+    Log.info (fun f -> f "stopped; %d connection(s) drained" (List.length conns))
+  end

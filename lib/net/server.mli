@@ -1,0 +1,39 @@
+(** Multi-threaded TCP server exposing one shared {!Youtopia.System.t}.
+
+    One accept thread; per connection, a reader thread (frames in,
+    dispatch) and a writer thread draining a per-connection outbound
+    queue.  Engine work is serialised by a global engine mutex; pushes are
+    handed off from the coordinator's fulfilment path straight onto the
+    owning connection's outbound queue via
+    {!Youtopia.Session.set_listener}, so clients receive coordination
+    answers without polling. *)
+
+val log_src : Logs.src
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
+  backlog : int;
+  max_frame : int;  (** frames beyond this are rejected, both directions *)
+  read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  banner : string;  (** sent back in the WELCOME frame *)
+}
+
+val default_config : config
+(** 127.0.0.1:7077, 1 MiB frames, no read timeout. *)
+
+type t
+
+val start : ?config:config -> Youtopia.System.t -> t
+(** Bind, listen, and spawn the accept thread.  Raises [Unix.Unix_error]
+    if the address is unavailable. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+val stats : t -> Server_stats.t
+val system : t -> Youtopia.System.t
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, close every connection after its
+    outbound queue drains, join all threads.  Idempotent. *)

@@ -1,0 +1,116 @@
+(** Server-side counters: connections, frames, bytes, submissions, pushes,
+    and server-side submit handling latency.  All counters are guarded by
+    one mutex — they are touched by every reader/writer thread. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable connections_total : int;
+  mutable connections_active : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable submits : int;
+  mutable pushes : int;
+  mutable errors : int;
+  mutable submit_latency_total : float;
+  mutable submit_latency_max : float;
+}
+
+(** Immutable copy for rendering/reporting. *)
+type snapshot = {
+  connections_total : int;
+  connections_active : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  submits : int;
+  pushes : int;
+  errors : int;
+  submit_latency_mean : float;  (** seconds; 0 if no submits *)
+  submit_latency_max : float;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    connections_total = 0;
+    connections_active = 0;
+    frames_in = 0;
+    frames_out = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    submits = 0;
+    pushes = 0;
+    errors = 0;
+    submit_latency_total = 0.;
+    submit_latency_max = 0.;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let on_connect t =
+  locked t (fun () ->
+      t.connections_total <- t.connections_total + 1;
+      t.connections_active <- t.connections_active + 1)
+
+let on_disconnect t =
+  locked t (fun () -> t.connections_active <- t.connections_active - 1)
+
+let on_frame_in t ~bytes =
+  locked t (fun () ->
+      t.frames_in <- t.frames_in + 1;
+      t.bytes_in <- t.bytes_in + bytes)
+
+let on_frame_out t ~bytes =
+  locked t (fun () ->
+      t.frames_out <- t.frames_out + 1;
+      t.bytes_out <- t.bytes_out + bytes)
+
+let on_submit t ~latency =
+  locked t (fun () ->
+      t.submits <- t.submits + 1;
+      t.submit_latency_total <- t.submit_latency_total +. latency;
+      t.submit_latency_max <- Float.max t.submit_latency_max latency)
+
+let on_push t = locked t (fun () -> t.pushes <- t.pushes + 1)
+let on_error t = locked t (fun () -> t.errors <- t.errors + 1)
+
+let snapshot t : snapshot =
+  locked t (fun () ->
+      {
+        connections_total = t.connections_total;
+        connections_active = t.connections_active;
+        frames_in = t.frames_in;
+        frames_out = t.frames_out;
+        bytes_in = t.bytes_in;
+        bytes_out = t.bytes_out;
+        submits = t.submits;
+        pushes = t.pushes;
+        errors = t.errors;
+        submit_latency_mean =
+          (if t.submits = 0 then 0.
+           else t.submit_latency_total /. float_of_int t.submits);
+        submit_latency_max = t.submit_latency_max;
+      })
+
+(** One key=value per line — the payload of the [ADMIN|…|server] probe. *)
+let render t =
+  let s = snapshot t in
+  String.concat "\n"
+    [
+      Printf.sprintf "connections_total=%d" s.connections_total;
+      Printf.sprintf "connections_active=%d" s.connections_active;
+      Printf.sprintf "frames_in=%d" s.frames_in;
+      Printf.sprintf "frames_out=%d" s.frames_out;
+      Printf.sprintf "bytes_in=%d" s.bytes_in;
+      Printf.sprintf "bytes_out=%d" s.bytes_out;
+      Printf.sprintf "submits=%d" s.submits;
+      Printf.sprintf "pushes=%d" s.pushes;
+      Printf.sprintf "errors=%d" s.errors;
+      Printf.sprintf "submit_latency_mean_us=%.1f" (s.submit_latency_mean *. 1e6);
+      Printf.sprintf "submit_latency_max_us=%.1f" (s.submit_latency_max *. 1e6);
+    ]

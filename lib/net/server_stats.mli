@@ -1,0 +1,33 @@
+(** Server-side counters: connections, frames, bytes, submissions, pushes,
+    and submit handling latency.  Thread-safe. *)
+
+type t
+
+type snapshot = {
+  connections_total : int;
+  connections_active : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  submits : int;
+  pushes : int;
+  errors : int;
+  submit_latency_mean : float;  (** seconds; 0 if no submits *)
+  submit_latency_max : float;
+}
+
+val create : unit -> t
+
+val on_connect : t -> unit
+val on_disconnect : t -> unit
+val on_frame_in : t -> bytes:int -> unit
+val on_frame_out : t -> bytes:int -> unit
+val on_submit : t -> latency:float -> unit
+val on_push : t -> unit
+val on_error : t -> unit
+
+val snapshot : t -> snapshot
+
+val render : t -> string
+(** One [key=value] per line — the payload of the [ADMIN|…|server] probe. *)

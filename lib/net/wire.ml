@@ -1,0 +1,241 @@
+(** The Youtopia wire protocol.
+
+    Frames are length-prefixed: a 4-byte big-endian payload length followed
+    by the payload.  The payload is a single text message — fields joined
+    by [|], each field percent-escaped with the WAL codec conventions
+    ({!Relational.Wal.escape}) so separators never appear raw.  Nested
+    structures (coordination outcomes, notifications) are encoded to a
+    message of their own and embedded as one escaped field, so the grammar
+    stays flat at every level.
+
+    Three message kinds flow over a connection:
+    - {b requests} (client to server): handshake, SQL submission,
+      cancellation, admin/stats, ping, goodbye;
+    - {b responses} (server to client): one per request, correlated by the
+      client-chosen request id;
+    - {b pushes} (server to client, unsolicited): coordination
+      notifications delivered the moment a group is fulfilled — the
+      network substitute for the demo's Facebook messages.
+
+    The protocol is versioned by the handshake: the first frame must be
+    [HELLO] carrying {!protocol_version}; anything else — or a version the
+    server does not speak — is rejected and the connection closed. *)
+
+open Relational
+
+let protocol_version = 1
+let default_max_frame = 1 lsl 20 (* 1 MiB *)
+
+exception Closed
+(** Peer closed the connection (EOF mid-frame or before one). *)
+
+exception Protocol_error of string
+(** Unparsable message, oversized frame, or version mismatch. *)
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ---------------- messages ---------------- *)
+
+type request =
+  | Hello of { version : int; user : string }
+      (** Must be the first frame on a connection; [user] becomes the
+          session owner for entangled queries. *)
+  | Submit of { id : int; sql : string }  (** one or more SQL statements *)
+  | Cancel of { id : int; query_id : int }  (** withdraw a pending query *)
+  | Admin of { id : int; what : string }
+      (** admin/stats probe: "server", "stats", "pending", "answers",
+          "tables", "report" *)
+  | Ping of { id : int; payload : string }
+  | Bye  (** graceful goodbye; the server closes the connection *)
+
+(** Flattened coordinator outcome / statement result. *)
+type result_body =
+  | Sql_result of string  (** rendered plain-SQL result *)
+  | Registered of int  (** parked in the pending store under this id *)
+  | Answered of Core.Events.notification  (** matched immediately *)
+  | Rejected of string  (** failed the safety check *)
+  | Listing of string  (** SHOW PENDING / cancel acknowledgements *)
+  | Multi of result_body list  (** CHOOSE k > 1 or multi-statement script *)
+
+type response =
+  | Welcome of { version : int; banner : string }
+  | Result of { id : int; body : result_body }
+  | Error of { id : int; message : string }
+      (** request-level failure (SQL error, unknown admin probe, …);
+          [id = 0] for connection-level failures before any request *)
+  | Pong of { id : int; payload : string }
+  | Stats of { id : int; body : string }
+  | Push of Core.Events.notification
+      (** unsolicited: an entangled query owned by this connection's user
+          was answered *)
+
+(* ---------------- field helpers ---------------- *)
+
+let esc = Wal.escape
+let unesc = Wal.unescape
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "bad %s field: %s" name s
+
+(* ---------------- notification codec ---------------- *)
+
+(* qid|owner|label|g1;g2;…|rel;tuple,rel;tuple,…  — the answer tuples reuse
+   the WAL tuple codec, so every Value round-trips exactly as it does
+   through recovery. *)
+
+let encode_notification (n : Core.Events.notification) =
+  let answers =
+    String.concat ","
+      (List.map
+         (fun (rel, tup) -> esc rel ^ ";" ^ esc (Wal.encode_tuple tup))
+         n.Core.Events.answers)
+  in
+  Printf.sprintf "%d|%s|%s|%s|%s" n.Core.Events.query_id
+    (esc n.Core.Events.owner) (esc n.Core.Events.label)
+    (String.concat ";" (List.map string_of_int n.Core.Events.group))
+    answers
+
+let decode_notification s : Core.Events.notification =
+  match String.split_on_char '|' s with
+  | [ qid; owner; label; group; answers ] ->
+    let group =
+      if group = "" then []
+      else List.map (int_field "group id") (String.split_on_char ';' group)
+    in
+    let answer a =
+      match String.split_on_char ';' a with
+      | [ rel; tup ] -> unesc rel, Wal.decode_tuple (unesc tup)
+      | _ -> fail "bad answer field: %s" a
+    in
+    let answers =
+      if answers = "" then []
+      else List.map answer (String.split_on_char ',' answers)
+    in
+    {
+      Core.Events.query_id = int_field "query id" qid;
+      owner = unesc owner;
+      label = unesc label;
+      group;
+      answers;
+    }
+  | _ -> fail "bad notification: %s" s
+
+(* ---------------- result-body codec ---------------- *)
+
+let rec encode_body = function
+  | Sql_result s -> "SQL|" ^ esc s
+  | Registered id -> "REG|" ^ string_of_int id
+  | Answered n -> "ANS|" ^ esc (encode_notification n)
+  | Rejected m -> "REJ|" ^ esc m
+  | Listing s -> "LST|" ^ esc s
+  | Multi bodies ->
+    String.concat "|" ("MUL" :: List.map (fun b -> esc (encode_body b)) bodies)
+
+let rec decode_body s =
+  match String.split_on_char '|' s with
+  | [ "SQL"; r ] -> Sql_result (unesc r)
+  | [ "REG"; id ] -> Registered (int_field "query id" id)
+  | [ "ANS"; n ] -> Answered (decode_notification (unesc n))
+  | [ "REJ"; m ] -> Rejected (unesc m)
+  | [ "LST"; l ] -> Listing (unesc l)
+  | "MUL" :: bodies -> Multi (List.map (fun b -> decode_body (unesc b)) bodies)
+  | _ -> fail "bad result body: %s" s
+
+(* ---------------- message codecs ---------------- *)
+
+let encode_request = function
+  | Hello { version; user } -> Printf.sprintf "HELLO|%d|%s" version (esc user)
+  | Submit { id; sql } -> Printf.sprintf "SUBMIT|%d|%s" id (esc sql)
+  | Cancel { id; query_id } -> Printf.sprintf "CANCEL|%d|%d" id query_id
+  | Admin { id; what } -> Printf.sprintf "ADMIN|%d|%s" id (esc what)
+  | Ping { id; payload } -> Printf.sprintf "PING|%d|%s" id (esc payload)
+  | Bye -> "BYE"
+
+let decode_request s =
+  match String.split_on_char '|' s with
+  | [ "HELLO"; v; user ] ->
+    Hello { version = int_field "version" v; user = unesc user }
+  | [ "SUBMIT"; id; sql ] ->
+    Submit { id = int_field "request id" id; sql = unesc sql }
+  | [ "CANCEL"; id; qid ] ->
+    Cancel { id = int_field "request id" id; query_id = int_field "query id" qid }
+  | [ "ADMIN"; id; what ] ->
+    Admin { id = int_field "request id" id; what = unesc what }
+  | [ "PING"; id; payload ] ->
+    Ping { id = int_field "request id" id; payload = unesc payload }
+  | [ "BYE" ] -> Bye
+  | _ -> fail "bad request: %s" s
+
+let encode_response = function
+  | Welcome { version; banner } ->
+    Printf.sprintf "WELCOME|%d|%s" version (esc banner)
+  | Result { id; body } -> Printf.sprintf "RESULT|%d|%s" id (esc (encode_body body))
+  | Error { id; message } -> Printf.sprintf "ERROR|%d|%s" id (esc message)
+  | Pong { id; payload } -> Printf.sprintf "PONG|%d|%s" id (esc payload)
+  | Stats { id; body } -> Printf.sprintf "STATS|%d|%s" id (esc body)
+  | Push n -> "PUSH|" ^ esc (encode_notification n)
+
+let decode_response s =
+  match String.split_on_char '|' s with
+  | [ "WELCOME"; v; banner ] ->
+    Welcome { version = int_field "version" v; banner = unesc banner }
+  | [ "RESULT"; id; body ] ->
+    Result { id = int_field "request id" id; body = decode_body (unesc body) }
+  | [ "ERROR"; id; message ] ->
+    Error { id = int_field "request id" id; message = unesc message }
+  | [ "PONG"; id; payload ] ->
+    Pong { id = int_field "request id" id; payload = unesc payload }
+  | [ "STATS"; id; body ] ->
+    Stats { id = int_field "request id" id; body = unesc body }
+  | [ "PUSH"; n ] -> Push (decode_notification (unesc n))
+  | _ -> fail "bad response: %s" s
+
+(* ---------------- framing ---------------- *)
+
+let really_write fd bytes =
+  let n = Bytes.length bytes in
+  let rec loop off =
+    if off < n then begin
+      let written =
+        try Unix.write fd bytes off (n - off)
+        with Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+      in
+      if written = 0 then raise Closed;
+      loop (off + written)
+    end
+  in
+  loop 0
+
+(** [really_read fd n] — exactly [n] bytes; {!Closed} on EOF at a frame
+    boundary is distinguished by the caller ([off = 0]). *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec loop off =
+    if off < n then begin
+      let got =
+        try Unix.read fd buf off (n - off)
+        with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+      in
+      if got = 0 then raise Closed;
+      loop (off + got)
+    end
+  in
+  loop 0;
+  buf
+
+let write_frame ?(max_frame = default_max_frame) fd payload =
+  let n = String.length payload in
+  if n > max_frame then fail "outbound frame of %d bytes exceeds limit %d" n max_frame;
+  let frame = Bytes.create (4 + n) in
+  Bytes.set_int32_be frame 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 frame 4 n;
+  really_write fd frame
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let header = really_read fd 4 in
+  let n = Int32.to_int (Bytes.get_int32_be header 0) in
+  if n < 0 || n > max_frame then
+    fail "inbound frame of %d bytes exceeds limit %d" n max_frame;
+  Bytes.to_string (really_read fd n)

@@ -1,0 +1,65 @@
+(** The Youtopia wire protocol: versioned, length-prefixed framed messages.
+
+    A frame is a 4-byte big-endian payload length followed by the payload
+    text.  Payload fields are joined by [|] and percent-escaped with the
+    WAL codec conventions; nested structures (outcomes, notifications) are
+    embedded as single escaped fields.  See [docs/PROTOCOL.md] for the
+    full grammar. *)
+
+val protocol_version : int
+val default_max_frame : int
+
+exception Closed
+(** Peer closed the connection. *)
+
+exception Protocol_error of string
+(** Unparsable message, oversized frame, or version mismatch. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Hello of { version : int; user : string }
+      (** mandatory first frame; [user] owns the connection's queries *)
+  | Submit of { id : int; sql : string }
+  | Cancel of { id : int; query_id : int }
+  | Admin of { id : int; what : string }
+      (** "server", "stats", "pending", "answers", "tables", "report" *)
+  | Ping of { id : int; payload : string }
+  | Bye
+
+type result_body =
+  | Sql_result of string
+  | Registered of int
+  | Answered of Core.Events.notification
+  | Rejected of string
+  | Listing of string
+  | Multi of result_body list
+
+type response =
+  | Welcome of { version : int; banner : string }
+  | Result of { id : int; body : result_body }
+  | Error of { id : int; message : string }
+  | Pong of { id : int; payload : string }
+  | Stats of { id : int; body : string }
+  | Push of Core.Events.notification
+      (** unsolicited coordination answer for this connection's user *)
+
+(** {1 Codecs} *)
+
+val encode_notification : Core.Events.notification -> string
+val decode_notification : string -> Core.Events.notification
+val encode_body : result_body -> string
+val decode_body : string -> result_body
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** {1 Framing} *)
+
+val write_frame : ?max_frame:int -> Unix.file_descr -> string -> unit
+(** Raises {!Protocol_error} if the payload exceeds [max_frame], {!Closed}
+    if the peer is gone. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> string
+(** Raises {!Protocol_error} on an oversized frame, {!Closed} on EOF. *)

@@ -176,14 +176,31 @@ let read_records path =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
-    let rec loop acc =
+    let rec read_lines acc =
       match input_line ic with
-      | line -> loop (if line = "" then acc else decode_record line :: acc)
+      | line -> read_lines (line :: acc)
       | exception End_of_file ->
         close_in ic;
         List.rev acc
     in
-    loop []
+    let lines = read_lines [] in
+    let last = List.length lines - 1 in
+    lines
+    |> List.mapi (fun i l -> i, l)
+    |> List.filter_map (fun (i, line) ->
+           if line = "" then None
+           else
+             match decode_record line with
+             | r -> Some r
+             | exception
+                 ( Errors.Db_error (Errors.Wal_error _)
+                 | Failure _ | Invalid_argument _ )
+               when i = last ->
+               (* A torn write cut the final record mid-line.  Its batch
+                  has no commit marker, so it would be discarded anyway —
+                  drop the fragment.  An undecodable line anywhere else is
+                  real corruption and still fails loudly. *)
+               None)
   end
 
 (** [replay path] rebuilds a catalog from the log, applying only complete

@@ -12,6 +12,7 @@ type t = {
   sql : Sql.Run.session;
   mailbox : Core.Events.notification Queue.t;
   mu : Mutex.t;
+  mutable listener : (Core.Events.notification -> unit) option;
 }
 
 let create db user =
@@ -20,14 +21,38 @@ let create db user =
     sql = Sql.Run.make_session db;
     mailbox = Queue.create ();
     mu = Mutex.create ();
+    listener = None;
   }
 
 let user t = t.user
 
 let deliver t notification =
   Mutex.lock t.mu;
-  Queue.push notification t.mailbox;
-  Mutex.unlock t.mu
+  let listener = t.listener in
+  (match listener with
+  | None -> Queue.push notification t.mailbox
+  | Some _ -> ());
+  Mutex.unlock t.mu;
+  match listener with None -> () | Some f -> f notification
+
+(** [set_listener t l] — route notifications to [l] instead of the mailbox
+    (the network server pushes them to the owning connection).  Anything
+    already queued is flushed to the listener so nothing is stranded. *)
+let set_listener t listener =
+  Mutex.lock t.mu;
+  t.listener <- listener;
+  let backlog =
+    match listener with
+    | None -> []
+    | Some _ ->
+      let out = List.of_seq (Queue.to_seq t.mailbox) in
+      Queue.clear t.mailbox;
+      out
+  in
+  Mutex.unlock t.mu;
+  match listener with
+  | None -> ()
+  | Some f -> List.iter f backlog
 
 (** [drain t] removes and returns all queued notifications, oldest first. *)
 let drain t =

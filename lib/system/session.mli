@@ -12,12 +12,19 @@ type t = {
   sql : Sql.Run.session;
   mailbox : Core.Events.notification Queue.t;
   mu : Mutex.t;
+  mutable listener : (Core.Events.notification -> unit) option;
 }
 
 val create : Relational.Database.t -> string -> t
 val user : t -> string
 
 val deliver : t -> Core.Events.notification -> unit
+
+val set_listener : t -> (Core.Events.notification -> unit) option -> unit
+(** Route notifications to the callback instead of the mailbox — the
+    network server uses this to push answers to the owning connection the
+    moment a group is fulfilled.  Queued notifications are flushed to the
+    listener on installation; [None] restores mailbox queueing. *)
 
 val drain : t -> Core.Events.notification list
 (** Remove and return all queued notifications, oldest first. *)

@@ -64,6 +64,14 @@ let session t user =
   Mutex.unlock t.mu;
   s
 
+(** [close_session t s] — unregister a session so notifications stop being
+    routed to it (network connections close; in-process sessions usually
+    live as long as the system). *)
+let close_session t s =
+  Mutex.lock t.mu;
+  t.sessions <- List.filter (fun s' -> s' != s) t.sessions;
+  Mutex.unlock t.mu
+
 let declare_answer_relation t schema =
   Core.Coordinator.declare_answer_relation t.coordinator schema
 

@@ -33,6 +33,10 @@ val session : t -> string -> Session.t
 (** Create and register a session for the user; the session's mailbox
     receives that user's coordination answers. *)
 
+val close_session : t -> Session.t -> unit
+(** Unregister a session: its mailbox stops receiving coordination
+    answers.  Used by the network server when a connection closes. *)
+
 val declare_answer_relation : t -> Schema.t -> unit
 
 (** Result of submitting one statement. *)

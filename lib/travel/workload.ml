@@ -2,15 +2,20 @@
     the paper: "a large number of entangled queries … trying to coordinate
     simultaneously") and for the benchmark sweeps. *)
 
-(** [pair_query cat ~user ~friend ~dest] — the canonical pairwise flight
-    coordination query (no side effects; pure coordination load). *)
+(** [pair_sql ~user ~friend ~dest] — the canonical pairwise flight
+    coordination query as SQL text (what a front-end submits over the
+    wire). *)
+let pair_sql ~user ~friend ~dest =
+  Printf.sprintf
+    "SELECT %s, fno INTO ANSWER FlightRes WHERE fno IN (SELECT fno FROM \
+     Flights WHERE dest = '%s') AND (%s, fno) IN ANSWER FlightRes CHOOSE 1"
+    ("'" ^ user ^ "'") dest
+    ("'" ^ friend ^ "'")
+
+(** [pair_query cat ~user ~friend ~dest] — the same query compiled (no side
+    effects; pure coordination load). *)
 let pair_query cat ~user ~friend ~dest =
-  Core.Translate.of_sql cat ~owner:user
-    (Printf.sprintf
-       "SELECT %s, fno INTO ANSWER FlightRes WHERE fno IN (SELECT fno FROM \
-        Flights WHERE dest = '%s') AND (%s, fno) IN ANSWER FlightRes CHOOSE 1"
-       ("'" ^ user ^ "'") dest
-       ("'" ^ friend ^ "'"))
+  Core.Translate.of_sql cat ~owner:user (pair_sql ~user ~friend ~dest)
 
 (** [group_queries cat ~members ~dest] — clique coordination: every member
     requires every other member on the same flight. *)

@@ -3,10 +3,13 @@
 
 open Relational
 
+val pair_sql : user:string -> friend:string -> dest:string -> string
+(** The canonical pairwise flight coordination query as SQL text (what a
+    front-end submits over the wire). *)
+
 val pair_query :
   Catalog.t -> user:string -> friend:string -> dest:string -> Core.Equery.t
-(** The canonical pairwise flight coordination query (no side effects;
-    pure coordination load). *)
+(** The same query compiled (no side effects; pure coordination load). *)
 
 val group_queries :
   Catalog.t -> members:string list -> dest:string -> Core.Equery.t list

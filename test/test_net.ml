@@ -1,0 +1,347 @@
+(* Tests for the wire protocol (codecs + framing) and the TCP
+   server/client: round-trips of every message kind, oversized-frame and
+   unknown-version rejection, and an end-to-end loopback run where two
+   clients' entangled queries coordinate and both receive pushed
+   notifications. *)
+
+open Relational
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------------- codec round-trips ---------------- *)
+
+(* a notification exercising every escaping hazard: separators, percent,
+   newlines, and non-ASCII bytes in owners, labels, and answer tuples *)
+let nasty_notification : Core.Events.notification =
+  {
+    Core.Events.query_id = 42;
+    owner = "jerry|kramer%0A;weird,owner\nwith newline";
+    label = "SELECT 'x|y' INTO ANSWER R WHERE a = 'b;c,d%'";
+    group = [ 42; 7; 9001 ];
+    answers =
+      [
+        "Reservation|odd", [| Value.Str "K|J;%,\n"; Value.Int (-3) |];
+        "Héllo", [| Value.Null; Value.Float 2.5; Value.Bool true |];
+        "Empty", [||];
+      ];
+  }
+
+let notification_eq (a : Core.Events.notification) (b : Core.Events.notification) =
+  a.Core.Events.query_id = b.Core.Events.query_id
+  && a.Core.Events.owner = b.Core.Events.owner
+  && a.Core.Events.label = b.Core.Events.label
+  && a.Core.Events.group = b.Core.Events.group
+  && List.length a.Core.Events.answers = List.length b.Core.Events.answers
+  && List.for_all2
+       (fun (r1, t1) (r2, t2) -> r1 = r2 && Tuple.equal t1 t2)
+       a.Core.Events.answers b.Core.Events.answers
+
+let test_notification_roundtrip () =
+  let encoded = Net.Wire.encode_notification nasty_notification in
+  let decoded = Net.Wire.decode_notification encoded in
+  check bool "notification round-trips" true
+    (notification_eq nasty_notification decoded)
+
+let requests : (string * Net.Wire.request) list =
+  [
+    "hello", Net.Wire.Hello { version = 1; user = "jer|ry%;,\nname" };
+    ( "submit",
+      Net.Wire.Submit
+        { id = 7; sql = "SELECT 'a|b' FROM t WHERE x = '%7C;\n,'" } );
+    "cancel", Net.Wire.Cancel { id = 8; query_id = 123 };
+    "admin", Net.Wire.Admin { id = 9; what = "server" };
+    "ping", Net.Wire.Ping { id = 10; payload = "p|a%y;l,oad" };
+    "bye", Net.Wire.Bye;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun (name, r) ->
+      let encoded = Net.Wire.encode_request r in
+      check string_t name encoded
+        (Net.Wire.encode_request (Net.Wire.decode_request encoded)))
+    requests
+
+let responses : (string * Net.Wire.response) list =
+  [
+    "welcome", Net.Wire.Welcome { version = 1; banner = "you|topia%" };
+    "result-sql", Net.Wire.Result { id = 1; body = Net.Wire.Sql_result "3 row(s)\n1|2" };
+    "result-reg", Net.Wire.Result { id = 2; body = Net.Wire.Registered 55 };
+    ( "result-ans",
+      Net.Wire.Result { id = 3; body = Net.Wire.Answered nasty_notification } );
+    "result-rej", Net.Wire.Result { id = 4; body = Net.Wire.Rejected "unsafe: x|y" };
+    "result-lst", Net.Wire.Result { id = 5; body = Net.Wire.Listing "Q1 Q2" };
+    ( "result-multi",
+      Net.Wire.Result
+        {
+          id = 6;
+          body =
+            Net.Wire.Multi
+              [
+                Net.Wire.Registered 1;
+                Net.Wire.Answered nasty_notification;
+                Net.Wire.Multi [ Net.Wire.Rejected "no"; Net.Wire.Sql_result "ok" ];
+              ];
+        } );
+    "error", Net.Wire.Error { id = 7; message = "parse|error %0A" };
+    "pong", Net.Wire.Pong { id = 8; payload = "echo" };
+    "stats", Net.Wire.Stats { id = 9; body = "a=1\nb=2" };
+    "push", Net.Wire.Push nasty_notification;
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun (name, r) ->
+      let encoded = Net.Wire.encode_response r in
+      check string_t name encoded
+        (Net.Wire.encode_response (Net.Wire.decode_response encoded)))
+    responses
+
+let test_decode_garbage_rejected () =
+  List.iter
+    (fun s ->
+      match Net.Wire.decode_request s with
+      | _ -> Alcotest.failf "should reject request %S" s
+      | exception Net.Wire.Protocol_error _ -> ())
+    [ ""; "NOPE"; "SUBMIT|x|y"; "HELLO|one|u"; "SUBMIT|1" ];
+  List.iter
+    (fun s ->
+      match Net.Wire.decode_response s with
+      | _ -> Alcotest.failf "should reject response %S" s
+      | exception Net.Wire.Protocol_error _ -> ())
+    [ ""; "YES|1"; "RESULT|1|WAT|x"; "PUSH|notanotification" ]
+
+(* ---------------- framing ---------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payload = "hello frame \x00 with nul and \xff bytes" in
+      Net.Wire.write_frame a payload;
+      check string_t "payload" payload (Net.Wire.read_frame b);
+      Net.Wire.write_frame a "";
+      check string_t "empty payload" "" (Net.Wire.read_frame b))
+
+let test_oversized_frame_rejected_on_read () =
+  with_socketpair (fun a b ->
+      Net.Wire.write_frame a (String.make 100 'x');
+      match Net.Wire.read_frame ~max_frame:50 b with
+      | _ -> Alcotest.fail "oversized frame must be rejected"
+      | exception Net.Wire.Protocol_error _ -> ())
+
+let test_oversized_frame_rejected_on_write () =
+  with_socketpair (fun a _b ->
+      match Net.Wire.write_frame ~max_frame:10 a (String.make 11 'x') with
+      | _ -> Alcotest.fail "oversized write must be rejected"
+      | exception Net.Wire.Protocol_error _ -> ())
+
+let test_eof_is_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Net.Wire.read_frame b with
+      | _ -> Alcotest.fail "EOF must raise Closed"
+      | exception Net.Wire.Closed -> ())
+
+(* ---------------- server ---------------- *)
+
+let with_server ?(config = { Net.Server.default_config with Net.Server.port = 0 })
+    f =
+  let sys = Travel.Datagen.make_system ~seed:1 ~n_flights:8 ~n_hotels:2 () in
+  let server = Net.Server.start ~config sys in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop server)
+    (fun () -> f server (Net.Server.port server))
+
+let test_unknown_version_rejected () =
+  with_server (fun _server port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+          Net.Wire.write_frame fd
+            (Net.Wire.encode_request
+               (Net.Wire.Hello { version = 99; user = "time-traveller" }));
+          match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Error { id = 0; message } ->
+            check bool "mentions version" true
+              (String.length message > 0
+              && Astring.String.is_infix ~affix:"version" message)
+          | _ -> Alcotest.fail "expected an ERROR frame"))
+
+let test_non_hello_first_frame_rejected () =
+  with_server (fun _server port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+          Net.Wire.write_frame fd
+            (Net.Wire.encode_request (Net.Wire.Ping { id = 1; payload = "hi" }));
+          match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Error { id = 0; _ } -> ()
+          | _ -> Alcotest.fail "expected an ERROR frame"))
+
+let test_plain_sql_over_wire () =
+  with_server (fun _server port ->
+      let c = Net.Client.connect ~port ~user:"sql" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          (match Net.Client.submit c "CREATE TABLE Notes (id INT, txt TEXT)" with
+          | Net.Wire.Sql_result _ -> ()
+          | _ -> Alcotest.fail "create should be a SQL result");
+          (match Net.Client.submit c "INSERT INTO Notes VALUES (1, 'a|b%;')" with
+          | Net.Wire.Sql_result _ -> ()
+          | _ -> Alcotest.fail "insert should be a SQL result");
+          (match Net.Client.submit c "SELECT txt FROM Notes WHERE id = 1" with
+          | Net.Wire.Sql_result s ->
+            check bool "escaped text survives" true
+              (Astring.String.is_infix ~affix:"a|b%;" s)
+          | _ -> Alcotest.fail "select should be a SQL result");
+          (* SQL errors come back as Server_error, connection stays usable *)
+          (match Net.Client.submit c "SELECT nope FROM Missing" with
+          | _ -> Alcotest.fail "bad SQL must error"
+          | exception Net.Client.Server_error _ -> ());
+          check string_t "ping after error" "still-here"
+            (Net.Client.ping ~payload:"still-here" c)))
+
+let test_e2e_coordination_with_push () =
+  with_server (fun server port ->
+      let alice = Net.Client.connect ~port ~user:"alice" () in
+      let bob = Net.Client.connect ~port ~user:"bob" () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close alice;
+          Net.Client.close bob)
+        (fun () ->
+          (* alice's half parks *)
+          let qid =
+            match
+              Net.Client.submit alice
+                (Travel.Workload.pair_sql ~user:"alice" ~friend:"bob"
+                   ~dest:"Paris")
+            with
+            | Net.Wire.Registered id -> id
+            | _ -> Alcotest.fail "alice should be registered"
+          in
+          check bool "no answer yet" true
+            (Net.Client.poll_notifications alice = []);
+          (* bob's half closes the group *)
+          (match
+             Net.Client.submit bob
+               (Travel.Workload.pair_sql ~user:"bob" ~friend:"alice"
+                  ~dest:"Paris")
+           with
+          | Net.Wire.Answered n ->
+            check bool "bob in his own group" true
+              (List.mem qid n.Core.Events.group)
+          | _ -> Alcotest.fail "bob should be answered immediately");
+          (* both clients receive their PUSHed notification, no polling of
+             the database — this is the demo's Facebook-message moment *)
+          (match Net.Client.wait_notification ~timeout:5. alice with
+          | Some n ->
+            check string_t "alice's push is hers" "alice" n.Core.Events.owner;
+            check int "alice's own query id" qid n.Core.Events.query_id;
+            check int "group of two" 2 (List.length n.Core.Events.group)
+          | None -> Alcotest.fail "alice never got her push");
+          (match Net.Client.wait_notification ~timeout:5. bob with
+          | Some n -> check string_t "bob's push is his" "bob" n.Core.Events.owner
+          | None -> Alcotest.fail "bob never got his push");
+          (* server counters saw it all *)
+          let s = Net.Server_stats.snapshot (Net.Server.stats server) in
+          check int "two active connections" 2 s.Net.Server_stats.connections_active;
+          check int "two submits" 2 s.Net.Server_stats.submits;
+          check int "two pushes" 2 s.Net.Server_stats.pushes;
+          check bool "bytes flowed" true
+            (s.Net.Server_stats.bytes_in > 0 && s.Net.Server_stats.bytes_out > 0)))
+
+let test_cancel_over_wire () =
+  with_server (fun _server port ->
+      let c = Net.Client.connect ~port ~user:"carol" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          let qid =
+            match
+              Net.Client.submit c
+                (Travel.Workload.pair_sql ~user:"carol" ~friend:"ghost"
+                   ~dest:"Paris")
+            with
+            | Net.Wire.Registered id -> id
+            | _ -> Alcotest.fail "carol should be registered"
+          in
+          check bool "cancel acknowledges" true
+            (Astring.String.is_infix ~affix:"cancelled"
+               (Net.Client.cancel c qid));
+          (* second cancel: the id is no longer pending *)
+          match Net.Client.cancel c qid with
+          | _ -> Alcotest.fail "double cancel must error"
+          | exception Net.Client.Server_error _ -> ()))
+
+let test_admin_probes () =
+  with_server (fun _server port ->
+      let c = Net.Client.connect ~port ~user:"admin" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          check bool "server counters" true
+            (Astring.String.is_infix ~affix:"connections_total="
+               (Net.Client.admin c "server"));
+          check bool "tables dump mentions Flights" true
+            (Astring.String.is_infix ~affix:"Flights" (Net.Client.admin c "tables"));
+          check bool "stats dump" true (String.length (Net.Client.admin c "stats") > 0);
+          match Net.Client.admin c "no-such-probe" with
+          | _ -> Alcotest.fail "unknown probe must error"
+          | exception Net.Client.Server_error _ -> ()))
+
+let test_server_rejects_oversized_frame () =
+  let config =
+    { Net.Server.default_config with Net.Server.port = 0; max_frame = 256 }
+  in
+  with_server ~config (fun _server port ->
+      let c = Net.Client.connect ~port ~user:"bulk" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          let big = "SELECT '" ^ String.make 1000 'x' ^ "' FROM Flights" in
+          match Net.Client.submit c big with
+          | _ -> Alcotest.fail "server must reject the oversized frame"
+          | exception (Net.Client.Server_error _ | Net.Wire.Closed) -> ()))
+
+let suite =
+  [
+    Alcotest.test_case "notification round-trip" `Quick test_notification_roundtrip;
+    Alcotest.test_case "request round-trips" `Quick test_request_roundtrip;
+    Alcotest.test_case "response round-trips" `Quick test_response_roundtrip;
+    Alcotest.test_case "garbage rejected" `Quick test_decode_garbage_rejected;
+    Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "oversized frame rejected (read)" `Quick
+      test_oversized_frame_rejected_on_read;
+    Alcotest.test_case "oversized frame rejected (write)" `Quick
+      test_oversized_frame_rejected_on_write;
+    Alcotest.test_case "EOF raises Closed" `Quick test_eof_is_closed;
+    Alcotest.test_case "unknown protocol version rejected" `Quick
+      test_unknown_version_rejected;
+    Alcotest.test_case "non-HELLO first frame rejected" `Quick
+      test_non_hello_first_frame_rejected;
+    Alcotest.test_case "plain SQL over the wire" `Quick test_plain_sql_over_wire;
+    Alcotest.test_case "two clients coordinate; both pushed" `Quick
+      test_e2e_coordination_with_push;
+    Alcotest.test_case "cancel over the wire" `Quick test_cancel_over_wire;
+    Alcotest.test_case "admin probes" `Quick test_admin_probes;
+    Alcotest.test_case "server rejects oversized frame" `Quick
+      test_server_rejects_oversized_frame;
+  ]

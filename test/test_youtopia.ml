@@ -7,6 +7,7 @@ let () =
       "relational", Test_relational.suite;
       "query", Test_query.suite;
       "storage", Test_storage.suite;
+      "wal-torn", Test_wal_torn.suite;
       "stats", Test_stats.suite;
       "sql", Test_sql.suite;
       "sql-features", Test_sql_features.suite;
@@ -16,6 +17,7 @@ let () =
       "extensions", Test_extensions.suite;
       "matcher-props", Test_matcher_props.suite;
       "frontend", Test_frontend.suite;
+      "net", Test_net.suite;
       "edge-cases", Test_edge_cases.suite;
       "random-sql", Test_random_sql.suite;
       "ast-fuzz", Test_ast_fuzz.suite;
