@@ -20,6 +20,9 @@ type t = {
   mutable banner : string;
   mutable next_id : int;
   pushes : Core.Events.notification Queue.t;
+  mutable pending : string;
+      (* bytes received ahead of frame decoding; a partially delivered
+         frame waits here until the rest arrives *)
   mutable closed : bool;
 }
 
@@ -44,6 +47,7 @@ let connect ?(host = "127.0.0.1") ?(port = 7077)
       banner = "";
       next_id = 1;
       pushes = Queue.create ();
+      pending = "";
       closed = false;
     }
   in
@@ -61,7 +65,44 @@ let connect ?(host = "127.0.0.1") ?(port = 7077)
 
 (* ---------------- response pump ---------------- *)
 
-let read_response t = Wire.decode_response (Wire.read_frame ~max_frame:t.max_frame t.fd)
+(** Extract one complete frame from the read-ahead buffer, if present. *)
+let take_frame t =
+  let s = t.pending in
+  let len = String.length s in
+  if len < 4 then None
+  else begin
+    let n = Int32.to_int (String.get_int32_be s 0) in
+    if n < 0 || n > t.max_frame then
+      raise
+        (Wire.Protocol_error
+           (Printf.sprintf "inbound frame of %d bytes exceeds limit %d" n
+              t.max_frame));
+    if len < 4 + n then None
+    else begin
+      t.pending <- String.sub s (4 + n) (len - 4 - n);
+      Some (String.sub s 4 n)
+    end
+  end
+
+(** One [read] into the buffer — blocking unless the fd is known
+    readable, in which case it returns whatever is available. *)
+let fill t =
+  let buf = Bytes.create 8192 in
+  let got =
+    try Unix.read t.fd buf 0 (Bytes.length buf)
+    with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+  in
+  if got = 0 then raise Wire.Closed;
+  t.pending <- t.pending ^ Bytes.sub_string buf 0 got
+
+let rec read_buffered_frame t =
+  match take_frame t with
+  | Some payload -> payload
+  | None ->
+    fill t;
+    read_buffered_frame t
+
+let read_response t = Wire.decode_response (read_buffered_frame t)
 
 (** Block until the response correlated with [id] arrives, stashing any
     pushes encountered on the way. *)
@@ -119,18 +160,24 @@ let drain t =
   out
 
 (** [poll_notifications t] — drain everything already readable without
-    blocking: pushed answers that arrived since the last call. *)
+    blocking: pushed answers that arrived since the last call.  Only
+    complete frames are decoded; a frame still in flight stays in the
+    read-ahead buffer for a later call, so this never blocks mid-frame. *)
 let poll_notifications t =
+  let readable () =
+    match Unix.select [ t.fd ] [] [] 0. with [ _ ], _, _ -> true | _ -> false
+  in
   let rec slurp () =
-    match Unix.select [ t.fd ] [] [] 0. with
-    | [ _ ], _, _ -> (
-      match read_response t with
+    match take_frame t with
+    | Some payload -> (
+      match Wire.decode_response payload with
       | Wire.Push n ->
         Queue.push n t.pushes;
         slurp ()
-      | _ -> raise (Wire.Protocol_error "unsolicited non-push response")
-      | exception Wire.Closed -> ())
-    | _ -> ()
+      | _ -> raise (Wire.Protocol_error "unsolicited non-push response"))
+    | None ->
+      if readable () then
+        match fill t with () -> slurp () | exception Wire.Closed -> ()
   in
   if not t.closed then slurp ();
   drain t
@@ -143,20 +190,23 @@ let wait_notification ?(timeout = -1.) t =
   else begin
     let deadline = if timeout < 0. then None else Some (Unix.gettimeofday () +. timeout) in
     let rec wait () =
-      let left =
-        match deadline with
-        | None -> -1.
-        | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
-      in
-      if left = 0. && deadline <> None then None
-      else
-        match Unix.select [ t.fd ] [] [] left with
-        | [ _ ], _, _ -> (
-          match read_response t with
-          | Wire.Push n -> Some n
-          | _ -> raise (Wire.Protocol_error "unsolicited non-push response")
-          | exception Wire.Closed -> None)
-        | _ -> wait ()
+      match take_frame t with
+      | Some payload -> (
+        match Wire.decode_response payload with
+        | Wire.Push n -> Some n
+        | _ -> raise (Wire.Protocol_error "unsolicited non-push response"))
+      | None ->
+        let left =
+          match deadline with
+          | None -> -1.
+          | Some d -> Float.max 0. (d -. Unix.gettimeofday ())
+        in
+        if left = 0. && deadline <> None then None
+        else (
+          match Unix.select [ t.fd ] [] [] left with
+          | [ _ ], _, _ -> (
+            match fill t with () -> wait () | exception Wire.Closed -> None)
+          | _ -> wait ())
     in
     wait ()
   end

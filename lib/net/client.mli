@@ -37,7 +37,9 @@ val admin : t -> string -> string
 val ping : ?payload:string -> t -> string
 
 val poll_notifications : t -> Core.Events.notification list
-(** Drain pushed coordination answers without blocking. *)
+(** Drain pushed coordination answers without blocking: only complete
+    frames are decoded, and a partially delivered frame is buffered
+    until a later call completes it. *)
 
 val wait_notification : ?timeout:float -> t -> Core.Events.notification option
 (** Block until a pushed answer arrives; [None] on timeout (seconds;

@@ -28,6 +28,9 @@ type config = {
   backlog : int;
   max_frame : int;
   read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  max_outq : int;
+      (** frames a connection may have queued outbound before it is
+          dropped as a slow consumer *)
   banner : string;
 }
 
@@ -38,6 +41,7 @@ let default_config =
     backlog = 64;
     max_frame = Wire.default_max_frame;
     read_timeout = 0.;
+    max_outq = 1024;
     banner = "youtopia";
   }
 
@@ -78,17 +82,37 @@ let with_engine t f =
 
 (* ---------------- outbound queue ---------------- *)
 
-let enqueue conn payload =
+(** Enqueue for the writer thread, bounded by [config.max_outq]: a peer
+    that stops reading while frames keep arriving (the writer blocked in
+    [write], the queue growing) is dropped rather than buffered without
+    limit.  The fd shutdown kicks both the blocked writer and the
+    reader's pending read, so normal teardown runs. *)
+let enqueue t conn payload =
   Mutex.lock conn.out_mu;
-  if not conn.closing then begin
-    Queue.push payload conn.outq;
-    Condition.signal conn.out_cond
-  end;
-  Mutex.unlock conn.out_mu
+  let overflow =
+    if conn.closing then false
+    else if Queue.length conn.outq >= t.config.max_outq then begin
+      conn.closing <- true;
+      Queue.clear conn.outq;
+      Condition.signal conn.out_cond;
+      true
+    end
+    else begin
+      Queue.push payload conn.outq;
+      Condition.signal conn.out_cond;
+      false
+    end
+  in
+  Mutex.unlock conn.out_mu;
+  if overflow then begin
+    Server_stats.on_error t.stats;
+    Log.warn (fun f ->
+        f "conn %d: slow consumer, %d frames queued; dropping" conn.conn_id
+          t.config.max_outq);
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
 
-let send t conn response =
-  ignore t;
-  enqueue conn (Wire.encode_response response)
+let send t conn response = enqueue t conn (Wire.encode_response response)
 
 (** Writer thread body: drain the queue to the socket; exit once the
     connection is closing {i and} the queue is empty, so queued frames
@@ -231,7 +255,14 @@ let reader_loop t conn =
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
     Log.debug (fun f -> f "conn %d: read timeout" conn.conn_id);
     send t conn (Wire.Error { id = 0; message = "read timeout; closing" })
-  | Unix.Unix_error _ -> ());
+  | Unix.Unix_error _ -> ()
+  | exn ->
+    (* any other decode/dispatch failure: the teardown below must still
+       run, or the session and fd leak and the writer waits forever *)
+    Server_stats.on_error t.stats;
+    Log.debug (fun f ->
+        f "conn %d: reader failed: %s" conn.conn_id (Printexc.to_string exn));
+    send t conn (Wire.Error { id = 0; message = Printexc.to_string exn }));
   (* teardown: detach the session, drain the writer, close the socket *)
   (match !session with
   | Some s ->
@@ -284,6 +315,14 @@ let accept_loop t =
       ->
       () (* listen socket closed during shutdown, or a racy abort *)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+      (* e.g. EMFILE/ENFILE under fd exhaustion: keep accepting once fds
+         free up; back off briefly so a persistent error does not spin *)
+      if t.running then begin
+        Server_stats.on_error t.stats;
+        Log.err (fun f -> f "accept: %s; retrying" (Unix.error_message err));
+        Thread.delay 0.05
+      end
   done
 
 (* ---------------- lifecycle ---------------- *)

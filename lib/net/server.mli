@@ -16,11 +16,15 @@ type config = {
   backlog : int;
   max_frame : int;  (** frames beyond this are rejected, both directions *)
   read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  max_outq : int;
+      (** frames a connection may have queued outbound before it is
+          dropped as a slow consumer (a peer that stops reading) *)
   banner : string;  (** sent back in the WELCOME frame *)
 }
 
 val default_config : config
-(** 127.0.0.1:7077, 1 MiB frames, no read timeout. *)
+(** 127.0.0.1:7077, 1 MiB frames, no read timeout, 1024-frame outbound
+    queues. *)
 
 type t
 

@@ -41,17 +41,26 @@ let escape s =
     s;
   Buffer.contents buf
 
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
 let unescape s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let rec loop i =
     if i >= n then ()
-    else if s.[i] = '%' && i + 2 < n then begin
-      let code = int_of_string ("0x" ^ String.sub s (i + 1) 2) in
-      Buffer.add_char buf (Char.chr code);
+    else if s.[i] = '%' && i + 2 < n && hex_digit s.[i + 1] >= 0
+            && hex_digit s.[i + 2] >= 0 then begin
+      Buffer.add_char buf (Char.chr ((hex_digit s.[i + 1] * 16) + hex_digit s.[i + 2]));
       loop (i + 3)
     end
     else begin
+      (* not a well-formed escape (truncated, or non-hex as in "%zz"):
+         keep the bytes literally so decoding is total on any input —
+         both WAL recovery and the wire decoder feed this untrusted data *)
       Buffer.add_char buf s.[i];
       loop (i + 1)
     end

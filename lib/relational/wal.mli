@@ -19,6 +19,10 @@ type record =
 (** {1 Codecs} (exposed for tests) *)
 
 val escape : string -> string
+
+(** [unescape s] is total on arbitrary input: a malformed percent-escape
+    (truncated or non-hex) is kept literally instead of raising, so torn
+    WAL tails and hostile wire payloads decode deterministically. *)
 val unescape : string -> string
 val encode_value : Value.t -> string
 val decode_value : string -> Value.t

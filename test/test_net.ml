@@ -321,6 +321,148 @@ let test_server_rejects_oversized_frame () =
           | _ -> Alcotest.fail "server must reject the oversized frame"
           | exception (Net.Client.Server_error _ | Net.Wire.Closed) -> ()))
 
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let test_malformed_escape_handled () =
+  with_server (fun _server port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+          Net.Wire.write_frame fd
+            (Net.Wire.encode_request
+               (Net.Wire.Hello
+                  { version = Net.Wire.protocol_version; user = "mallory" }));
+          (match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Welcome _ -> ()
+          | _ -> Alcotest.fail "expected WELCOME");
+          (* a raw frame with a malformed percent-escape: unescape is total
+             (the literal "%zz" survives), SQL parsing fails, and the reader
+             thread must survive to answer the next request rather than die
+             and leak the connection *)
+          Net.Wire.write_frame fd "SUBMIT|1|%zz";
+          (match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Error { id = 1; _ } -> ()
+          | _ -> Alcotest.fail "expected an ERROR for request 1");
+          Net.Wire.write_frame fd
+            (Net.Wire.encode_request (Net.Wire.Ping { id = 2; payload = "alive" }));
+          match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Pong { id = 2; payload } ->
+            check string_t "reader survived" "alive" payload
+          | _ -> Alcotest.fail "expected PONG"))
+
+let test_slow_consumer_dropped () =
+  let config =
+    { Net.Server.default_config with Net.Server.port = 0; max_outq = 4 }
+  in
+  with_server ~config (fun _server port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.;
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+          Net.Wire.write_frame fd
+            (Net.Wire.encode_request
+               (Net.Wire.Hello
+                  { version = Net.Wire.protocol_version; user = "sloth" }));
+          (match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+          | Net.Wire.Welcome _ -> ()
+          | _ -> Alcotest.fail "expected WELCOME");
+          (* fat pings, never reading the pongs: the server's writer blocks
+             once the socket buffers fill, the outbound queue passes
+             max_outq, and the connection must be dropped instead of
+             buffering without bound *)
+          let payload = String.make (256 * 1024) 'p' in
+          let dropped = ref false in
+          (try
+             for i = 1 to 64 do
+               Net.Wire.write_frame fd
+                 (Net.Wire.encode_request (Net.Wire.Ping { id = i; payload }))
+             done
+           with Net.Wire.Closed | Unix.Unix_error _ -> dropped := true);
+          if not !dropped then begin
+            (* every write fit in kernel buffers; the drop shows up as
+               EOF/reset once we drain what the writer sent before dying *)
+            try
+              while true do
+                ignore (Net.Wire.read_frame fd)
+              done
+            with Net.Wire.Closed | Unix.Unix_error _ -> dropped := true
+          end;
+          check bool "slow consumer dropped" true !dropped);
+      (* the server is still healthy for other clients *)
+      let c = Net.Client.connect ~port ~user:"fresh" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () -> check string_t "server alive" "ok" (Net.Client.ping ~payload:"ok" c)))
+
+let test_poll_partial_frame_nonblocking () =
+  (* hand-rolled server: handshake, then dribble a PUSH frame in two
+     halves; poll_notifications must buffer the half and return instead of
+     blocking mid-frame *)
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+      Unix.listen lfd 1;
+      let port =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      let push =
+        Net.Wire.encode_response
+          (Net.Wire.Push
+             {
+               Core.Events.query_id = 1;
+               owner = "u";
+               label = "l";
+               group = [ 1 ];
+               answers = [];
+             })
+      in
+      let n = String.length push in
+      let frame = Bytes.create (4 + n) in
+      Bytes.set_int32_be frame 0 (Int32.of_int n);
+      Bytes.blit_string push 0 frame 4 n;
+      let server_side = ref None in
+      let srv =
+        Thread.create
+          (fun () ->
+            let fd, _ = Unix.accept lfd in
+            ignore (Net.Wire.read_frame fd);
+            Net.Wire.write_frame fd
+              (Net.Wire.encode_response
+                 (Net.Wire.Welcome
+                    { version = Net.Wire.protocol_version; banner = "fake" }));
+            server_side := Some fd)
+          ()
+      in
+      let c = Net.Client.connect ~port ~user:"u" () in
+      Thread.join srv;
+      let fd = match !server_side with Some fd -> fd | None -> assert false in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close c;
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let half = (4 + n) / 2 in
+          ignore (Unix.write fd frame 0 half);
+          Thread.delay 0.05;
+          check int "half a frame yields nothing" 0
+            (List.length (Net.Client.poll_notifications c));
+          ignore (Unix.write fd frame half (4 + n - half));
+          Thread.delay 0.05;
+          check int "completed frame delivered" 1
+            (List.length (Net.Client.poll_notifications c))))
+
 let suite =
   [
     Alcotest.test_case "notification round-trip" `Quick test_notification_roundtrip;
@@ -344,4 +486,9 @@ let suite =
     Alcotest.test_case "admin probes" `Quick test_admin_probes;
     Alcotest.test_case "server rejects oversized frame" `Quick
       test_server_rejects_oversized_frame;
+    Alcotest.test_case "malformed escape survives" `Quick
+      test_malformed_escape_handled;
+    Alcotest.test_case "slow consumer dropped" `Quick test_slow_consumer_dropped;
+    Alcotest.test_case "poll buffers partial frames" `Quick
+      test_poll_partial_frame_nonblocking;
   ]

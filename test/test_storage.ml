@@ -139,6 +139,17 @@ let test_wal_roundtrip_records () =
       check bool "roundtrip" true (decoded = r))
     records
 
+(* unescape must be total: malformed escapes come from torn WAL tails and
+   from hostile wire payloads, and must never raise *)
+let test_wal_unescape_total () =
+  let str = Alcotest.string in
+  check str "valid escape" "|" (Wal.unescape "%7C");
+  check str "roundtrip" "a|b%c\nd" (Wal.unescape (Wal.escape "a|b%c\nd"));
+  check str "non-hex kept literally" "%zz" (Wal.unescape "%zz");
+  check str "half escape kept literally" "%7" (Wal.unescape "%7");
+  check str "trailing percent" "100%" (Wal.unescape "100%");
+  check str "mixed" "ok|%zz%" (Wal.unescape "ok%7C%zz%")
+
 let test_wal_replay () =
   with_tmp (fun path ->
       let db = Database.create () in
@@ -286,6 +297,7 @@ let suite =
       test_txn_savepoint_cross_txn_rejected;
     Alcotest.test_case "table compact" `Quick test_table_compact;
     Alcotest.test_case "wal record roundtrip" `Quick test_wal_roundtrip_records;
+    Alcotest.test_case "wal unescape total" `Quick test_wal_unescape_total;
     Alcotest.test_case "wal replay" `Quick test_wal_replay;
     Alcotest.test_case "wal skips rolled-back txn" `Quick test_wal_rolled_back_txn_not_logged;
     Alcotest.test_case "wal torn tail discarded" `Quick test_wal_torn_tail_discarded;
