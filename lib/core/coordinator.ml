@@ -28,10 +28,18 @@ type config = {
   matcher : Matcher.config;
   use_head_index : bool;  (** ablation switch for the pending-store index *)
   auto_retry : bool;  (** cascade retries after each fulfilment *)
+  use_plan_cache : bool;  (** ground retries from the versioned plan cache *)
+  use_dirty_poke : bool;  (** poke retries only readers of changed tables *)
 }
 
 let default_config =
-  { matcher = Matcher.default_config; use_head_index = true; auto_retry = true }
+  {
+    matcher = Matcher.default_config;
+    use_head_index = true;
+    auto_retry = true;
+    use_plan_cache = true;
+    use_dirty_poke = true;
+  }
 
 type t = {
   db : Database.t;
@@ -39,6 +47,11 @@ type t = {
   pending : Pending.t;
   config : config;
   stats : Stats.t;
+  cache : Plan_cache.t option;  (** grounding memo, [use_plan_cache] *)
+  versions : (string, int * int) Hashtbl.t;
+      (** last-poke [(uid, version)] snapshot per table, [use_dirty_poke] *)
+  dirty : (string, unit) Hashtbl.t;
+      (** tables touched since the last poke drained them *)
   mutable next_id : int;
   mutable listeners : (Events.notification -> unit) list;
   deadlines : (int, float) Hashtbl.t;
@@ -53,17 +66,39 @@ type outcome =
   | Multi of outcome list  (** CHOOSE k > 1: one outcome per instance *)
 
 let create ?(config = default_config) db =
-  {
-    db;
-    answers = Answers.create db;
-    pending = Pending.create ~use_head_index:config.use_head_index ();
-    config;
-    stats = Stats.create ();
-    next_id = 1;
-    listeners = [];
-    deadlines = Hashtbl.create 16;
-    mu = Mutex.create ();
-  }
+  let t =
+    {
+      db;
+      answers = Answers.create db;
+      pending = Pending.create ~use_head_index:config.use_head_index ();
+      config;
+      stats = Stats.create ();
+      cache = (if config.use_plan_cache then Some (Plan_cache.create ()) else None);
+      versions = Hashtbl.create 32;
+      dirty = Hashtbl.create 32;
+      next_id = 1;
+      listeners = [];
+      deadlines = Hashtbl.create 16;
+      mu = Mutex.create ();
+    }
+  in
+  (* Eager dirty tracking: every committed transaction records the tables it
+     touched.  Direct (non-transactional) [Table] mutations are caught by
+     the version-snapshot diff at poke time instead — see [refresh_dirty]. *)
+  if config.use_dirty_poke then
+    Txn.add_observer db.Database.txns (fun ops ->
+        List.iter
+          (fun op ->
+            let table =
+              match op with
+              | Txn.Ins (tbl, _, _) | Txn.Del (tbl, _) | Txn.Upd (tbl, _, _, _)
+                -> tbl
+            in
+            Hashtbl.replace t.dirty
+              (String.lowercase_ascii (Table.name table))
+              ())
+          ops);
+  t
 
 let declare_answer_relation t schema = ignore (Answers.declare t.answers schema)
 
@@ -75,6 +110,7 @@ let answers t = t.answers
 let pending t = t.pending
 let stats t = t.stats
 let database t = t.db
+let plan_cache t = t.cache
 
 let subscribe t listener = t.listeners <- listener :: t.listeners
 
@@ -145,6 +181,17 @@ let run_side_effect t txn subst = function
 (* ------------------------------------------------------------------ *)
 (* Fulfilment. *)
 
+(* A query leaving the pending store takes its memoized sub-plan results
+   with it; the cache only ever holds rows for plans that can be asked for
+   again. *)
+let forget_plans t (q : Equery.t) =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+    List.iter
+      (fun (d : Equery.db_atom) -> Plan_cache.forget cache d.Equery.plan)
+      q.Equery.db_atoms
+
 let fulfil t (success : Matcher.success) : Events.notification list =
   Log.debug (fun m ->
       m "fulfilling group {%s} with %d new tuple(s)"
@@ -167,10 +214,11 @@ let fulfil t (success : Matcher.success) : Events.notification list =
     List.map (fun (q : Equery.t) -> q.Equery.id) success.Matcher.group
   in
   List.iter
-    (fun id ->
-      Pending.remove t.pending id;
-      Hashtbl.remove t.deadlines id)
-    group_ids;
+    (fun (q : Equery.t) ->
+      Pending.remove t.pending q.Equery.id;
+      Hashtbl.remove t.deadlines q.Equery.id;
+      forget_plans t q)
+    success.Matcher.group;
   t.stats.Stats.groups_fulfilled <- t.stats.Stats.groups_fulfilled + 1;
   t.stats.Stats.answered <-
     t.stats.Stats.answered + List.length success.Matcher.group;
@@ -190,14 +238,16 @@ let fulfil t (success : Matcher.success) : Events.notification list =
   notifications
 
 let try_match t (q : Equery.t) =
-  Matcher.find ~cat:t.db.Database.catalog ~answers:t.answers ~pending:t.pending
-    ~config:t.config.matcher ~stats:t.stats q
+  Matcher.find ?cache:t.cache ~cat:t.db.Database.catalog ~answers:t.answers
+    ~pending:t.pending ~config:t.config.matcher ~stats:t.stats q
 
 (* Retry pending queries that a newly committed answer tuple could actually
    help: an answer constraint must *unify* with one of [tuples] (a relation-
    name match alone would retry every bystander on a loaded system).
-   Cascade until fixpoint; returns all notifications generated. *)
-let rec cascade t tuples acc =
+   Cascade until fixpoint.  [acc] and the result are in reverse order —
+   appending per fulfilment would be quadratic in the notification count;
+   callers [List.rev] once at the end. *)
+let rec cascade_rev t tuples acc =
   let tuple_atoms =
     List.map (fun (rel, row) -> Atom.of_tuple rel row) tuples
   in
@@ -206,19 +256,22 @@ let rec cascade t tuples acc =
     |> List.sort_uniq (fun (a : Equery.t) (b : Equery.t) ->
            compare a.Equery.id b.Equery.id)
   in
-  let rec try_each = function
+  let rec try_each acc = function
     | [] -> acc
     | q :: rest -> (
       (* the query may have been fulfilled by an earlier iteration *)
-      if not (Pending.mem t.pending q.Equery.id) then try_each rest
+      if not (Pending.mem t.pending q.Equery.id) then try_each acc rest
       else
         match try_match t q with
-        | None -> try_each rest
+        | None -> try_each acc rest
         | Some success ->
           let notifications = fulfil t success in
-          cascade t success.Matcher.new_tuples (acc @ notifications))
+          try_each
+            (cascade_rev t success.Matcher.new_tuples
+               (List.rev_append notifications acc))
+            rest)
   in
-  try_each interested
+  try_each acc interested
 
 (* ------------------------------------------------------------------ *)
 (* Submission. *)
@@ -230,7 +283,7 @@ let submit_instance ?deadline t (q : Equery.t) : outcome =
   | Some success ->
     let notifications = fulfil t success in
     if t.config.auto_retry then
-      ignore (cascade t success.Matcher.new_tuples []);
+      ignore (cascade_rev t success.Matcher.new_tuples []);
     let own =
       List.find
         (fun n -> n.Events.query_id = q.Equery.id)
@@ -283,6 +336,9 @@ let expire t ~now =
       in
       List.iter
         (fun id ->
+          (match Pending.get t.pending id with
+          | Some q -> forget_plans t q
+          | None -> ());
           Pending.remove t.pending id;
           Hashtbl.remove t.deadlines id;
           t.stats.Stats.cancelled <- t.stats.Stats.cancelled + 1)
@@ -295,35 +351,116 @@ let cancel t id =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mu)
     (fun () ->
-      if Pending.mem t.pending id then begin
+      match Pending.get t.pending id with
+      | Some q ->
+        forget_plans t q;
         Pending.remove t.pending id;
         Hashtbl.remove t.deadlines id;
         t.stats.Stats.cancelled <- t.stats.Stats.cancelled + 1;
         true
-      end
-      else false)
+      | None -> false)
 
-(** [poke t] retries every pending query — call after database updates that
-    may unblock coordinations.  Returns the notifications produced. *)
+(* ------------------------------------------------------------------ *)
+(* Poke. *)
+
+(* Fold tables changed since the last poke into [t.dirty]: diff the
+   [(uid, version)] snapshot against the live catalog.  This catches direct
+   [Table] mutations that bypass the transaction manager (and therefore the
+   commit observer); the [uid] part catches a table dropped and recreated
+   under the same name.  Dropped tables are marked dirty too, so readers of
+   a vanished table get their (failing) retry, matching the
+   retry-everything semantics. *)
+let refresh_dirty t =
+  Catalog.iter
+    (fun table ->
+      let name = String.lowercase_ascii (Table.name table) in
+      let now = (Table.uid table, Table.version table) in
+      match Hashtbl.find_opt t.versions name with
+      | Some prev when prev = now -> ()
+      | _ ->
+        Hashtbl.replace t.versions name now;
+        Hashtbl.replace t.dirty name ())
+    t.db.Database.catalog;
+  let dropped =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if Catalog.mem t.db.Database.catalog name then acc else name :: acc)
+      t.versions []
+  in
+  List.iter
+    (fun name ->
+      Hashtbl.remove t.versions name;
+      Hashtbl.replace t.dirty name ())
+    dropped
+
+(* The pre-incremental poke: retry every pending query until a full pass
+   fulfils nothing.  Kept as the [use_dirty_poke = false] ablation baseline
+   (and the reference the equivalence property tests against). *)
+let poke_all t =
+  let rec fixpoint acc =
+    let progressed = ref false in
+    let acc =
+      List.fold_left
+        (fun acc (q : Equery.t) ->
+          if not (Pending.mem t.pending q.Equery.id) then acc
+          else
+            match try_match t q with
+            | None -> acc
+            | Some success ->
+              progressed := true;
+              List.rev_append (fulfil t success) acc)
+        acc (Pending.to_list t.pending)
+    in
+    if !progressed then fixpoint acc else acc
+  in
+  List.rev (fixpoint [])
+
+(* Dirty-set poke: retry only the pending queries whose db atoms read a
+   table that changed since the last poke.  The first poke sees an empty
+   snapshot, so every table is dirty and every pending query is retried —
+   from then on a poke after a localized mutation touches only that
+   table's readers.  Fulfilments cascade (answer-constraint waiters) and
+   re-dirty the tables their side effects touched, so the loop runs until
+   nothing is dirty; it terminates because a pass that fulfils nothing
+   leaves the snapshot current. *)
+let poke_dirty t =
+  let rec loop acc =
+    refresh_dirty t;
+    let dirty = Hashtbl.fold (fun name () acc -> name :: acc) t.dirty [] in
+    if dirty = [] then acc
+    else begin
+      Hashtbl.reset t.dirty;
+      let targets = Pending.readers t.pending dirty in
+      let n_targets = List.length targets in
+      t.stats.Stats.dirty_retries <- t.stats.Stats.dirty_retries + n_targets;
+      t.stats.Stats.dirty_skipped <-
+        t.stats.Stats.dirty_skipped + (Pending.size t.pending - n_targets);
+      let acc =
+        List.fold_left
+          (fun acc (q : Equery.t) ->
+            if not (Pending.mem t.pending q.Equery.id) then acc
+            else
+              match try_match t q with
+              | None -> acc
+              | Some success ->
+                let notifications = fulfil t success in
+                cascade_rev t success.Matcher.new_tuples
+                  (List.rev_append notifications acc))
+          acc targets
+      in
+      loop acc
+    end
+  in
+  List.rev (loop [])
+
+(** [poke t] — call after database updates that may unblock coordinations;
+    returns the notifications produced.  With [use_dirty_poke] only the
+    pending queries reading a changed table are retried; otherwise every
+    pending query is retried to a fixpoint. *)
 let poke t =
   Mutex.lock t.mu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mu)
     (fun () ->
-      let rec fixpoint acc =
-        let progressed = ref false in
-        let notifications =
-          List.fold_left
-            (fun acc (q : Equery.t) ->
-              if not (Pending.mem t.pending q.Equery.id) then acc
-              else
-                match try_match t q with
-                | None -> acc
-                | Some success ->
-                  progressed := true;
-                  acc @ fulfil t success)
-            acc (Pending.to_list t.pending)
-        in
-        if !progressed then fixpoint notifications else notifications
-      in
-      fixpoint [])
+      t.stats.Stats.pokes <- t.stats.Stats.pokes + 1;
+      if t.config.use_dirty_poke then poke_dirty t else poke_all t)

@@ -25,6 +25,10 @@ type config = {
   matcher : Matcher.config;
   use_head_index : bool;  (** ablation switch for the pending-store indexes *)
   auto_retry : bool;  (** cascade retries after each fulfilment *)
+  use_plan_cache : bool;
+      (** ground retries from the versioned {!Plan_cache}; ablation switch *)
+  use_dirty_poke : bool;
+      (** {!poke} retries only readers of changed tables; ablation switch *)
 }
 
 val default_config : config
@@ -49,6 +53,9 @@ val pending : t -> Pending.t
 val stats : t -> Stats.t
 val database : t -> Database.t
 
+val plan_cache : t -> Plan_cache.t option
+(** The grounding memo, when [use_plan_cache] is on. *)
+
 val subscribe : t -> (Events.notification -> unit) -> unit
 
 val submit : ?deadline:float -> t -> Equery.t -> outcome
@@ -68,5 +75,10 @@ val cancel : t -> int -> bool
     pending. *)
 
 val poke : t -> Events.notification list
-(** Retry every pending query to a fixpoint — call after database updates
-    that may unblock coordinations.  Returns the notifications produced. *)
+(** Call after database updates that may unblock coordinations; returns the
+    notifications produced.  With [use_dirty_poke] (the default) only the
+    pending queries whose db atoms read a table changed since the last poke
+    are retried (tables touched by committed transactions are recorded
+    eagerly; direct [Table] mutations are caught by a version-snapshot diff
+    at poke time); with it off, every pending query is retried to a
+    fixpoint. *)

@@ -48,8 +48,9 @@ type success = {
 exception Found of success
 exception Budget_exhausted
 
-let find ~(cat : Catalog.t) ~(answers : Answers.t) ~(pending : Pending.t)
-    ~(config : config) ~(stats : Stats.t) (seed : Equery.t) : success option =
+let find ?(cache : Plan_cache.t option) ~(cat : Catalog.t)
+    ~(answers : Answers.t) ~(pending : Pending.t) ~(config : config)
+    ~(stats : Stats.t) (seed : Equery.t) : success option =
   stats.Stats.match_attempts <- stats.Stats.match_attempts + 1;
   let steps = ref 0 in
   let trace = ref [] in
@@ -101,7 +102,9 @@ let find ~(cat : Catalog.t) ~(answers : Answers.t) ~(pending : Pending.t)
       trace = List.rev !trace;
     }
   in
-  let rec solve frontier subst group =
+  (* [n_group] threads [List.length group] through the search so the
+     group-size cap costs O(1) per candidate instead of a list walk. *)
+  let rec solve frontier subst group n_group =
     bump ();
     match frontier with
     | [] -> (
@@ -122,7 +125,7 @@ let find ~(cat : Catalog.t) ~(answers : Answers.t) ~(pending : Pending.t)
         (fun subst' ->
           say (fun () ->
               Atom.to_string resolved ^ " satisfied by existing answer tuple");
-          solve rest subst' group)
+          solve rest subst' group n_group)
         (Answers.matching answers subst resolved);
       (* 2. Heads of queries already in the group. *)
       List.iter
@@ -136,36 +139,39 @@ let find ~(cat : Catalog.t) ~(answers : Answers.t) ~(pending : Pending.t)
                 say (fun () ->
                     Printf.sprintf "%s satisfied by head of Q%d"
                       (Atom.to_string resolved) q.Equery.id);
-                solve rest subst' group)
+                solve rest subst' group n_group)
             q.Equery.heads)
         group;
       (* 3. A new partner from the pending store. *)
-      List.iter
-        (fun (p : Equery.t) ->
-          let already =
-            List.exists (fun (g : Equery.t) -> g.Equery.id = p.Equery.id) group
-          in
-          if (not already) && List.length group < config.max_group then
-            List.iter
-              (fun h ->
-                stats.Stats.unify_attempts <- stats.Stats.unify_attempts + 1;
-                match Subst.unify_atoms subst resolved h with
-                | None -> ()
-                | Some subst' ->
-                  say (fun () ->
-                      Printf.sprintf
-                        "%s unifies with head of pending Q%d; grounding it"
-                        (Atom.to_string resolved) p.Equery.id);
-                  Ground.enumerate cat stats p subst' (fun subst'' ->
-                      solve
-                        (rest @ p.Equery.ans_atoms)
-                        subst'' (p :: group)))
-              p.Equery.heads)
-        (Pending.candidates pending subst resolved)
+      if n_group < config.max_group then
+        List.iter
+          (fun (p : Equery.t) ->
+            let already =
+              List.exists
+                (fun (g : Equery.t) -> g.Equery.id = p.Equery.id)
+                group
+            in
+            if not already then
+              List.iter
+                (fun h ->
+                  stats.Stats.unify_attempts <- stats.Stats.unify_attempts + 1;
+                  match Subst.unify_atoms subst resolved h with
+                  | None -> ()
+                  | Some subst' ->
+                    say (fun () ->
+                        Printf.sprintf
+                          "%s unifies with head of pending Q%d; grounding it"
+                          (Atom.to_string resolved) p.Equery.id);
+                    Ground.enumerate ?cache cat stats p subst' (fun subst'' ->
+                        solve
+                          (rest @ p.Equery.ans_atoms)
+                          subst'' (p :: group) (n_group + 1)))
+                p.Equery.heads)
+          (Pending.candidates pending subst resolved)
   in
   match
-    Ground.enumerate cat stats seed Subst.empty (fun subst ->
-        solve seed.Equery.ans_atoms subst [ seed ])
+    Ground.enumerate ?cache cat stats seed Subst.empty (fun subst ->
+        solve seed.Equery.ans_atoms subst [ seed ] 1)
   with
   | () -> None
   | exception Found success -> Some success

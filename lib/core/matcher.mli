@@ -45,6 +45,7 @@ type success = {
 }
 
 val find :
+  ?cache:Plan_cache.t ->
   cat:Catalog.t ->
   answers:Answers.t ->
   pending:Pending.t ->
@@ -54,4 +55,6 @@ val find :
   success option
 (** One match attempt seeded by the given query.  Pure with respect to the
     database and the pending store — fulfilment is the coordinator's job —
-    so the admin interface can dry-run it for any pending query. *)
+    so the admin interface can dry-run it for any pending query.  With
+    [?cache], grounding consults the versioned {!Plan_cache} (see
+    {!Ground.enumerate}). *)

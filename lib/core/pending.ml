@@ -24,6 +24,9 @@ type t = {
   c_by_rel : (string, Int_set.t ref) Hashtbl.t;
   c_by_const : (string * int * Value.t, Int_set.t ref) Hashtbl.t;
   c_by_var : (string * int, Int_set.t ref) Hashtbl.t;
+  (* reverse index: base-table name (lowercased) → ids of pending queries
+     whose db-atom sub-plans read that table; drives the dirty-set poke *)
+  by_table : (string, Int_set.t ref) Hashtbl.t;
   use_head_index : bool;
   mutable peak : int;
 }
@@ -37,6 +40,7 @@ let create ?(use_head_index = true) () =
     c_by_rel = Hashtbl.create 64;
     c_by_const = Hashtbl.create 256;
     c_by_var = Hashtbl.create 64;
+    by_table = Hashtbl.create 64;
     use_head_index;
     peak = 0;
   }
@@ -69,11 +73,23 @@ let index_atoms atoms ~rel_tbl ~const_tbl ~var_tbl add =
         h.Atom.args)
     atoms
 
+(** Base tables a query's db-atom sub-plans scan, lowercased, deduplicated. *)
+let tables_read (q : Equery.t) : string list =
+  List.concat_map
+    (fun (d : Equery.db_atom) -> Plan.tables d.Equery.plan)
+    q.Equery.db_atoms
+  |> List.sort_uniq String.compare
+
 let index_heads t (q : Equery.t) add =
   index_atoms q.Equery.heads ~rel_tbl:t.by_rel ~const_tbl:t.by_const
     ~var_tbl:t.by_var add;
   index_atoms q.Equery.ans_atoms ~rel_tbl:t.c_by_rel ~const_tbl:t.c_by_const
-    ~var_tbl:t.c_by_var add
+    ~var_tbl:t.c_by_var add;
+  (* a query reading no base table lands in the "" bucket, which [readers]
+     always includes — such queries can only be unblocked by partners, so
+     every dirty-set retry must consider them *)
+  let names = match tables_read q with [] -> [ "" ] | names -> names in
+  List.iter (fun name -> add (bucket t.by_table name)) names
 
 let add t (q : Equery.t) =
   if q.Equery.id = 0 then
@@ -143,6 +159,20 @@ let candidates t (subst : Subst.t) (atom : Atom.t) : Equery.t list =
   else
     lookup_indexed t ~rel_tbl:t.by_rel ~const_tbl:t.by_const ~var_tbl:t.by_var
       subst atom
+
+(** [readers t names] — pending queries whose db-atom sub-plans read at
+    least one of the named base tables (names are matched
+    case-insensitively).  The dirty-set poke retries exactly these. *)
+let readers t (names : string list) : Equery.t list =
+  let ids =
+    List.fold_left
+      (fun acc name ->
+        match Hashtbl.find_opt t.by_table (rel_key name) with
+        | Some b -> Int_set.union acc !b
+        | None -> acc)
+      Int_set.empty ("" :: names)
+  in
+  Int_set.elements ids |> List.filter_map (fun id -> Int_map.find_opt id t.queries)
 
 (** [interested t atom] — pending queries one of whose *answer constraints*
     could unify with the ground atom [atom]; the coordinator's cascade uses

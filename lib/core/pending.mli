@@ -39,4 +39,15 @@ val interested : t -> Atom.t -> Equery.t list
     cascade uses this to retry only the queries a fresh answer tuple could
     help. *)
 
+val tables_read : Equery.t -> string list
+(** Base tables a query's db-atom sub-plans scan (lowercased, sorted,
+    deduplicated). *)
+
+val readers : t -> string list -> Equery.t list
+(** [readers t names] — pending queries whose db-atom sub-plans read at
+    least one of the named base tables (case-insensitive), plus every query
+    reading {i no} base table (those can only be unblocked by partners, so
+    a dirty-set retry must always consider them).  The coordinator's
+    dirty-set poke retries exactly these. *)
+
 val pp : Format.formatter -> t -> unit

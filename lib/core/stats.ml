@@ -13,6 +13,12 @@ type t = {
   mutable unify_attempts : int;
   mutable groundings : int;  (** database-atom row bindings explored *)
   mutable budget_exhausted : int;  (** searches cut off by max_steps *)
+  mutable cache_hits : int;  (** plan-cache hits during grounding *)
+  mutable cache_misses : int;  (** plan-cache misses (executions) *)
+  mutable cache_invalidations : int;  (** stale entries refreshed *)
+  mutable pokes : int;  (** poke calls *)
+  mutable dirty_retries : int;  (** pending queries retried by a poke *)
+  mutable dirty_skipped : int;  (** pending queries a poke did not retry *)
 }
 
 let create () =
@@ -28,6 +34,12 @@ let create () =
     unify_attempts = 0;
     groundings = 0;
     budget_exhausted = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
+    pokes = 0;
+    dirty_retries = 0;
+    dirty_skipped = 0;
   }
 
 let reset s =
@@ -41,15 +53,24 @@ let reset s =
   s.search_steps <- 0;
   s.unify_attempts <- 0;
   s.groundings <- 0;
-  s.budget_exhausted <- 0
+  s.budget_exhausted <- 0;
+  s.cache_hits <- 0;
+  s.cache_misses <- 0;
+  s.cache_invalidations <- 0;
+  s.pokes <- 0;
+  s.dirty_retries <- 0;
+  s.dirty_skipped <- 0
 
 let pp ppf s =
   Fmt.pf ppf
     "@[<v>submitted: %d@,answered: %d@,groups fulfilled: %d@,rejected: \
      %d@,registered pending: %d@,cancelled: %d@,match attempts: %d@,search \
-     steps: %d@,unify attempts: %d@,groundings: %d@,budget exhausted: %d@]"
+     steps: %d@,unify attempts: %d@,groundings: %d@,budget exhausted: \
+     %d@,plan cache hits: %d@,plan cache misses: %d@,plan cache \
+     invalidations: %d@,pokes: %d@,dirty retries: %d@,dirty skipped: %d@]"
     s.submitted s.answered s.groups_fulfilled s.rejected s.registered
     s.cancelled s.match_attempts s.search_steps s.unify_attempts s.groundings
-    s.budget_exhausted
+    s.budget_exhausted s.cache_hits s.cache_misses s.cache_invalidations
+    s.pokes s.dirty_retries s.dirty_skipped
 
 let to_string s = Fmt.str "%a" pp s

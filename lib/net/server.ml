@@ -2,14 +2,15 @@
 
     Thread model: one accept thread; per connection, one {b reader} thread
     (frames in, dispatch) and one {b writer} thread draining a
-    per-connection outbound queue.  All engine work — SQL execution,
-    coordinator submission, admin dumps — is serialised by a single global
-    engine mutex: the in-process engine is single-writer, and the
-    coordination path (match + joint atomic fulfilment) must not interleave
-    with other statements.  The blocking coordination path therefore never
-    sits on the accept path, and slow clients never hold the engine: the
-    reader computes a response under the engine lock, enqueues it, and the
-    writer thread owns the socket send.
+    per-connection outbound queue.  Engine work runs under a
+    writer-preferring {!Rwlock}: scripts made only of read-only plain SQL
+    (SELECT without INTO ANSWER, EXPLAIN, SHOW …) and read-only admin
+    probes share the engine, while anything that can mutate — DML, DDL,
+    entangled submissions (match + joint atomic fulfilment), cancels — is
+    exclusive, so the coordination path still never interleaves with other
+    statements.  SQL is parsed {i outside} the lock.  Slow clients never
+    hold the engine: the reader computes a response under the engine lock,
+    enqueues it, and the writer thread owns the socket send.
 
     Push delivery: each connection's handshake creates a session for the
     connection's user and installs a {!Youtopia.Session.set_listener}
@@ -32,6 +33,9 @@ type config = {
       (** frames a connection may have queued outbound before it is
           dropped as a slow consumer *)
   banner : string;
+  serialize_reads : bool;
+      (** run read-only scripts in the exclusive section too — the
+          global-mutex baseline for the concurrency benchmark *)
 }
 
 let default_config =
@@ -43,6 +47,7 @@ let default_config =
     read_timeout = 0.;
     max_outq = 1024;
     banner = "youtopia";
+    serialize_reads = false;
   }
 
 type conn = {
@@ -62,7 +67,7 @@ type t = {
   stats : Server_stats.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  engine_mu : Mutex.t;
+  engine_lock : Rwlock.t;
   conns : (int, conn) Hashtbl.t;
   conns_mu : Mutex.t;
   mutable next_conn_id : int;
@@ -77,8 +82,34 @@ let system t = t.sys
 (* ---------------- engine access ---------------- *)
 
 let with_engine t f =
-  Mutex.lock t.engine_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.engine_mu) f
+  let waited = ref false in
+  let r =
+    Rwlock.with_write ~on_wait:(fun () -> waited := true) t.engine_lock f
+  in
+  Server_stats.on_engine_write t.stats ~waited:!waited;
+  r
+
+let with_engine_read t f =
+  if t.config.serialize_reads then with_engine t f
+  else begin
+    let waited = ref false in
+    let r =
+      Rwlock.with_read ~on_wait:(fun () -> waited := true) t.engine_lock f
+    in
+    Server_stats.on_engine_read t.stats ~waited:!waited;
+    r
+  end
+
+(** A statement the engine can run under the shared lock: it touches no
+    table data, no pending store and no session transaction state.  SELECT
+    INTO ANSWER is a coordinator submission (exclusive); ANALYZE and the
+    transaction controls mutate engine state; EXPLAIN only plans. *)
+let read_only_stmt : Sql.Ast.statement -> bool = function
+  | Sql.Ast.Select s -> s.Sql.Ast.into_answer = []
+  | Sql.Ast.Explain _ | Sql.Ast.Explain_analyze _ | Sql.Ast.Show_tables
+  | Sql.Ast.Show_pending ->
+    true
+  | _ -> false
 
 (* ---------------- outbound queue ---------------- *)
 
@@ -163,9 +194,15 @@ let handle_submit t session ~id ~sql =
   let t0 = Unix.gettimeofday () in
   let response =
     match
-      with_engine t (fun () ->
-          Relational.Errors.guard (fun () ->
-              Youtopia.System.exec_script t.sys session sql))
+      Relational.Errors.guard (fun () ->
+          (* parse outside the engine lock; only execution needs it *)
+          let stmts = Sql.Parser.parse_script sql in
+          let section =
+            if List.for_all read_only_stmt stmts then with_engine_read t
+            else with_engine t
+          in
+          section (fun () ->
+              List.map (Youtopia.System.exec t.sys session) stmts))
     with
     | Ok [ r ] -> Wire.Result { id; body = body_of_response r }
     | Ok rs -> Wire.Result { id; body = Wire.Multi (List.map body_of_response rs) }
@@ -190,13 +227,14 @@ let handle_cancel t ~id ~query_id =
     Wire.Error { id; message = Printf.sprintf "Q%d is not pending" query_id }
 
 let handle_admin t ~id ~what =
+  (* admin probes only read engine state, so they share the engine *)
   match what with
   | "server" -> Wire.Stats { id; body = Server_stats.render t.stats }
-  | "stats" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_stats t.sys) }
-  | "pending" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_pending t.sys) }
-  | "answers" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_answers t.sys) }
-  | "tables" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.dump_tables t.sys) }
-  | "report" -> Wire.Stats { id; body = with_engine t (fun () -> Youtopia.Admin.report t.sys) }
+  | "stats" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_stats t.sys) }
+  | "pending" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_pending t.sys) }
+  | "answers" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_answers t.sys) }
+  | "tables" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_tables t.sys) }
+  | "report" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.report t.sys) }
   | other ->
     Server_stats.on_error t.stats;
     Wire.Error { id; message = "unknown admin probe: " ^ other }
@@ -350,7 +388,7 @@ let start ?(config = default_config) sys =
       stats = Server_stats.create ();
       listen_fd;
       bound_port;
-      engine_mu = Mutex.create ();
+      engine_lock = Rwlock.create ();
       conns = Hashtbl.create 64;
       conns_mu = Mutex.create ();
       next_conn_id = 1;

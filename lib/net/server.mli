@@ -2,11 +2,12 @@
 
     One accept thread; per connection, a reader thread (frames in,
     dispatch) and a writer thread draining a per-connection outbound
-    queue.  Engine work is serialised by a global engine mutex; pushes are
-    handed off from the coordinator's fulfilment path straight onto the
-    owning connection's outbound queue via
-    {!Youtopia.Session.set_listener}, so clients receive coordination
-    answers without polling. *)
+    queue.  Engine work runs under a writer-preferring {!Rwlock}:
+    read-only scripts and admin probes share the engine, mutations and
+    entangled submissions are exclusive.  Pushes are handed off from the
+    coordinator's fulfilment path straight onto the owning connection's
+    outbound queue via {!Youtopia.Session.set_listener}, so clients
+    receive coordination answers without polling. *)
 
 val log_src : Logs.src
 
@@ -20,6 +21,9 @@ type config = {
       (** frames a connection may have queued outbound before it is
           dropped as a slow consumer (a peer that stops reading) *)
   banner : string;  (** sent back in the WELCOME frame *)
+  serialize_reads : bool;
+      (** run read-only scripts in the exclusive section too — the
+          global-mutex baseline for the concurrency benchmark *)
 }
 
 val default_config : config

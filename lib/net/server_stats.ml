@@ -15,6 +15,10 @@ type t = {
   mutable errors : int;
   mutable submit_latency_total : float;
   mutable submit_latency_max : float;
+  mutable engine_reads : int;
+  mutable engine_writes : int;
+  mutable engine_read_waits : int;
+  mutable engine_write_waits : int;
 }
 
 (** Immutable copy for rendering/reporting. *)
@@ -30,6 +34,10 @@ type snapshot = {
   errors : int;
   submit_latency_mean : float;  (** seconds; 0 if no submits *)
   submit_latency_max : float;
+  engine_reads : int;  (** engine read-lock (shared) acquisitions *)
+  engine_writes : int;  (** engine write-lock (exclusive) acquisitions *)
+  engine_read_waits : int;  (** read acquisitions that had to queue *)
+  engine_write_waits : int;  (** write acquisitions that had to queue *)
 }
 
 let create () =
@@ -46,6 +54,10 @@ let create () =
     errors = 0;
     submit_latency_total = 0.;
     submit_latency_max = 0.;
+    engine_reads = 0;
+    engine_writes = 0;
+    engine_read_waits = 0;
+    engine_write_waits = 0;
   }
 
 let locked t f =
@@ -79,6 +91,16 @@ let on_submit t ~latency =
 let on_push t = locked t (fun () -> t.pushes <- t.pushes + 1)
 let on_error t = locked t (fun () -> t.errors <- t.errors + 1)
 
+let on_engine_read t ~waited =
+  locked t (fun () ->
+      t.engine_reads <- t.engine_reads + 1;
+      if waited then t.engine_read_waits <- t.engine_read_waits + 1)
+
+let on_engine_write t ~waited =
+  locked t (fun () ->
+      t.engine_writes <- t.engine_writes + 1;
+      if waited then t.engine_write_waits <- t.engine_write_waits + 1)
+
 let snapshot t : snapshot =
   locked t (fun () ->
       {
@@ -95,6 +117,10 @@ let snapshot t : snapshot =
           (if t.submits = 0 then 0.
            else t.submit_latency_total /. float_of_int t.submits);
         submit_latency_max = t.submit_latency_max;
+        engine_reads = t.engine_reads;
+        engine_writes = t.engine_writes;
+        engine_read_waits = t.engine_read_waits;
+        engine_write_waits = t.engine_write_waits;
       })
 
 (** One key=value per line — the payload of the [ADMIN|…|server] probe. *)
@@ -113,4 +139,8 @@ let render t =
       Printf.sprintf "errors=%d" s.errors;
       Printf.sprintf "submit_latency_mean_us=%.1f" (s.submit_latency_mean *. 1e6);
       Printf.sprintf "submit_latency_max_us=%.1f" (s.submit_latency_max *. 1e6);
+      Printf.sprintf "engine_reads=%d" s.engine_reads;
+      Printf.sprintf "engine_writes=%d" s.engine_writes;
+      Printf.sprintf "engine_read_waits=%d" s.engine_read_waits;
+      Printf.sprintf "engine_write_waits=%d" s.engine_write_waits;
     ]

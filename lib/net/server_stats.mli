@@ -15,6 +15,10 @@ type snapshot = {
   errors : int;
   submit_latency_mean : float;  (** seconds; 0 if no submits *)
   submit_latency_max : float;
+  engine_reads : int;  (** engine read-lock (shared) acquisitions *)
+  engine_writes : int;  (** engine write-lock (exclusive) acquisitions *)
+  engine_read_waits : int;  (** read acquisitions that had to queue *)
+  engine_write_waits : int;  (** write acquisitions that had to queue *)
 }
 
 val create : unit -> t
@@ -26,6 +30,12 @@ val on_frame_out : t -> bytes:int -> unit
 val on_submit : t -> latency:float -> unit
 val on_push : t -> unit
 val on_error : t -> unit
+
+val on_engine_read : t -> waited:bool -> unit
+(** One engine read-lock acquisition; [waited] if it had to queue. *)
+
+val on_engine_write : t -> waited:bool -> unit
+(** One engine write-lock acquisition; [waited] if it had to queue. *)
 
 val snapshot : t -> snapshot
 

@@ -34,6 +34,12 @@ let drop_table db name =
 
 let find_table db name = Catalog.find db.catalog name
 
+(** [fingerprint db names] — the [(uid, version)] pair of every named table
+    (missing tables yield [(-1, -1)]).  Equal fingerprints imply identical
+    table contents since tables only change through version-bumping
+    mutations; see {!Plan_cache}. *)
+let fingerprint db names = Plan_cache.fingerprint db.catalog names
+
 (** [recover path] rebuilds a database from a WAL file and re-attaches the
     log so new commits append to it. *)
 let recover path =

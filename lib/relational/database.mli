@@ -24,6 +24,11 @@ val create_table : t -> Schema.t -> Table.t
 val drop_table : t -> string -> unit
 val find_table : t -> string -> Table.t
 
+val fingerprint : t -> string list -> (int * int) list
+(** [(uid, version)] per named table; missing tables yield [(-1, -1)].
+    Equal fingerprints imply identical table contents — tables only change
+    through version-bumping mutations. *)
+
 val recover : string -> t
 (** Rebuild a database from a WAL file (complete batches only) and
     re-attach the log so new commits append to it. *)

@@ -204,6 +204,29 @@ let limit n input =
   { schema = input.schema; op = Limit (n, input) }
 
 (* ------------------------------------------------------------------ *)
+(* Table footprint. *)
+
+(** [tables t] — the base-table names the plan reads (lowercased, sorted,
+    deduplicated).  This is the key set of {!Plan_cache}'s fingerprints and
+    of the coordinator's dirty-table retry index: a plan's result can only
+    change when one of these tables does. *)
+let tables plan =
+  let rec walk acc t =
+    match t.op with
+    | Values _ -> acc
+    | Scan { table } | Index_lookup { table; _ } ->
+      String.lowercase_ascii table :: acc
+    | Filter (_, i) | Project (_, i) | Aggregate { input = i; _ }
+    | Sort (_, i) | Distinct i | Limit (_, i) -> walk acc i
+    | Nl_join { left; right; _ }
+    | Left_join { left; right; _ }
+    | Set_op { left; right; _ }
+    | Hash_join { left; right; _ }
+    | Semi_join { left; right; _ } -> walk (walk acc left) right
+  in
+  List.sort_uniq String.compare (walk [] plan)
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN-style pretty printing, used by the admin interface and tests. *)
 
 let agg_to_string = function

@@ -89,6 +89,11 @@ val sort : (Expr.t * order) list -> t -> t
 val distinct : t -> t
 val limit : int -> t -> t
 
+val tables : t -> string list
+(** The base-table names the plan reads (lowercased, sorted, deduplicated).
+    A plan's result can only change when one of these tables does — the key
+    set for {!Plan_cache} fingerprints and dirty-table retry targeting. *)
+
 (** {1 EXPLAIN} *)
 
 val agg_to_string : agg -> string

@@ -1,0 +1,99 @@
+(** Versioned memoization of {!Executor.run} results.
+
+    Every database atom of a pending entangled query carries a closed
+    relational sub-plan; each retry of that query used to re-execute every
+    sub-plan from scratch.  This cache keys a plan's materialised result on
+    the {b fingerprint} of the tables it reads — the [(uid, version)] pairs
+    of {!Table} — so a retry whose base tables are unchanged re-grounds from
+    cached rows instead of re-running scans and joins.
+
+    Keys are {i physical} plan identities: a pending query is stored once in
+    the pending store and its db-atom plans are physically stable across
+    retries (renaming apart copies bindings, never plans), so the same plan
+    value returns on every retry.  Structural hashing ([Hashtbl.hash] is
+    depth-bounded) only buckets; equality is [(==)], so two structurally
+    equal plans never collide.
+
+    The cache is not thread-safe; the coordinator uses it under its own
+    lock. *)
+
+module H = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type entry = {
+  tables : string list;  (** [Plan.tables], computed once per plan *)
+  mutable fingerprint : (int * int) list;  (** (uid, version) per table *)
+  mutable rows : Tuple.t list;
+}
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;  (** stale entries refreshed in place *)
+}
+
+type t = {
+  entries : entry H.t;
+  max_entries : int;
+  counters : counters;
+}
+
+let create ?(max_entries = 8192) () =
+  {
+    entries = H.create 256;
+    max_entries;
+    counters = { hits = 0; misses = 0; invalidations = 0 };
+  }
+
+let size t = H.length t.entries
+let counters t = t.counters
+
+let clear t = H.reset t.entries
+
+let forget t plan = H.remove t.entries plan
+
+(* A missing table fingerprints as (-1, -1): a plan over a dropped table
+   stays permanently stale rather than raising here — the executor will
+   surface the real error when the plan actually runs. *)
+let fingerprint (cat : Catalog.t) tables =
+  List.map
+    (fun name ->
+      match Catalog.find_opt cat name with
+      | Some table -> Table.uid table, Table.version table
+      | None -> -1, -1)
+    tables
+
+(** [run t cat plan] — [Executor.run cat plan], memoized.  Returns the
+    cached rows when every table the plan reads is at the version it was
+    cached at; otherwise executes, refreshes the entry, and counts a miss
+    (plus an invalidation when a stale entry was replaced). *)
+let run t (cat : Catalog.t) (plan : Plan.t) : Tuple.t list =
+  match H.find_opt t.entries plan with
+  | Some entry ->
+    let now = fingerprint cat entry.tables in
+    if entry.fingerprint = now then begin
+      t.counters.hits <- t.counters.hits + 1;
+      entry.rows
+    end
+    else begin
+      t.counters.invalidations <- t.counters.invalidations + 1;
+      t.counters.misses <- t.counters.misses + 1;
+      let rows = Executor.run cat plan in
+      entry.fingerprint <- now;
+      entry.rows <- rows;
+      rows
+    end
+  | None ->
+    t.counters.misses <- t.counters.misses + 1;
+    let tables = Plan.tables plan in
+    let fp = fingerprint cat tables in
+    let rows = Executor.run cat plan in
+    (* Backstop against unbounded growth from plans that never return
+       (e.g. one-shot submissions): dropping everything is cheap and rare. *)
+    if H.length t.entries >= t.max_entries then H.reset t.entries;
+    H.replace t.entries plan { tables; fingerprint = fp; rows };
+    rows

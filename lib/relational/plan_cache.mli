@@ -1,0 +1,37 @@
+(** Versioned memoization of {!Executor.run} results.
+
+    Results are keyed on the {i physical} identity of the plan plus the
+    fingerprint ([(uid, version)] pairs, see {!Table.uid}) of every table
+    the plan reads: a lookup hits only while all of those tables are
+    unchanged.  Pending entangled queries hold physically stable sub-plans
+    across retries, so re-grounding an undisturbed query costs a fingerprint
+    comparison instead of a scan-and-join re-execution.
+
+    Not thread-safe; callers serialise access (the coordinator uses it
+    under its own lock). *)
+
+type t
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;  (** stale entries refreshed in place *)
+}
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] (default 8192) bounds growth: on overflow the whole cache
+    is dropped (cheap, rare) rather than evicted piecemeal. *)
+
+val run : t -> Catalog.t -> Plan.t -> Tuple.t list
+(** [Executor.run cat plan], memoized on the plan's table fingerprint. *)
+
+val fingerprint : Catalog.t -> string list -> (int * int) list
+(** [(uid, version)] per table name; missing tables yield [(-1, -1)]. *)
+
+val forget : t -> Plan.t -> unit
+(** Drop one plan's entry (called when its owning query leaves the pending
+    store). *)
+
+val clear : t -> unit
+val size : t -> int
+val counters : t -> counters

@@ -8,6 +8,7 @@
 
 type t = {
   schema : Schema.t;
+  uid : int;  (** process-unique identity; distinguishes recreated tables *)
   mutable slots : Tuple.t option array;
   mutable high : int;  (** slots\[high..\] were never used *)
   mutable free : int list;
@@ -18,10 +19,16 @@ type t = {
 
 let pk_index_name = "#pk"
 
+(* Monotone uid source: (uid, version) pairs form a fingerprint that can
+   never alias across a drop-and-recreate of the same table name. *)
+let next_uid = ref 0
+
 let create schema =
+  incr next_uid;
   let t =
     {
       schema;
+      uid = !next_uid;
       slots = Array.make 16 None;
       high = 0;
       free = [];
@@ -41,6 +48,7 @@ let schema t = t.schema
 let name t = t.schema.Schema.name
 let row_count t = t.live
 let version t = t.version
+let uid t = t.uid
 
 let get t row_id =
   if row_id < 0 || row_id >= t.high then None else t.slots.(row_id)

@@ -16,7 +16,13 @@ val name : t -> string
 val row_count : t -> int
 
 val version : t -> int
-(** Bumped on every mutation; {!Tablestats} keys its cache on it. *)
+(** Bumped on every mutation (WAL replay included — recovery inserts go
+    through {!insert}); {!Tablestats} and {!Plan_cache} key on it. *)
+
+val uid : t -> int
+(** Process-unique table identity, assigned at {!create}.  A [(uid,
+    version)] pair never aliases across a drop-and-recreate of the same
+    table name, which makes it a safe cache fingerprint component. *)
 
 val get : t -> int -> Tuple.t option
 val get_exn : t -> int -> Tuple.t

@@ -19,6 +19,9 @@ type manager = {
   mutable next_id : int;
   mutable on_commit : (op list -> unit) option;
       (** durability hook; receives the redo log in execution order *)
+  mutable observers : (op list -> unit) list;
+      (** commit observers (e.g. the coordinator's dirty-table tracker);
+          run after [on_commit], in registration order *)
 }
 
 type t = {
@@ -28,9 +31,15 @@ type t = {
   mutable state : state;
 }
 
-let create_manager () = { mutex = Mutex.create (); next_id = 1; on_commit = None }
+let create_manager () =
+  { mutex = Mutex.create (); next_id = 1; on_commit = None; observers = [] }
 
 let set_on_commit mgr hook = mgr.on_commit <- hook
+
+(** [add_observer mgr f] — [f] receives every committed transaction's redo
+    log (in execution order), after the durability hook.  Observers must not
+    start transactions (the manager mutex is still held). *)
+let add_observer mgr f = mgr.observers <- mgr.observers @ [ f ]
 
 let begin_ mgr =
   Mutex.lock mgr.mutex;
@@ -110,9 +119,11 @@ let rollback_to t (sp : savepoint) =
 let commit t =
   check_active t;
   t.state <- Committed;
-  (match t.mgr.on_commit with
-  | Some hook when t.undo <> [] -> hook (List.rev t.undo)
-  | _ -> ());
+  (if t.undo <> [] then begin
+     let redo = List.rev t.undo in
+     (match t.mgr.on_commit with Some hook -> hook redo | None -> ());
+     List.iter (fun f -> f redo) t.mgr.observers
+   end);
   Mutex.unlock t.mgr.mutex
 
 let rollback t =

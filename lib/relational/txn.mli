@@ -21,6 +21,12 @@ val set_on_commit : manager -> (op list -> unit) option -> unit
 (** Durability hook; receives the redo log in execution order.  Wired by
     {!Wal.attach}. *)
 
+val add_observer : manager -> (op list -> unit) -> unit
+(** Register a commit observer: called with every committed transaction's
+    redo log (execution order), after the durability hook.  The
+    coordinator's dirty-table tracker uses this.  Observers must not start
+    transactions — the manager mutex is still held. *)
+
 val begin_ : manager -> t
 (** Blocks until the manager lock is available. *)
 

@@ -1,0 +1,322 @@
+(* Unit tests for the incremental-matching machinery: table versioning,
+   fingerprints, the versioned plan cache, commit observers, the dirty-set
+   poke, and the server's read-write lock. *)
+
+open Relational
+open Core
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let make_flights db =
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  List.iter
+    (fun (f, d) -> ignore (Table.insert flights [| v_int f; v_str d |]))
+    [ 1, "Paris"; 2, "Paris"; 3, "Rome" ];
+  flights
+
+let compile cat sql =
+  match Sql.Parser.parse_one sql with
+  | Sql.Ast.Select s -> Sql.Compile.compile_select cat s
+  | _ -> Alcotest.fail "expected a SELECT"
+
+(* ------------------------------------------------------------------ *)
+
+let test_version_bumps () =
+  let db = Database.create () in
+  let flights = make_flights db in
+  let v0 = Table.version flights in
+  Alcotest.(check int) "3 seed inserts" 3 v0;
+  let row_id = Table.insert flights [| v_int 9; v_str "Oslo" |] in
+  Alcotest.(check int) "insert bumps" (v0 + 1) (Table.version flights);
+  ignore (Table.update flights row_id [| v_int 9; v_str "Rome" |]);
+  Alcotest.(check int) "update bumps" (v0 + 2) (Table.version flights);
+  ignore (Table.delete flights row_id);
+  Alcotest.(check int) "delete bumps" (v0 + 3) (Table.version flights);
+  let other =
+    Database.create_table db
+      (Schema.make "Other" [ Schema.column "x" Ctype.TInt ])
+  in
+  Alcotest.(check bool) "uids distinct" true (Table.uid flights <> Table.uid other);
+  let uid0 = Table.uid flights in
+  ignore (Table.insert flights [| v_int 10; v_str "Oslo" |]);
+  Alcotest.(check int) "uid stable across mutations" uid0 (Table.uid flights)
+
+let test_fingerprint () =
+  let db = Database.create () in
+  let flights = make_flights db in
+  let fp () = Database.fingerprint db [ "flights"; "missing" ] in
+  let before = fp () in
+  Alcotest.(check (list (pair int int)))
+    "uid/version plus missing sentinel"
+    [ Table.uid flights, Table.version flights; -1, -1 ]
+    before;
+  ignore (Table.insert flights [| v_int 9; v_str "Oslo" |]);
+  Alcotest.(check bool) "mutation changes fingerprint" true (fp () <> before);
+  (* drop/recreate under the same name must not alias, even at version 0 *)
+  let fp_t () = Database.fingerprint db [ "tiny" ] in
+  ignore (Database.create_table db (Schema.make "Tiny" [ Schema.column "x" Ctype.TInt ]));
+  let fresh = fp_t () in
+  Database.drop_table db "Tiny";
+  ignore (Database.create_table db (Schema.make "Tiny" [ Schema.column "x" Ctype.TInt ]));
+  Alcotest.(check bool) "recreated table has a new identity" true (fp_t () <> fresh)
+
+let test_plan_cache () =
+  let db = Database.create () in
+  let flights = make_flights db in
+  let cat = db.Database.catalog in
+  let plan = compile cat "SELECT fno FROM Flights WHERE dest = 'Paris'" in
+  let cache = Plan_cache.create () in
+  let k = Plan_cache.counters cache in
+  let digest rows =
+    rows
+    |> List.map (fun row ->
+           String.concat "," (Array.to_list (Array.map Value.to_string row)))
+    |> List.sort compare
+  in
+  let run () = Plan_cache.run cache cat plan in
+  Alcotest.(check (list string))
+    "first run executes" (digest (Executor.run cat plan)) (digest (run ()));
+  Alcotest.(check int) "one miss" 1 k.Plan_cache.misses;
+  ignore (run ());
+  Alcotest.(check int) "second run hits" 1 k.Plan_cache.hits;
+  (* insert invalidates *)
+  ignore (Table.insert flights [| v_int 7; v_str "Paris" |]);
+  let rows = run () in
+  Alcotest.(check int) "stale entry refreshed" 1 k.Plan_cache.invalidations;
+  Alcotest.(check int) "refreshed rows are current" 3 (List.length rows);
+  (* update and delete invalidate too *)
+  let victim =
+    Table.fold
+      (fun acc id row -> if Value.as_int row.(0) = 7 then Some id else acc)
+      None flights
+    |> Option.get
+  in
+  ignore (Table.update flights victim [| v_int 7; v_str "Rome" |]);
+  Alcotest.(check int) "update invalidates" 2
+    (let _ = run () in
+     k.Plan_cache.invalidations);
+  ignore (Table.delete flights victim);
+  Alcotest.(check int) "delete invalidates" 3
+    (let _ = run () in
+     k.Plan_cache.invalidations);
+  (* forget drops the entry: the next run is a plain miss *)
+  let misses = k.Plan_cache.misses in
+  Plan_cache.forget cache plan;
+  ignore (run ());
+  Alcotest.(check int) "forgotten entry misses" (misses + 1) k.Plan_cache.misses
+
+let test_wal_recovery_versions () =
+  let path = Filename.temp_file "youtopia_inc" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let db = Database.create () in
+      Database.attach_wal db path;
+      let t =
+        Database.create_table db
+          (Schema.make "Logged" [ Schema.column "x" Ctype.TInt ])
+      in
+      Database.with_txn db (fun txn ->
+          for i = 1 to 5 do
+            ignore (Txn.insert txn t [| v_int i |])
+          done);
+      Database.close db;
+      let recovered = Database.recover path in
+      let t' = Database.find_table recovered "Logged" in
+      Alcotest.(check int) "replayed rows" 5 (Table.row_count t');
+      Alcotest.(check int) "replay bumps versions" 5 (Table.version t');
+      Database.close recovered)
+
+let test_txn_observer () =
+  let db = Database.create () in
+  let flights = make_flights db in
+  let seen = ref [] in
+  Txn.add_observer db.Database.txns (fun ops ->
+      seen :=
+        List.map
+          (function
+            | Txn.Ins (t, _, _) -> "ins:" ^ Table.name t
+            | Txn.Del (t, _) -> "del:" ^ Table.name t
+            | Txn.Upd (t, _, _, _) -> "upd:" ^ Table.name t)
+          ops
+        :: !seen);
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn flights [| v_int 8; v_str "Oslo" |]));
+  Alcotest.(check (list (list string)))
+    "observer sees the redo log"
+    [ [ "ins:Flights" ] ] !seen;
+  (* a rolled-back transaction is invisible *)
+  (try
+     Database.with_txn db (fun txn ->
+         ignore (Txn.insert txn flights [| v_int 9; v_str "Oslo" |]);
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "rollback not observed" 1 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
+
+let pair_sql ~me ~partner ~dest table =
+  Printf.sprintf
+    "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM %s WHERE \
+     dest='%s') AND ('%s', fno) IN ANSWER R CHOOSE 1"
+    me table dest partner
+
+let make_coord () =
+  let db = Database.create () in
+  let mk name =
+    let t =
+      Database.create_table db
+        (Schema.make name
+           [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+    in
+    ignore (Table.insert t [| v_int 1; v_str "Paris" |]);
+    t
+  in
+  let ta = mk "TA" and tb = mk "TB" in
+  let coord = Coordinator.create db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  db, coord, ta, tb
+
+let submit_pending coord cat ~me ~table =
+  (* the ghost partner never arrives, so the query parks forever *)
+  match
+    Coordinator.submit coord
+      (Translate.of_sql cat ~owner:me
+         (pair_sql ~me ~partner:("ghost_" ^ me) ~dest:"Paris" table))
+  with
+  | Coordinator.Registered _ -> ()
+  | _ -> Alcotest.fail "query should park"
+
+let test_dirty_targeting () =
+  let db, coord, ta, tb = make_coord () in
+  let cat = db.Database.catalog in
+  submit_pending coord cat ~me:"ua" ~table:"TA";
+  submit_pending coord cat ~me:"ub" ~table:"TB";
+  let stats = Coordinator.stats coord in
+  ignore (Coordinator.poke coord);
+  (* first poke: empty snapshot, everything dirty, both queries retried *)
+  Alcotest.(check int) "first poke retries all" 2 stats.Stats.dirty_retries;
+  (* quiescent poke touches nothing *)
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "quiescent poke retries none" 2 stats.Stats.dirty_retries;
+  (* a localized direct mutation retries only that table's reader *)
+  ignore (Table.insert ta [| v_int 2; v_str "Rome" |]);
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "TA mutation retries TA's reader" 3
+    stats.Stats.dirty_retries;
+  Alcotest.(check int) "TB's reader skipped" 1 stats.Stats.dirty_skipped;
+  ignore (Table.insert tb [| v_int 2; v_str "Rome" |]);
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "TB mutation retries TB's reader" 4
+    stats.Stats.dirty_retries;
+  Alcotest.(check int) "pokes counted" 4 stats.Stats.pokes
+
+let test_poke_fulfils_after_mutation () =
+  let db, coord, ta, _ = make_coord () in
+  let cat = db.Database.catalog in
+  (* a real pair over a destination with no flight yet: both park *)
+  let submit me partner =
+    Coordinator.submit coord
+      (Translate.of_sql cat ~owner:me (pair_sql ~me ~partner ~dest:"Oslo" "TA"))
+  in
+  (match submit "ann" "bob" with
+  | Coordinator.Registered _ -> ()
+  | _ -> Alcotest.fail "ann should park");
+  (match submit "bob" "ann" with
+  | Coordinator.Registered _ -> ()
+  | _ -> Alcotest.fail "bob should park");
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "still pending" 2 (Pending.size (Coordinator.pending coord));
+  (* the unblocking mutation arrives outside any transaction *)
+  ignore (Table.insert ta [| v_int 77; v_str "Oslo" |]);
+  let notifications = Coordinator.poke coord in
+  Alcotest.(check int) "poke fulfils the pair" 2 (List.length notifications);
+  Alcotest.(check int) "pending drained" 0
+    (Pending.size (Coordinator.pending coord));
+  let cache_stats = Coordinator.stats coord in
+  Alcotest.(check bool) "plan cache saw traffic" true
+    (cache_stats.Stats.cache_hits + cache_stats.Stats.cache_misses > 0)
+
+let test_pending_readers () =
+  let db, coord, _, _ = make_coord () in
+  let cat = db.Database.catalog in
+  submit_pending coord cat ~me:"ua" ~table:"TA";
+  submit_pending coord cat ~me:"ub" ~table:"TB";
+  let pending = Coordinator.pending coord in
+  let owners names =
+    Pending.readers pending names
+    |> List.map (fun (q : Equery.t) -> q.Equery.owner)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "TA readers" [ "ua" ] (owners [ "TA" ]);
+  Alcotest.(check (list string)) "case-insensitive" [ "ub" ] (owners [ "tb" ]);
+  Alcotest.(check (list string)) "union" [ "ua"; "ub" ] (owners [ "TA"; "TB" ]);
+  Alcotest.(check (list string)) "unknown table" [] (owners [ "nope" ])
+
+(* ------------------------------------------------------------------ *)
+
+let test_rwlock_shared_reads () =
+  let lock = Net.Rwlock.create () in
+  let both_in = ref false in
+  ignore (Net.Rwlock.read_lock lock);
+  let second =
+    Thread.create
+      (fun () ->
+        ignore (Net.Rwlock.read_lock lock);
+        both_in := true;
+        Net.Rwlock.read_unlock lock)
+      ()
+  in
+  Thread.join second;
+  (* the second reader got in while the first still held the lock *)
+  Alcotest.(check bool) "readers share" true !both_in;
+  Net.Rwlock.read_unlock lock
+
+let test_rwlock_writer_excludes () =
+  let lock = Net.Rwlock.create () in
+  let reader_in = ref false in
+  ignore (Net.Rwlock.write_lock lock);
+  let reader =
+    Thread.create
+      (fun () ->
+        let contended = Net.Rwlock.read_lock lock in
+        reader_in := true;
+        Alcotest.(check bool) "reader waited for the writer" true contended;
+        Net.Rwlock.read_unlock lock)
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "reader blocked while writer holds" false !reader_in;
+  Net.Rwlock.write_unlock lock;
+  Thread.join reader;
+  Alcotest.(check bool) "reader entered after release" true !reader_in;
+  (* and the lock is reusable afterwards *)
+  Alcotest.(check bool) "uncontended write" false (Net.Rwlock.write_lock lock);
+  Net.Rwlock.write_unlock lock
+
+let suite =
+  [
+    Alcotest.test_case "table versions bump on mutation" `Quick
+      test_version_bumps;
+    Alcotest.test_case "database fingerprint" `Quick test_fingerprint;
+    Alcotest.test_case "plan cache hit/invalidate/forget" `Quick
+      test_plan_cache;
+    Alcotest.test_case "WAL recovery bumps versions" `Quick
+      test_wal_recovery_versions;
+    Alcotest.test_case "commit observer" `Quick test_txn_observer;
+    Alcotest.test_case "dirty poke retries only affected readers" `Quick
+      test_dirty_targeting;
+    Alcotest.test_case "poke fulfils after direct mutation" `Quick
+      test_poke_fulfils_after_mutation;
+    Alcotest.test_case "pending readers index" `Quick test_pending_readers;
+    Alcotest.test_case "rwlock: readers share" `Quick test_rwlock_shared_reads;
+    Alcotest.test_case "rwlock: writer excludes" `Quick
+      test_rwlock_writer_excludes;
+  ]

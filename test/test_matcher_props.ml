@@ -184,9 +184,138 @@ let prop_group_cliques =
         && List.length (List.sort_uniq compare (List.map snd answers)) = 1
       else answers = [] && Pending.size (Coordinator.pending coord) = size)
 
+(* I6 (incremental equivalence): the versioned plan cache and the dirty-set
+   poke are pure optimizations — across randomized interleavings of
+   submissions, direct table mutations (insert AND delete, both bypassing
+   the transaction manager) and pokes, every config combination produces
+   identical outcomes, notifications, answer tuples and pending sets. *)
+
+type action =
+  | Submit of int * bool * int  (* pair id, A/B side, dest index *)
+  | Grow of int  (* insert a fresh flight to dests.(i) *)
+  | Shrink of int  (* delete one flight to dests.(i), if any *)
+  | Poke
+
+let action_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (frequency
+         [
+           ( 6,
+             map3
+               (fun p side d -> Submit (p, side, d))
+               (int_bound 5) bool
+               (int_bound (Array.length dests - 1)) );
+           2, map (fun d -> Grow d) (int_bound (Array.length dests - 1));
+           2, map (fun d -> Shrink d) (int_bound (Array.length dests - 1));
+           2, return Poke;
+         ]))
+
+let notification_digest (n : Events.notification) =
+  Printf.sprintf "%d:%s:%s" n.Events.query_id n.Events.owner
+    (String.concat ","
+       (List.map
+          (fun (rel, row) -> rel ^ Fmt.str "%a" Tuple.pp row)
+          n.Events.answers))
+
+let rec outcome_digest = function
+  | Coordinator.Rejected m -> "rejected:" ^ m
+  | Coordinator.Answered n -> "answered:" ^ notification_digest n
+  | Coordinator.Registered id -> Printf.sprintf "registered:%d" id
+  | Coordinator.Multi os ->
+    "multi:" ^ String.concat ";" (List.map outcome_digest os)
+
+(* Replay [actions] under [config]; the digest trace captures everything
+   observable (per-action result, final answers, final pending set). *)
+let run_actions ~use_plan_cache ~use_dirty_poke actions =
+  let config =
+    { Coordinator.default_config with
+      Coordinator.use_plan_cache; use_dirty_poke }
+  in
+  let db = Database.create () in
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  List.iteri
+    (fun i d ->
+      if d <> "NoFlight" then
+        ignore (Table.insert flights [| v_int (100 + i); v_str d |]))
+    (Array.to_list dests);
+  let coord = Coordinator.create ~config db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  let cat = db.Database.catalog in
+  let next_fno = ref 1000 in
+  let trace =
+    List.map
+      (fun action ->
+        match action with
+        | Submit (p, side_a, d) ->
+          let me = Printf.sprintf "%s%d" (if side_a then "A" else "B") p in
+          let partner = Printf.sprintf "%s%d" (if side_a then "B" else "A") p in
+          outcome_digest
+            (Coordinator.submit coord
+               (side_query cat ~me ~partner ~dest:dests.(d)))
+        | Grow d ->
+          (* direct insert: bypasses the txn manager, so only the poke-time
+             version diff can catch it *)
+          incr next_fno;
+          ignore (Table.insert flights [| v_int !next_fno; v_str dests.(d) |]);
+          "grow"
+        | Shrink d ->
+          let victim =
+            Table.fold
+              (fun acc row_id row ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  if Value.as_string row.(1) = dests.(d) then Some row_id
+                  else None)
+              None flights
+          in
+          (match victim with
+          | Some row_id -> ignore (Table.delete flights row_id)
+          | None -> ());
+          "shrink"
+        | Poke ->
+          Coordinator.poke coord
+          |> List.map notification_digest
+          |> List.sort compare |> String.concat "|")
+      actions
+  in
+  let final =
+    [
+      String.concat "|"
+        (List.sort compare
+           (List.map
+              (fun (n, f) -> Printf.sprintf "%s=%d" n f)
+              (answer_rows db)));
+      Coordinator.pending coord |> Pending.to_list
+      |> List.map (fun (q : Equery.t) -> string_of_int q.Equery.id)
+      |> String.concat ",";
+    ]
+  in
+  trace @ final
+
+let prop_incremental_equivalence =
+  QCheck.Test.make
+    ~name:"plan cache + dirty poke preserve outcomes (I6)" ~count:80
+    (QCheck.make action_gen) (fun actions ->
+      let reference =
+        run_actions ~use_plan_cache:false ~use_dirty_poke:false actions
+      in
+      List.for_all
+        (fun (use_plan_cache, use_dirty_poke) ->
+          run_actions ~use_plan_cache ~use_dirty_poke actions = reference)
+        [ true, false; false, true; true, true ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_pair_semantics;
     QCheck_alcotest.to_alcotest prop_order_independence;
     QCheck_alcotest.to_alcotest prop_group_cliques;
+    QCheck_alcotest.to_alcotest prop_incremental_equivalence;
   ]

@@ -16,6 +16,7 @@ let () =
       "travel", Test_travel.suite;
       "extensions", Test_extensions.suite;
       "matcher-props", Test_matcher_props.suite;
+      "incremental", Test_incremental.suite;
       "frontend", Test_frontend.suite;
       "net", Test_net.suite;
       "edge-cases", Test_edge_cases.suite;
