@@ -510,6 +510,154 @@ let e_net { fast; seed } =
   if pushes <> submits then failwith "NET: missing pushed answers"
 
 (* ------------------------------------------------------------------ *)
+(* BATCH — group commit & batched coordination: write throughput and
+   latency over loopback TCP, swept across server batching x WAL
+   durability.  The batched rows and their per-request baselines run at
+   EQUAL durability: a batched fsync-mode request is only acked after its
+   batch's fsync, same promise as a per-request fsync, so any throughput
+   gap is pure amortisation (one engine lock, one flush/fsync, one
+   coordinator poke per batch instead of per statement). *)
+
+let e_batch { fast; seed } =
+  header
+    "BATCH — server write batching x WAL durability (write-heavy travel \
+     workload, loopback TCP)";
+  let n_clients = if fast then 8 else 16 in
+  let per_client = if fast then 50 else 100 in
+  let n_parked = 16 in
+  let total = n_clients * per_client in
+  say "%d writer clients x %d INSERTs, %d parked entangled queries re-checked \
+       per poke"
+    n_clients per_client n_parked;
+  let run_variant ~batch_writes ~max_batch ~durability =
+    let sys = fresh_travel ~seed ~n_flights:32 () in
+    let db = Youtopia.System.database sys in
+    let wal_path = Filename.temp_file "youtopia_batch" ".wal" in
+    Database.attach_wal ~durability db wal_path;
+    (* parked pairs over a flightless destination: every per-batch poke
+       re-evaluates them against the mutated Flights table, none ever
+       fulfils — the steady-state coordination work writes pay for *)
+    let coordinator = Youtopia.System.coordinator sys in
+    let cat = Youtopia.System.catalog sys in
+    for i = 1 to n_parked do
+      ignore
+        (Core.Coordinator.submit coordinator
+           (Travel.Workload.pair_query cat
+              ~user:(Printf.sprintf "parked%d" i)
+              ~friend:(Printf.sprintf "ghost%d" i)
+              ~dest:"Nowhere"))
+    done;
+    let config =
+      {
+        Net.Server.default_config with
+        Net.Server.port = 0;
+        batch_writes;
+        max_batch;
+        max_delay_us = 1_000;
+      }
+    in
+    let server = Net.Server.start ~config sys in
+    let port = Net.Server.port server in
+    let lats = Array.make n_clients [] in
+    let elapsed, () =
+      time_once (fun () ->
+          let workers =
+            Array.init n_clients (fun w ->
+                Thread.create
+                  (fun () ->
+                    let client =
+                      Net.Client.connect ~port
+                        ~user:(Printf.sprintf "writer%d" w)
+                        ()
+                    in
+                    let acc = ref [] in
+                    for i = 1 to per_client do
+                      let fno = 100_000 + (w * 10_000) + i in
+                      let s = Unix.gettimeofday () in
+                      ignore
+                        (Net.Client.submit client
+                           (Printf.sprintf
+                              "INSERT INTO Flights VALUES (%d, 'Lima', \
+                               'Atlantis', %d, 99.0, 4)"
+                              fno (i mod 30)));
+                      acc := (Unix.gettimeofday () -. s) :: !acc
+                    done;
+                    Net.Client.close client;
+                    lats.(w) <- !acc)
+                  ())
+          in
+          Array.iter Thread.join workers)
+    in
+    let snap = Net.Server_stats.snapshot (Net.Server.stats server) in
+    let io = Database.wal_io db in
+    Net.Server.stop server;
+    (try Sys.remove wal_path with Sys_error _ -> ());
+    let latencies =
+      Array.of_list (Array.fold_left (fun acc l -> l @ acc) [] lats)
+    in
+    Array.sort compare latencies;
+    let fsyncs =
+      match io with Some s -> s.Relational.Wal.fsyncs | None -> 0
+    in
+    ( float_of_int total /. elapsed,
+      percentile latencies 0.50 *. 1e6,
+      percentile latencies 0.99 *. 1e6,
+      snap.Net.Server_stats.batch_size_mean,
+      fsyncs )
+  in
+  let variants =
+    [
+      ("flush_per_request", false, 1, Wal.Flush_per_commit);
+      ("flush_batched32", true, 32, Wal.Flush_per_commit);
+      ("fsync_per_request", false, 1, Wal.Fsync_per_commit);
+      ("fsync_batched8", true, 8, Wal.Fsync_per_commit);
+      ("fsync_batched32", true, 32, Wal.Fsync_per_commit);
+    ]
+  in
+  say "%20s %10s %10s %10s %11s %8s" "variant" "writes/s" "p50(us)" "p99(us)"
+    "batch mean" "fsyncs";
+  let results =
+    List.map
+      (fun (label, batch_writes, max_batch, durability) ->
+        (* best of two trials: fsync latency on a shared disk is noisy
+           enough that a single cold run can misstate a variant by 2-3x *)
+        let ((qps1, _, _, _, _) as trial1) =
+          run_variant ~batch_writes ~max_batch ~durability
+        in
+        let ((qps2, _, _, _, _) as trial2) =
+          run_variant ~batch_writes ~max_batch ~durability
+        in
+        let qps, p50, p99, bmean, fsyncs =
+          if qps2 > qps1 then trial2 else trial1
+        in
+        say "%20s %10.0f %10.1f %10.1f %11.2f %8d" label qps p50 p99 bmean
+          fsyncs;
+        record ~experiment:"BATCH" ~metric:(label ^ "_qps") qps;
+        record ~experiment:"BATCH" ~metric:(label ^ "_p50_us") p50;
+        record ~experiment:"BATCH" ~metric:(label ^ "_p99_us") p99;
+        record ~experiment:"BATCH" ~metric:(label ^ "_batch_mean") bmean;
+        record ~experiment:"BATCH" ~metric:(label ^ "_fsyncs")
+          (float_of_int fsyncs);
+        label, qps)
+      variants
+  in
+  let qps_of l = List.assoc l results in
+  (* headline: best batched variant vs the per-request baseline at the
+     same durability (the variants differ only in max_batch tuning) *)
+  let fsync_speedup =
+    Float.max (qps_of "fsync_batched8") (qps_of "fsync_batched32")
+    /. qps_of "fsync_per_request"
+  in
+  let flush_speedup = qps_of "flush_batched32" /. qps_of "flush_per_request" in
+  record ~experiment:"BATCH" ~metric:"fsync_speedup" fsync_speedup;
+  record ~experiment:"BATCH" ~metric:"flush_speedup" flush_speedup;
+  say "  batched vs per-request, equal durability: %.2fx (fsync), %.2fx \
+       (flush)"
+    fsync_speedup flush_speedup;
+  say "  (the fsync gap is group commit: one disk barrier per batch instead";
+  say "   of one per statement; the flush gap is lock + poke amortisation)"
+
+(* ------------------------------------------------------------------ *)
 (* Microbenchmarks of the engine primitives (supporting table). *)
 
 let e_micro () =
@@ -761,6 +909,7 @@ let experiments =
     "E11", ("head index ablation", e11_ablation);
     "E13", ("cascade chain depth", e13_cascade);
     "INC", ("incremental matching + concurrent read path", e_inc);
+    "BATCH", ("write batching x durability over loopback TCP", e_batch);
     "NET", ("travel workload over loopback TCP", e_net);
     "MICRO", ("engine primitive microbenchmarks", fun (_ : opts) -> e_micro ());
   ]

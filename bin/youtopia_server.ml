@@ -10,7 +10,8 @@
    docs/PROTOCOL.md).  Ctrl-C shuts down gracefully: in-flight responses
    are flushed before connections close. *)
 
-let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~verbose =
+let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
+    ~max_batch ~max_delay_us ~no_batch ~verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.Src.set_level Net.Server.log_src (Some Logs.Debug)
@@ -19,7 +20,31 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~verbose =
     if travel then Travel.Datagen.make_system ~seed ~n_flights:32 ~n_hotels:16 ()
     else Youtopia.System.create ?wal_path:wal ()
   in
-  let config = { Net.Server.default_config with host; port; read_timeout; max_frame } in
+  let durability =
+    match durability with
+    | None -> None
+    | Some s ->
+      (match Relational.Wal.durability_of_string s with
+      | Some d -> Some d
+      | None ->
+        prerr_endline
+          ("unknown durability mode '" ^ s
+         ^ "' (expected never|flush|fsync|group|group(N,USus))");
+        exit 2)
+  in
+  let config =
+    {
+      Net.Server.default_config with
+      host;
+      port;
+      read_timeout;
+      max_frame;
+      durability;
+      max_batch;
+      max_delay_us;
+      batch_writes = not no_batch;
+    }
+  in
   let server = Net.Server.start ~config sys in
   Printf.printf "youtopia server listening on %s:%d (protocol v%d)\n%!" host
     (Net.Server.port server) Net.Wire.protocol_version;
@@ -80,6 +105,41 @@ let max_frame_opt =
     & opt int Net.Wire.default_max_frame
     & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Maximum frame payload size.")
 
+let durability_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "durability" ] ~docv:"MODE"
+        ~doc:
+          "WAL commit durability: $(b,never), $(b,flush) (no crash \
+           durability), $(b,fsync), $(b,group) or $(b,group\\(N,USus\\)) \
+           (group commit: one fsync per batch of up to N commits / US \
+           microseconds).  Default: leave the database's mode untouched.")
+
+let max_batch_opt =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.max_batch
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Most write requests the batching drainer executes per batch.")
+
+let max_delay_us_opt =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.max_delay_us
+    & info [ "max-delay-us" ] ~docv:"US"
+        ~doc:
+          "Microseconds the drainer holds a batch open for more writers to \
+           join.")
+
+let no_batch_flag =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Disable write batching: every write takes the engine lock, \
+           flushes and pokes alone (the per-request baseline).")
+
 let verbose_flag =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log connection events.")
 
@@ -88,9 +148,13 @@ let cmd =
   Cmd.v
     (Cmd.info "youtopia_server" ~doc)
     Term.(
-      const (fun host port travel seed wal read_timeout max_frame verbose ->
-          run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~verbose)
+      const
+        (fun host port travel seed wal read_timeout max_frame durability
+             max_batch max_delay_us no_batch verbose ->
+          run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame
+            ~durability ~max_batch ~max_delay_us ~no_batch ~verbose)
       $ host_opt $ port_opt $ travel_flag $ seed_opt $ wal_opt $ read_timeout_opt
-      $ max_frame_opt $ verbose_flag)
+      $ max_frame_opt $ durability_opt $ max_batch_opt $ max_delay_us_opt
+      $ no_batch_flag $ verbose_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -464,3 +464,22 @@ let poke t =
     (fun () ->
       t.stats.Stats.pokes <- t.stats.Stats.pokes + 1;
       if t.config.use_dirty_poke then poke_dirty t else poke_all t)
+
+(** [poke_batch ~statements t] — one poke covering a whole write batch.
+    The dirty set already accumulated every table the batch's transactions
+    touched (commit observer + version-snapshot diff), and a poke drains
+    the whole set to a fixpoint, so this is semantically identical to
+    poking after every statement — batching changes the {i count}, not the
+    outcome (the equivalence property I7 checks this).  [statements] is
+    how many DML statements this single poke amortises, recorded in
+    {!Stats} so the amortisation is observable. *)
+let poke_batch ?(statements = 1) t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      t.stats.Stats.pokes <- t.stats.Stats.pokes + 1;
+      t.stats.Stats.batch_pokes <- t.stats.Stats.batch_pokes + 1;
+      t.stats.Stats.batch_poke_stmts <-
+        t.stats.Stats.batch_poke_stmts + statements;
+      if t.config.use_dirty_poke then poke_dirty t else poke_all t)

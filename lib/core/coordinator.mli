@@ -82,3 +82,11 @@ val poke : t -> Events.notification list
     eagerly; direct [Table] mutations are caught by a version-snapshot diff
     at poke time); with it off, every pending query is retried to a
     fixpoint. *)
+
+val poke_batch : ?statements:int -> t -> Events.notification list
+(** One poke covering a whole write batch: semantically identical to
+    {!poke} (the dirty set accumulated across the batch is drained to the
+    same fixpoint), but counted as a single batch-level poke amortising
+    [statements] DML statements in {!Stats} ([batch_pokes] /
+    [batch_poke_stmts]).  The server's batching drainer calls this once
+    per batch instead of poking per statement. *)

@@ -60,13 +60,16 @@ let enumerate ?(cache : Plan_cache.t option) (cat : Catalog.t)
           let k = Plan_cache.counters c in
           let h0 = k.Plan_cache.hits
           and m0 = k.Plan_cache.misses
-          and i0 = k.Plan_cache.invalidations in
+          and i0 = k.Plan_cache.invalidations
+          and e0 = k.Plan_cache.evictions in
           let rows = Plan_cache.run c cat plan in
           stats.Stats.cache_hits <- stats.Stats.cache_hits + k.Plan_cache.hits - h0;
           stats.Stats.cache_misses <-
             stats.Stats.cache_misses + k.Plan_cache.misses - m0;
           stats.Stats.cache_invalidations <-
             stats.Stats.cache_invalidations + k.Plan_cache.invalidations - i0;
+          stats.Stats.cache_evictions <-
+            stats.Stats.cache_evictions + k.Plan_cache.evictions - e0;
           rows
       in
       let atoms =

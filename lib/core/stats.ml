@@ -19,6 +19,9 @@ type t = {
   mutable pokes : int;  (** poke calls *)
   mutable dirty_retries : int;  (** pending queries retried by a poke *)
   mutable dirty_skipped : int;  (** pending queries a poke did not retry *)
+  mutable cache_evictions : int;  (** plan-cache entries evicted by CLOCK *)
+  mutable batch_pokes : int;  (** batch-level pokes (one per write batch) *)
+  mutable batch_poke_stmts : int;  (** statements covered by those pokes *)
 }
 
 let create () =
@@ -40,6 +43,9 @@ let create () =
     pokes = 0;
     dirty_retries = 0;
     dirty_skipped = 0;
+    cache_evictions = 0;
+    batch_pokes = 0;
+    batch_poke_stmts = 0;
   }
 
 let reset s =
@@ -59,7 +65,10 @@ let reset s =
   s.cache_invalidations <- 0;
   s.pokes <- 0;
   s.dirty_retries <- 0;
-  s.dirty_skipped <- 0
+  s.dirty_skipped <- 0;
+  s.cache_evictions <- 0;
+  s.batch_pokes <- 0;
+  s.batch_poke_stmts <- 0
 
 let pp ppf s =
   Fmt.pf ppf
@@ -67,10 +76,13 @@ let pp ppf s =
      %d@,registered pending: %d@,cancelled: %d@,match attempts: %d@,search \
      steps: %d@,unify attempts: %d@,groundings: %d@,budget exhausted: \
      %d@,plan cache hits: %d@,plan cache misses: %d@,plan cache \
-     invalidations: %d@,pokes: %d@,dirty retries: %d@,dirty skipped: %d@]"
+     invalidations: %d@,plan cache evictions: %d@,pokes: %d@,dirty \
+     retries: %d@,dirty skipped: %d@,batch pokes: %d@,batch poke stmts: \
+     %d@]"
     s.submitted s.answered s.groups_fulfilled s.rejected s.registered
     s.cancelled s.match_attempts s.search_steps s.unify_attempts s.groundings
     s.budget_exhausted s.cache_hits s.cache_misses s.cache_invalidations
-    s.pokes s.dirty_retries s.dirty_skipped
+    s.cache_evictions s.pokes s.dirty_retries s.dirty_skipped s.batch_pokes
+    s.batch_poke_stmts
 
 let to_string s = Fmt.str "%a" pp s

@@ -20,6 +20,9 @@ type t = {
   mutable pokes : int;  (** {!Coordinator.poke} calls *)
   mutable dirty_retries : int;  (** pending queries retried by a poke *)
   mutable dirty_skipped : int;  (** pending queries a poke did not retry *)
+  mutable cache_evictions : int;  (** plan-cache entries evicted by CLOCK *)
+  mutable batch_pokes : int;  (** {!Coordinator.poke_batch} calls *)
+  mutable batch_poke_stmts : int;  (** statements amortised by those pokes *)
 }
 
 val create : unit -> t

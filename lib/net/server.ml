@@ -36,6 +36,18 @@ type config = {
   serialize_reads : bool;
       (** run read-only scripts in the exclusive section too — the
           global-mutex baseline for the concurrency benchmark *)
+  batch_writes : bool;
+      (** writer requests go through the batching drainer instead of each
+          taking the exclusive section alone *)
+  max_batch : int;  (** most write requests the drainer executes per batch *)
+  max_delay_us : int;
+      (** µs the drainer holds a batch open for more writers to join *)
+  max_batchq : int;
+      (** bound on queued write requests; readers block (backpressure)
+          when the queue is full *)
+  durability : Relational.Wal.durability option;
+      (** applied to the system's WAL at {!start}; [None] leaves the
+          database's current mode untouched *)
 }
 
 let default_config =
@@ -48,6 +60,11 @@ let default_config =
     max_outq = 1024;
     banner = "youtopia";
     serialize_reads = false;
+    batch_writes = true;
+    max_batch = 32;
+    max_delay_us = 1_000;
+    max_batchq = 256;
+    durability = None;
   }
 
 type conn = {
@@ -59,6 +76,16 @@ type conn = {
   mutable closing : bool;
   mutable reader : Thread.t option;
   mutable writer : Thread.t option;
+}
+
+(** One writer request parked in the batch queue: everything the drainer
+    needs to execute it and fan the response back out. *)
+type write_req = {
+  wr_conn : conn;
+  wr_session : Youtopia.Session.t;
+  wr_id : int;
+  wr_stmts : Sql.Ast.statement list;  (** parsed outside the engine lock *)
+  wr_t0 : float;  (** arrival time, for end-to-end submit latency *)
 }
 
 type t = {
@@ -73,6 +100,12 @@ type t = {
   mutable next_conn_id : int;
   mutable running : bool;
   mutable accept_thread : Thread.t option;
+  (* write-batching executor *)
+  batchq : write_req Queue.t;
+  batch_mu : Mutex.t;
+  batch_cond : Condition.t;  (* work arrived (or shutdown) *)
+  batch_space : Condition.t;  (* queue has room again *)
+  mutable drainer : Thread.t option;
 }
 
 let port t = t.bound_port
@@ -190,31 +223,230 @@ let body_of_response : Youtopia.System.response -> Wire.result_body = function
   | Youtopia.System.Coordination o -> body_of_outcome o
   | Youtopia.System.Pending_listing s -> Wire.Listing s
 
-let handle_submit t session ~id ~sql =
-  let t0 = Unix.gettimeofday () in
-  let response =
+(** Statements that mutate table data and can therefore unblock a pending
+    coordination: after running any of these the server pokes the
+    coordinator (once per batch on the batching path) so parked entangled
+    queries see the new rows and pushes go out. *)
+let dml_stmt : Sql.Ast.statement -> bool = function
+  | Sql.Ast.Insert _ | Sql.Ast.Update _ | Sql.Ast.Delete _
+  | Sql.Ast.Create_table_as _ ->
+    true
+  | _ -> false
+
+let result_of_responses id = function
+  | [ r ] -> Wire.Result { id; body = body_of_response r }
+  | rs -> Wire.Result { id; body = Wire.Multi (List.map body_of_response rs) }
+
+(* Execute one write script under the (already held) exclusive section.
+   Returns the response and how many DML statements ran — per-request
+   error isolation: a failing script yields its own Error response and
+   must not poison its batchmates. *)
+let exec_write_script t session ~id stmts =
+  match
+    Relational.Errors.guard (fun () ->
+        List.map (Youtopia.System.exec t.sys session) stmts)
+  with
+  | Ok rs ->
+    let dml = List.length (List.filter dml_stmt stmts) in
+    (result_of_responses id rs, dml)
+  | Error kind ->
+    Server_stats.on_error t.stats;
+    (Wire.Error { id; message = Relational.Errors.kind_to_string kind }, 0)
+  | exception exn ->
+    Server_stats.on_error t.stats;
+    (Wire.Error { id; message = Printexc.to_string exn }, 0)
+
+(* ---------------- write-batching executor ---------------- *)
+
+(* WAL flush/fsync deltas across a batch, attributed in Server_stats *)
+let wal_io_snapshot t =
+  Relational.Database.wal_io (Youtopia.System.database t.sys)
+
+let wal_io_delta before after =
+  match before, after with
+  | Some (a : Relational.Wal.io_stats), Some (b : Relational.Wal.io_stats) ->
+    (b.Relational.Wal.flushes - a.Relational.Wal.flushes,
+     b.Relational.Wal.fsyncs - a.Relational.Wal.fsyncs)
+  | _ -> (0, 0)
+
+(** Execute one drained batch: the engine write lock is taken {b once},
+    every request runs with per-request error isolation inside a single
+    WAL batch scope (one flush, one fsync at scope end), dirty tables
+    accumulate across the whole batch and a single {!Coordinator.poke}
+    covers them all.  Responses and pushes fan out {i after} the lock is
+    released.  If the scope-end durability sync fails, no response has
+    been sent yet — every batch member reports the failure instead of a
+    false ack. *)
+let execute_batch t batch =
+  let db = Youtopia.System.database t.sys in
+  let io0 = wal_io_snapshot t in
+  let results =
     match
-      Relational.Errors.guard (fun () ->
-          (* parse outside the engine lock; only execution needs it *)
-          let stmts = Sql.Parser.parse_script sql in
-          let section =
-            if List.for_all read_only_stmt stmts then with_engine_read t
-            else with_engine t
-          in
-          section (fun () ->
-              List.map (Youtopia.System.exec t.sys session) stmts))
+      with_engine t (fun () ->
+          Relational.Database.with_wal_batch db (fun () ->
+              let results =
+                List.map
+                  (fun wr ->
+                    let response, dml =
+                      exec_write_script t wr.wr_session ~id:wr.wr_id
+                        wr.wr_stmts
+                    in
+                    (wr, response, dml))
+                  batch
+              in
+              let dml_total =
+                List.fold_left (fun acc (_, _, d) -> acc + d) 0 results
+              in
+              if dml_total > 0 then
+                ignore (Youtopia.System.poke_batch t.sys ~statements:dml_total);
+              results))
     with
-    | Ok [ r ] -> Wire.Result { id; body = body_of_response r }
-    | Ok rs -> Wire.Result { id; body = Wire.Multi (List.map body_of_response rs) }
-    | Error kind ->
-      Server_stats.on_error t.stats;
-      Wire.Error { id; message = Relational.Errors.kind_to_string kind }
+    | results -> results
     | exception exn ->
+      (* the batch's WAL sync (or the poke) failed after the statements
+         ran: acks would lie about durability, so everyone gets the error *)
       Server_stats.on_error t.stats;
-      Wire.Error { id; message = Printexc.to_string exn }
+      Log.err (fun f -> f "batch failed: %s" (Printexc.to_string exn));
+      let message = "batch durability failure: " ^ Printexc.to_string exn in
+      List.map
+        (fun wr -> (wr, Wire.Error { id = wr.wr_id; message }, 0))
+        batch
   in
-  Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
-  response
+  let flushes, fsyncs = wal_io_delta io0 (wal_io_snapshot t) in
+  Server_stats.on_batch t.stats ~size:(List.length batch) ~flushes ~fsyncs;
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun (wr, response, _) ->
+      send t wr.wr_conn response;
+      Server_stats.on_submit t.stats ~latency:(now -. wr.wr_t0))
+    results
+
+(** Drainer thread: wait for write requests, let concurrent writers pile
+    in (holding a lone request open up to [max_delay_us]), then execute up
+    to [max_batch] of them as one batch.  Keeps draining after {!stop}
+    flips [running] until the queue is empty, so accepted requests are
+    never dropped. *)
+let drainer_loop t =
+  let slice =
+    Float.min 2e-4 (Float.max 5e-5 (float_of_int t.config.max_delay_us /. 1e6 /. 4.))
+  in
+  Mutex.lock t.batch_mu;
+  let rec loop () =
+    if Queue.is_empty t.batchq then begin
+      if t.running then begin
+        Condition.wait t.batch_cond t.batch_mu;
+        loop ()
+      end
+      (* else: stopped and drained — exit *)
+    end
+    else begin
+      (* Hold the batch open only when the system looks idle (a single
+         queued request): waiting helps an isolated writer's batch pick up
+         stragglers.  When requests are already piled up, drain and go —
+         execution time of this batch is the accumulation window for the
+         next one (natural batching), and waiting out the timer would just
+         add latency without growing the batch (the writers whose requests
+         we hold are blocked on their responses). *)
+      (if t.config.max_delay_us > 0 && Queue.length t.batchq <= 1 then begin
+         let deadline =
+           Unix.gettimeofday () +. (float_of_int t.config.max_delay_us /. 1e6)
+         in
+         let rec gather () =
+           if
+             t.running
+             && Queue.length t.batchq <= 1
+             && Unix.gettimeofday () < deadline
+           then begin
+             Mutex.unlock t.batch_mu;
+             Thread.delay slice;
+             Mutex.lock t.batch_mu;
+             gather ()
+           end
+         in
+         gather ()
+       end);
+      let batch = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.batchq)) && !n < t.config.max_batch do
+        batch := Queue.pop t.batchq :: !batch;
+        incr n
+      done;
+      Condition.broadcast t.batch_space;
+      Mutex.unlock t.batch_mu;
+      execute_batch t (List.rev !batch);
+      Mutex.lock t.batch_mu;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.batch_mu
+
+(** Reader-side enqueue with backpressure: a full batch queue blocks this
+    connection's reader (its own client sees latency, not an error) until
+    the drainer makes room. *)
+let enqueue_write t wr =
+  Mutex.lock t.batch_mu;
+  while t.running && Queue.length t.batchq >= t.config.max_batchq do
+    Condition.wait t.batch_space t.batch_mu
+  done;
+  if not t.running then begin
+    Mutex.unlock t.batch_mu;
+    send t wr.wr_conn
+      (Wire.Error { id = wr.wr_id; message = "server shutting down" })
+  end
+  else begin
+    Queue.push wr t.batchq;
+    Condition.signal t.batch_cond;
+    Mutex.unlock t.batch_mu
+  end
+
+(** Submit dispatch.  Parsing happens on the reader thread, outside any
+    lock.  Read-only scripts run inline under the shared lock.  Writes
+    either enqueue for the batching drainer (responses sent by the
+    drainer) or — with [batch_writes] off — run inline under the
+    exclusive lock, poking the coordinator themselves after DML so both
+    paths are observationally equivalent. *)
+let handle_submit t conn session ~id ~sql =
+  let t0 = Unix.gettimeofday () in
+  match Relational.Errors.guard (fun () -> Sql.Parser.parse_script sql) with
+  | Error kind ->
+    Server_stats.on_error t.stats;
+    send t conn
+      (Wire.Error { id; message = Relational.Errors.kind_to_string kind });
+    Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+  | Ok stmts ->
+    if List.for_all read_only_stmt stmts then begin
+      let response =
+        match
+          with_engine_read t (fun () ->
+              List.map (Youtopia.System.exec t.sys session) stmts)
+        with
+        | rs -> result_of_responses id rs
+        | exception Relational.Errors.Db_error kind ->
+          Server_stats.on_error t.stats;
+          Wire.Error { id; message = Relational.Errors.kind_to_string kind }
+        | exception exn ->
+          Server_stats.on_error t.stats;
+          Wire.Error { id; message = Printexc.to_string exn }
+      in
+      send t conn response;
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+    end
+    else if t.config.batch_writes then
+      enqueue_write t
+        { wr_conn = conn; wr_session = session; wr_id = id; wr_stmts = stmts;
+          wr_t0 = t0 }
+    else begin
+      (* per-request exclusive baseline (`batch_writes = false`) *)
+      let response =
+        with_engine t (fun () ->
+            let response, dml = exec_write_script t session ~id stmts in
+            if dml > 0 then ignore (Youtopia.System.poke t.sys);
+            response)
+      in
+      send t conn response;
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+    end
 
 let handle_cancel t ~id ~query_id =
   match
@@ -276,7 +508,7 @@ let reader_loop t conn =
        Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
        (match Wire.decode_request payload with
        | Wire.Hello _ -> raise (Wire.Protocol_error "duplicate HELLO")
-       | Wire.Submit { id; sql } -> send t conn (handle_submit t s ~id ~sql)
+       | Wire.Submit { id; sql } -> handle_submit t conn s ~id ~sql
        | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
        | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
        | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
@@ -394,8 +626,19 @@ let start ?(config = default_config) sys =
       next_conn_id = 1;
       running = true;
       accept_thread = None;
+      batchq = Queue.create ();
+      batch_mu = Mutex.create ();
+      batch_cond = Condition.create ();
+      batch_space = Condition.create ();
+      drainer = None;
     }
   in
+  (match config.durability with
+  | Some d ->
+    Relational.Database.set_durability (Youtopia.System.database sys) d
+  | None -> ());
+  if config.batch_writes then
+    t.drainer <- Some (Thread.create (fun () -> drainer_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   Log.info (fun f -> f "listening on %s:%d" config.host bound_port);
   t
@@ -406,9 +649,24 @@ let start ?(config = default_config) sys =
 let stop t =
   if t.running then begin
     t.running <- false;
+    (* wake readers blocked on batch-queue backpressure and the drainer's
+       empty-queue wait, so both see [running = false] *)
+    Mutex.lock t.batch_mu;
+    Condition.broadcast t.batch_space;
+    Condition.broadcast t.batch_cond;
+    Mutex.unlock t.batch_mu;
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* drain the batch queue before tearing connections down: already
+       accepted write requests still execute and their responses reach the
+       per-connection writers while those are alive (new enqueues are
+       refused once [running] is false) *)
+    (match t.drainer with
+    | Some th ->
+      Thread.join th;
+      t.drainer <- None
+    | None -> ());
     let conns =
       Mutex.lock t.conns_mu;
       let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in

@@ -3,8 +3,16 @@
     One accept thread; per connection, a reader thread (frames in,
     dispatch) and a writer thread draining a per-connection outbound
     queue.  Engine work runs under a writer-preferring {!Rwlock}:
-    read-only scripts and admin probes share the engine, mutations and
-    entangled submissions are exclusive.  Pushes are handed off from the
+    read-only scripts and admin probes share the engine.  Writes go
+    through a {b batching executor}: writer requests enqueue into a
+    bounded batch queue and a single drainer thread takes the exclusive
+    lock once per batch, executes every request with per-request error
+    isolation, emits one WAL group flush ({!Relational.Wal.with_batch})
+    and one coordinator poke for the whole batch, then fans responses out
+    — amortising lock acquisition, log flush/fsync and coordination
+    re-evaluation across concurrent writers.  [batch_writes = false]
+    restores the per-request exclusive baseline (each write takes the
+    lock, syncs and pokes alone).  Pushes are handed off from the
     coordinator's fulfilment path straight onto the owning connection's
     outbound queue via {!Youtopia.Session.set_listener}, so clients
     receive coordination answers without polling. *)
@@ -24,11 +32,26 @@ type config = {
   serialize_reads : bool;
       (** run read-only scripts in the exclusive section too — the
           global-mutex baseline for the concurrency benchmark *)
+  batch_writes : bool;
+      (** writer requests go through the batching drainer instead of each
+          taking the exclusive section alone (default [true]) *)
+  max_batch : int;  (** most write requests the drainer executes per batch *)
+  max_delay_us : int;
+      (** µs the drainer holds a {e lone} queued write open for company;
+          once requests are piled up it drains immediately — executing one
+          batch is the accumulation window for the next *)
+  max_batchq : int;
+      (** bound on queued write requests; a full queue blocks the
+          enqueuing connection's reader (backpressure, not an error) *)
+  durability : Relational.Wal.durability option;
+      (** applied to the system's WAL at {!start}; [None] leaves the
+          database's current mode untouched *)
 }
 
 val default_config : config
 (** 127.0.0.1:7077, 1 MiB frames, no read timeout, 1024-frame outbound
-    queues. *)
+    queues; batching on (32 requests / 1000 µs window / 256-deep queue),
+    durability untouched. *)
 
 type t
 

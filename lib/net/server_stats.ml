@@ -1,6 +1,37 @@
 (** Server-side counters: connections, frames, bytes, submissions, pushes,
-    and server-side submit handling latency.  All counters are guarded by
-    one mutex — they are touched by every reader/writer thread. *)
+    server-side submit handling latency, and the write-batching pipeline
+    (batch sizes, WAL flush/fsync amortisation, latency histogram).  All
+    counters are guarded by one mutex — they are touched by every
+    reader/writer/drainer thread. *)
+
+(* Submit-latency histogram: log-spaced upper bounds in µs; one extra
+   overflow bucket at the end.  p50/p99 are estimated as the upper bound of
+   the bucket where the cumulative count crosses the percentile (the
+   overflow bucket reports the observed max). *)
+let latency_bounds_us =
+  [| 50.; 100.; 200.; 500.; 1_000.; 2_000.; 5_000.; 10_000.; 20_000.; 50_000.; 100_000. |]
+
+let latency_buckets = Array.length latency_bounds_us + 1
+
+(* Batch-size histogram: power-of-two upper bounds; overflow bucket last. *)
+let batch_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
+let batch_buckets = Array.length batch_bounds + 1
+
+let bucket_of_latency_us us =
+  let rec find i =
+    if i >= Array.length latency_bounds_us then Array.length latency_bounds_us
+    else if us <= latency_bounds_us.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let bucket_of_batch n =
+  let rec find i =
+    if i >= Array.length batch_bounds then Array.length batch_bounds
+    else if n <= batch_bounds.(i) then i
+    else find (i + 1)
+  in
+  find 0
 
 type t = {
   mu : Mutex.t;
@@ -15,10 +46,18 @@ type t = {
   mutable errors : int;
   mutable submit_latency_total : float;
   mutable submit_latency_max : float;
+  submit_latency_hist : int array;  (** [latency_buckets] log buckets *)
   mutable engine_reads : int;
   mutable engine_writes : int;
   mutable engine_read_waits : int;
   mutable engine_write_waits : int;
+  (* write-batching pipeline *)
+  mutable batches : int;  (** batches the drainer executed *)
+  mutable batched_requests : int;  (** write requests inside those batches *)
+  mutable batch_size_max : int;
+  batch_size_hist : int array;  (** [batch_buckets] buckets *)
+  mutable wal_flushes : int;  (** WAL channel flushes across batches *)
+  mutable wal_fsyncs : int;  (** WAL fsyncs across batches *)
 }
 
 (** Immutable copy for rendering/reporting. *)
@@ -34,10 +73,20 @@ type snapshot = {
   errors : int;
   submit_latency_mean : float;  (** seconds; 0 if no submits *)
   submit_latency_max : float;
+  submit_latency_p50 : float;  (** seconds, histogram upper-bound estimate *)
+  submit_latency_p99 : float;  (** seconds, histogram upper-bound estimate *)
+  submit_latency_hist : int array;
   engine_reads : int;  (** engine read-lock (shared) acquisitions *)
   engine_writes : int;  (** engine write-lock (exclusive) acquisitions *)
   engine_read_waits : int;  (** read acquisitions that had to queue *)
   engine_write_waits : int;  (** write acquisitions that had to queue *)
+  batches : int;  (** write batches the drainer executed *)
+  batched_requests : int;  (** write requests executed inside batches *)
+  batch_size_mean : float;  (** 0 if no batches *)
+  batch_size_max : int;
+  batch_size_hist : int array;
+  wal_flushes : int;  (** WAL flushes attributed to batches *)
+  wal_fsyncs : int;  (** WAL fsyncs attributed to batches *)
 }
 
 let create () =
@@ -54,10 +103,17 @@ let create () =
     errors = 0;
     submit_latency_total = 0.;
     submit_latency_max = 0.;
+    submit_latency_hist = Array.make latency_buckets 0;
     engine_reads = 0;
     engine_writes = 0;
     engine_read_waits = 0;
     engine_write_waits = 0;
+    batches = 0;
+    batched_requests = 0;
+    batch_size_max = 0;
+    batch_size_hist = Array.make batch_buckets 0;
+    wal_flushes = 0;
+    wal_fsyncs = 0;
   }
 
 let locked t f =
@@ -86,7 +142,9 @@ let on_submit t ~latency =
   locked t (fun () ->
       t.submits <- t.submits + 1;
       t.submit_latency_total <- t.submit_latency_total +. latency;
-      t.submit_latency_max <- Float.max t.submit_latency_max latency)
+      t.submit_latency_max <- Float.max t.submit_latency_max latency;
+      let b = bucket_of_latency_us (latency *. 1e6) in
+      t.submit_latency_hist.(b) <- t.submit_latency_hist.(b) + 1)
 
 let on_push t = locked t (fun () -> t.pushes <- t.pushes + 1)
 let on_error t = locked t (fun () -> t.errors <- t.errors + 1)
@@ -100,6 +158,38 @@ let on_engine_write t ~waited =
   locked t (fun () ->
       t.engine_writes <- t.engine_writes + 1;
       if waited then t.engine_write_waits <- t.engine_write_waits + 1)
+
+(** One drained write batch of [size] requests; [flushes]/[fsyncs] are the
+    WAL io deltas the batch caused (one flush + at most one fsync when the
+    pipeline amortises correctly). *)
+let on_batch t ~size ~flushes ~fsyncs =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched_requests <- t.batched_requests + size;
+      t.batch_size_max <- max t.batch_size_max size;
+      let b = bucket_of_batch size in
+      t.batch_size_hist.(b) <- t.batch_size_hist.(b) + 1;
+      t.wal_flushes <- t.wal_flushes + flushes;
+      t.wal_fsyncs <- t.wal_fsyncs + fsyncs)
+
+(* percentile from the log histogram: upper bound of the bucket where the
+   cumulative count crosses p; the overflow bucket reports [max_s] *)
+let hist_percentile hist ~total ~max_s p =
+  if total = 0 then 0.
+  else begin
+    let target = int_of_float (ceil (p *. float_of_int total)) in
+    let target = max 1 target in
+    let rec walk i cum =
+      if i >= Array.length hist then max_s
+      else
+        let cum = cum + hist.(i) in
+        if cum >= target then
+          if i < Array.length latency_bounds_us then latency_bounds_us.(i) /. 1e6
+          else max_s
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
 
 let snapshot t : snapshot =
   locked t (fun () ->
@@ -117,11 +207,47 @@ let snapshot t : snapshot =
           (if t.submits = 0 then 0.
            else t.submit_latency_total /. float_of_int t.submits);
         submit_latency_max = t.submit_latency_max;
+        submit_latency_p50 =
+          hist_percentile t.submit_latency_hist ~total:t.submits
+            ~max_s:t.submit_latency_max 0.50;
+        submit_latency_p99 =
+          hist_percentile t.submit_latency_hist ~total:t.submits
+            ~max_s:t.submit_latency_max 0.99;
+        submit_latency_hist = Array.copy t.submit_latency_hist;
         engine_reads = t.engine_reads;
         engine_writes = t.engine_writes;
         engine_read_waits = t.engine_read_waits;
         engine_write_waits = t.engine_write_waits;
+        batches = t.batches;
+        batched_requests = t.batched_requests;
+        batch_size_mean =
+          (if t.batches = 0 then 0.
+           else float_of_int t.batched_requests /. float_of_int t.batches);
+        batch_size_max = t.batch_size_max;
+        batch_size_hist = Array.copy t.batch_size_hist;
+        wal_flushes = t.wal_flushes;
+        wal_fsyncs = t.wal_fsyncs;
       })
+
+(* "≤bound:count" pairs for the non-empty buckets, e.g. "le8:3,le16:12" *)
+let hist_to_string ~bounds hist =
+  let parts = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let label =
+          if i < Array.length bounds then Printf.sprintf "le%s" bounds.(i)
+          else "inf"
+        in
+        parts := Printf.sprintf "%s:%d" label c :: !parts
+      end)
+    hist;
+  String.concat "," (List.rev !parts)
+
+let latency_bound_labels =
+  Array.map (fun b -> Printf.sprintf "%.0f" b) latency_bounds_us
+
+let batch_bound_labels = Array.map string_of_int batch_bounds
 
 (** One key=value per line — the payload of the [ADMIN|…|server] probe. *)
 let render t =
@@ -139,8 +265,20 @@ let render t =
       Printf.sprintf "errors=%d" s.errors;
       Printf.sprintf "submit_latency_mean_us=%.1f" (s.submit_latency_mean *. 1e6);
       Printf.sprintf "submit_latency_max_us=%.1f" (s.submit_latency_max *. 1e6);
+      Printf.sprintf "submit_latency_p50_us=%.1f" (s.submit_latency_p50 *. 1e6);
+      Printf.sprintf "submit_latency_p99_us=%.1f" (s.submit_latency_p99 *. 1e6);
+      Printf.sprintf "submit_latency_hist_us=%s"
+        (hist_to_string ~bounds:latency_bound_labels s.submit_latency_hist);
       Printf.sprintf "engine_reads=%d" s.engine_reads;
       Printf.sprintf "engine_writes=%d" s.engine_writes;
       Printf.sprintf "engine_read_waits=%d" s.engine_read_waits;
       Printf.sprintf "engine_write_waits=%d" s.engine_write_waits;
+      Printf.sprintf "batches=%d" s.batches;
+      Printf.sprintf "batched_requests=%d" s.batched_requests;
+      Printf.sprintf "batch_size_mean=%.2f" s.batch_size_mean;
+      Printf.sprintf "batch_size_max=%d" s.batch_size_max;
+      Printf.sprintf "batch_size_hist=%s"
+        (hist_to_string ~bounds:batch_bound_labels s.batch_size_hist);
+      Printf.sprintf "wal_flushes=%d" s.wal_flushes;
+      Printf.sprintf "wal_fsyncs=%d" s.wal_fsyncs;
     ]

@@ -1,5 +1,6 @@
 (** Server-side counters: connections, frames, bytes, submissions, pushes,
-    and submit handling latency.  Thread-safe. *)
+    submit handling latency (histogrammed), and the write-batching pipeline
+    (batch sizes, WAL flush/fsync amortisation).  Thread-safe. *)
 
 type t
 
@@ -15,10 +16,24 @@ type snapshot = {
   errors : int;
   submit_latency_mean : float;  (** seconds; 0 if no submits *)
   submit_latency_max : float;
+  submit_latency_p50 : float;
+      (** seconds — upper bound of the log-histogram bucket holding the
+          median (overflow bucket reports the observed max) *)
+  submit_latency_p99 : float;  (** seconds, same estimate at p99 *)
+  submit_latency_hist : int array;
+      (** log buckets ≤50/100/200/500/1k/2k/5k/10k/20k/50k/100k µs + overflow *)
   engine_reads : int;  (** engine read-lock (shared) acquisitions *)
   engine_writes : int;  (** engine write-lock (exclusive) acquisitions *)
   engine_read_waits : int;  (** read acquisitions that had to queue *)
   engine_write_waits : int;  (** write acquisitions that had to queue *)
+  batches : int;  (** write batches the drainer executed *)
+  batched_requests : int;  (** write requests executed inside batches *)
+  batch_size_mean : float;  (** 0 if no batches *)
+  batch_size_max : int;
+  batch_size_hist : int array;
+      (** buckets ≤1/2/4/8/16/32/64/128 requests + overflow *)
+  wal_flushes : int;  (** WAL flushes attributed to drained batches *)
+  wal_fsyncs : int;  (** WAL fsyncs attributed to drained batches *)
 }
 
 val create : unit -> t
@@ -37,7 +52,15 @@ val on_engine_read : t -> waited:bool -> unit
 val on_engine_write : t -> waited:bool -> unit
 (** One engine write-lock acquisition; [waited] if it had to queue. *)
 
+val on_batch : t -> size:int -> flushes:int -> fsyncs:int -> unit
+(** One drained write batch of [size] requests; [flushes]/[fsyncs] are the
+    WAL io deltas the batch caused (one flush + at most one fsync when the
+    pipeline amortises correctly). *)
+
 val snapshot : t -> snapshot
 
 val render : t -> string
-(** One [key=value] per line — the payload of the [ADMIN|…|server] probe. *)
+(** One [key=value] per line — the payload of the [ADMIN|…|server] probe.
+    Includes the batching pipeline counters ([batches], [batch_size_mean],
+    [batch_size_hist], [wal_flushes], [wal_fsyncs]) and the submit latency
+    percentiles/histogram. *)

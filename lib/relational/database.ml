@@ -13,11 +13,24 @@ type t = {
 
 let create () = { catalog = Catalog.create (); txns = Txn.create_manager (); wal = None }
 
-(** [attach_wal db path] starts logging to [path] (appending). *)
-let attach_wal db path =
-  let wal = Wal.open_log path in
+(** [attach_wal db path] starts logging to [path] (appending).
+    [durability] defaults to {!Wal.Flush_per_commit}. *)
+let attach_wal ?durability db path =
+  let wal = Wal.open_log ?durability path in
   Wal.attach wal db.txns;
   db.wal <- Some wal
+
+let set_durability db d =
+  match db.wal with None -> () | Some wal -> Wal.set_durability wal d
+
+let wal_durability db = Option.map Wal.durability db.wal
+let wal_io db = Option.map Wal.io_stats db.wal
+
+(** [with_wal_batch db f] — runs [f] inside {!Wal.with_batch} when a WAL is
+    attached (one sync for every commit in the scope), plain [f ()]
+    otherwise. *)
+let with_wal_batch db f =
+  match db.wal with None -> f () | Some wal -> Wal.with_batch wal f
 
 let log_ddl db record =
   match db.wal with None -> () | Some wal -> Wal.append wal [ record; Wal.Commit 0 ]
@@ -41,11 +54,14 @@ let find_table db name = Catalog.find db.catalog name
 let fingerprint db names = Plan_cache.fingerprint db.catalog names
 
 (** [recover path] rebuilds a database from a WAL file and re-attaches the
-    log so new commits append to it. *)
-let recover path =
+    log so new commits append to it.  The torn tail (if any) is physically
+    truncated first: replay would ignore it anyway, but appending after it
+    would merge stale pre-crash bytes into the next committed batch. *)
+let recover ?durability path =
+  ignore (Wal.truncate_torn_tail path);
   let catalog = Wal.replay path in
   let db = { catalog; txns = Txn.create_manager (); wal = None } in
-  attach_wal db path;
+  attach_wal ?durability db path;
   db
 
 let close db =

@@ -13,8 +13,21 @@ type t = {
 
 val create : unit -> t
 
-val attach_wal : t -> string -> unit
-(** Start logging to the given path (appending). *)
+val attach_wal : ?durability:Wal.durability -> t -> string -> unit
+(** Start logging to the given path (appending).  [durability] defaults to
+    {!Wal.Flush_per_commit} (flush only — no crash durability; see
+    {!Wal.durability}). *)
+
+val set_durability : t -> Wal.durability -> unit
+(** No-op without an attached WAL. *)
+
+val wal_durability : t -> Wal.durability option
+val wal_io : t -> Wal.io_stats option
+
+val with_wal_batch : t -> (unit -> 'a) -> 'a
+(** Run inside {!Wal.with_batch} when a WAL is attached: every commit in
+    the scope shares one flush (+ one fsync in the fsync modes).  Plain
+    call otherwise. *)
 
 val log_ddl : t -> Wal.record -> unit
 
@@ -29,9 +42,10 @@ val fingerprint : t -> string list -> (int * int) list
     Equal fingerprints imply identical table contents — tables only change
     through version-bumping mutations. *)
 
-val recover : string -> t
-(** Rebuild a database from a WAL file (complete batches only) and
-    re-attach the log so new commits append to it. *)
+val recover : ?durability:Wal.durability -> string -> t
+(** Rebuild a database from a WAL file (complete batches only), physically
+    truncating any torn tail, and re-attach the log so new commits append
+    to it. *)
 
 val close : t -> unit
 

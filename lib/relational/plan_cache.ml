@@ -28,33 +28,89 @@ type entry = {
   tables : string list;  (** [Plan.tables], computed once per plan *)
   mutable fingerprint : (int * int) list;  (** (uid, version) per table *)
   mutable rows : Tuple.t list;
+  mutable referenced : bool;  (** CLOCK second-chance bit, set on hit *)
+  mutable slot : int;  (** this entry's index in [ring] *)
 }
 
 type counters = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;  (** stale entries refreshed in place *)
+  mutable evictions : int;  (** entries removed by CLOCK at capacity *)
 }
 
 type t = {
   entries : entry H.t;
   max_entries : int;
+  ring : Plan.t option array;
+      (** fixed ring of cached plans; [None] slots are free (tombstoned by
+          {!forget} or never used) *)
+  mutable hand : int;  (** CLOCK hand: next ring index to examine *)
+  mutable free : int list;  (** free ring slots, claimed before sweeping *)
   counters : counters;
 }
 
 let create ?(max_entries = 8192) () =
+  let max_entries = max 1 max_entries in
   {
     entries = H.create 256;
     max_entries;
-    counters = { hits = 0; misses = 0; invalidations = 0 };
+    ring = Array.make max_entries None;
+    hand = 0;
+    free = List.init max_entries (fun i -> i);
+    counters = { hits = 0; misses = 0; invalidations = 0; evictions = 0 };
   }
 
 let size t = H.length t.entries
 let counters t = t.counters
 
-let clear t = H.reset t.entries
+let clear t =
+  H.reset t.entries;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.hand <- 0;
+  t.free <- List.init t.max_entries (fun i -> i)
 
-let forget t plan = H.remove t.entries plan
+let forget t plan =
+  match H.find_opt t.entries plan with
+  | None -> ()
+  | Some e ->
+    H.remove t.entries plan;
+    t.ring.(e.slot) <- None;
+    t.free <- e.slot :: t.free
+
+(* Claim a ring slot for a new entry: a free slot if one exists, otherwise
+   second-chance (CLOCK) eviction — sweep from the hand, give each entry
+   hit since the last sweep one more lap (clearing its bit), evict the
+   first entry that was not.  Bounded at two laps: after one full lap every
+   bit is clear, so the second lap must yield a victim (the guard beyond
+   that force-evicts, for totality only). *)
+let take_slot t =
+  match t.free with
+  | i :: rest ->
+    t.free <- rest;
+    i
+  | [] ->
+    let n = t.max_entries in
+    let rec sweep steps =
+      let i = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      match t.ring.(i) with
+      | None -> if steps > 2 * n then i else sweep (steps + 1)
+      | Some plan ->
+        (match H.find_opt t.entries plan with
+        | None -> i  (* stale slot (defensive): reclaim silently *)
+        | Some e ->
+          if e.referenced && steps <= 2 * n then begin
+            e.referenced <- false;
+            sweep (steps + 1)
+          end
+          else begin
+            H.remove t.entries plan;
+            t.counters.evictions <- t.counters.evictions + 1;
+            i
+          end)
+    in
+    sweep 0
 
 (* A missing table fingerprints as (-1, -1): a plan over a dropped table
    stays permanently stale rather than raising here — the executor will
@@ -74,6 +130,7 @@ let fingerprint (cat : Catalog.t) tables =
 let run t (cat : Catalog.t) (plan : Plan.t) : Tuple.t list =
   match H.find_opt t.entries plan with
   | Some entry ->
+    entry.referenced <- true;
     let now = fingerprint cat entry.tables in
     if entry.fingerprint = now then begin
       t.counters.hits <- t.counters.hits + 1;
@@ -92,8 +149,11 @@ let run t (cat : Catalog.t) (plan : Plan.t) : Tuple.t list =
     let tables = Plan.tables plan in
     let fp = fingerprint cat tables in
     let rows = Executor.run cat plan in
-    (* Backstop against unbounded growth from plans that never return
-       (e.g. one-shot submissions): dropping everything is cheap and rare. *)
-    if H.length t.entries >= t.max_entries then H.reset t.entries;
-    H.replace t.entries plan { tables; fingerprint = fp; rows };
+    (* At capacity, CLOCK evicts exactly one cold entry instead of the old
+       drop-everything backstop, so a hot cache is never wiped cold.  New
+       entries start unreferenced: a plan never hit again (e.g. a one-shot
+       submission) is first in line at the next sweep. *)
+    let slot = take_slot t in
+    t.ring.(slot) <- Some plan;
+    H.replace t.entries plan { tables; fingerprint = fp; rows; referenced = false; slot };
     rows

@@ -16,11 +16,14 @@ type counters = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;  (** stale entries refreshed in place *)
+  mutable evictions : int;  (** entries removed by CLOCK at capacity *)
 }
 
 val create : ?max_entries:int -> unit -> t
-(** [max_entries] (default 8192) bounds growth: on overflow the whole cache
-    is dropped (cheap, rare) rather than evicted piecemeal. *)
+(** [max_entries] (default 8192) bounds growth.  At capacity a new insert
+    evicts exactly one entry by second-chance/CLOCK: entries hit since the
+    last sweep get one more lap; the first unreferenced one goes.  A hot
+    cache is never wiped cold at the bound. *)
 
 val run : t -> Catalog.t -> Plan.t -> Tuple.t list
 (** [Executor.run cat plan], memoized on the plan's table fingerprint. *)

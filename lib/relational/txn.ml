@@ -17,8 +17,11 @@ type state = Active | Committed | Aborted
 type manager = {
   mutex : Mutex.t;
   mutable next_id : int;
-  mutable on_commit : (op list -> unit) option;
-      (** durability hook; receives the redo log in execution order *)
+  mutable on_commit : (op list -> unit -> unit) option;
+      (** durability hook; receives the redo log in execution order and
+          returns a wait closure that {!commit} runs {i after} releasing
+          the manager mutex — group commit can only coalesce concurrent
+          transactions if the durability wait happens outside the lock *)
   mutable observers : (op list -> unit) list;
       (** commit observers (e.g. the coordinator's dirty-table tracker);
           run after [on_commit], in registration order *)
@@ -119,12 +122,28 @@ let rollback_to t (sp : savepoint) =
 let commit t =
   check_active t;
   t.state <- Committed;
-  (if t.undo <> [] then begin
-     let redo = List.rev t.undo in
-     (match t.mgr.on_commit with Some hook -> hook redo | None -> ());
-     List.iter (fun f -> f redo) t.mgr.observers
-   end);
-  Mutex.unlock t.mgr.mutex
+  let wait =
+    if t.undo = [] then fun () -> ()
+    else begin
+      let redo = List.rev t.undo in
+      try
+        let wait =
+          match t.mgr.on_commit with
+          | Some hook -> hook redo
+          | None -> fun () -> ()
+        in
+        List.iter (fun f -> f redo) t.mgr.observers;
+        wait
+      with e ->
+        (* the durability hook failed: the lock must not leak *)
+        Mutex.unlock t.mgr.mutex;
+        raise e
+    end
+  in
+  Mutex.unlock t.mgr.mutex;
+  (* durability wait outside the manager mutex: the next transaction can
+     begin (and append its own commit) while we wait for the group flush *)
+  wait ()
 
 let rollback t =
   check_active t;

@@ -17,9 +17,11 @@ type t
 
 val create_manager : unit -> manager
 
-val set_on_commit : manager -> (op list -> unit) option -> unit
-(** Durability hook; receives the redo log in execution order.  Wired by
-    {!Wal.attach}. *)
+val set_on_commit : manager -> (op list -> unit -> unit) option -> unit
+(** Durability hook; receives the redo log in execution order and returns
+    a wait closure that {!commit} invokes {i after} releasing the manager
+    mutex, so a group-commit flush can coalesce concurrent transactions.
+    Wired by {!Wal.attach}. *)
 
 val add_observer : manager -> (op list -> unit) -> unit
 (** Register a commit observer: called with every committed transaction's

@@ -147,37 +147,416 @@ let decode_record line =
   | [ "C"; id ] -> Commit (int_of_string id)
   | _ -> Errors.fail (Errors.Wal_error ("unparsable record: " ^ line))
 
+(* ---------------- durability ---------------- *)
+
+type durability =
+  | Never
+  | Flush_per_commit
+  | Fsync_per_commit
+  | Group of { max_batch : int; max_delay_us : int }
+
+let durability_to_string = function
+  | Never -> "never"
+  | Flush_per_commit -> "flush"
+  | Fsync_per_commit -> "fsync"
+  | Group { max_batch; max_delay_us } ->
+    Printf.sprintf "group(%d,%dus)" max_batch max_delay_us
+
+let durability_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "never" -> Some Never
+  | "flush" -> Some Flush_per_commit
+  | "fsync" -> Some Fsync_per_commit
+  | "group" -> Some (Group { max_batch = 32; max_delay_us = 2000 })
+  | s ->
+    (match String.index_opt s '(' with
+    | Some i when String.length s > 0 && s.[String.length s - 1] = ')'
+                  && String.sub s 0 i = "group" ->
+      let body = String.sub s (i + 1) (String.length s - i - 2) in
+      (match String.split_on_char ',' body with
+      | [ b; d ] ->
+        let d =
+          let d = String.trim d in
+          if String.length d > 2 && String.sub d (String.length d - 2) 2 = "us"
+          then String.sub d 0 (String.length d - 2)
+          else d
+        in
+        (try
+           Some
+             (Group
+                {
+                  max_batch = int_of_string (String.trim b);
+                  max_delay_us = int_of_string d;
+                })
+         with _ -> None)
+      | _ -> None)
+    | _ -> None)
+
+type io_stats = {
+  commits_logged : int;
+  flushes : int;
+  fsyncs : int;
+  group_batches : int;
+  group_commits : int;
+  batched_scopes : int;
+  batched_commits : int;
+}
+
 (* ---------------- log handle ---------------- *)
 
-type t = { path : string; mutable oc : out_channel option }
-
-let open_log path =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { path; oc = Some oc }
+type t = {
+  path : string;
+  mutable oc : out_channel option;
+  mu : Mutex.t;
+      (* guards [oc] writes, durability, counters and flusher state below *)
+  mutable durability : durability;
+  (* io counters (under [mu]) *)
+  mutable commits_logged : int;
+  mutable flushes : int;
+  mutable fsyncs : int;
+  mutable group_batches : int;
+  mutable group_commits : int;
+  mutable batched_scopes : int;
+  mutable batched_commits : int;
+  (* group-commit flusher *)
+  work_cond : Condition.t;  (* a commit joined the pending group *)
+  flush_cond : Condition.t;  (* the pending group reached disk *)
+  mutable enqueued_gen : int;  (* commits appended, awaiting group flush *)
+  mutable flushed_gen : int;  (* commits made durable *)
+  mutable flusher : Thread.t option;
+  mutable flusher_stop : bool;
+  mutable flusher_error : exn option;
+      (* sticky: once the log failed to reach disk, every later commit
+         must fail loudly rather than pretend durability *)
+  (* deferred-sync batch scope, see [with_batch] *)
+  mutable deferring : bool;
+  mutable deferred_dirty : bool;
+}
 
 let channel t =
   match t.oc with
   | Some oc -> oc
   | None -> Errors.fail (Errors.Wal_error ("log closed: " ^ t.path))
 
-let append t records =
+(* flush and/or fsync under [mu]; fsync failures become Wal_error *)
+let do_flush t =
+  flush (channel t);
+  t.flushes <- t.flushes + 1
+
+let do_fsync t =
+  let oc = channel t in
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error (e, _, _) ->
+     Errors.fail
+       (Errors.Wal_error
+          (Printf.sprintf "fsync %s: %s" t.path (Unix.error_message e))));
+  t.fsyncs <- t.fsyncs + 1
+
+(* ---------------- group-commit flusher ---------------- *)
+
+(* OCaml has no Condition timedwait, so the flusher holds the group window
+   open by sleeping in short slices with [mu] released, then performs one
+   flush + one fsync for every commit that joined meanwhile. *)
+let flusher_loop t =
+  Mutex.lock t.mu;
+  let rec loop () =
+    if t.flusher_stop then begin
+      (* drain anything still pending so [close] never strands a waiter *)
+      if t.enqueued_gen > t.flushed_gen && t.flusher_error = None then begin
+        (try
+           do_flush t;
+           do_fsync t
+         with e -> t.flusher_error <- Some e);
+        t.flushed_gen <- t.enqueued_gen
+      end;
+      Condition.broadcast t.flush_cond;
+      Mutex.unlock t.mu
+    end
+    else if t.enqueued_gen = t.flushed_gen then begin
+      Condition.wait t.work_cond t.mu;
+      loop ()
+    end
+    else begin
+      let max_batch, max_delay_us =
+        match t.durability with
+        | Group { max_batch; max_delay_us } -> (max 1 max_batch, max 0 max_delay_us)
+        | _ -> (1, 0)
+      in
+      let deadline = Unix.gettimeofday () +. (float_of_int max_delay_us /. 1e6) in
+      let slice = Float.min 2e-4 (Float.max 5e-5 (float_of_int max_delay_us /. 1e6 /. 4.)) in
+      let rec gather () =
+        if
+          (not t.flusher_stop)
+          && t.enqueued_gen - t.flushed_gen < max_batch
+          && Unix.gettimeofday () < deadline
+        then begin
+          Mutex.unlock t.mu;
+          Thread.delay slice;
+          Mutex.lock t.mu;
+          gather ()
+        end
+      in
+      gather ();
+      let target = t.enqueued_gen in
+      (match
+         do_flush t;
+         do_fsync t
+       with
+      | () ->
+        t.group_batches <- t.group_batches + 1;
+        t.group_commits <- t.group_commits + (target - t.flushed_gen)
+      | exception e -> t.flusher_error <- Some e);
+      (* advance even on error: waiters check [flusher_error] on wake *)
+      t.flushed_gen <- target;
+      Condition.broadcast t.flush_cond;
+      loop ()
+    end
+  in
+  loop ()
+
+(* call with [mu] held *)
+let ensure_flusher t =
+  match t.durability, t.flusher with
+  | Group _, None ->
+    t.flusher_stop <- false;
+    t.flusher <- Some (Thread.create flusher_loop t)
+  | _ -> ()
+
+(* call with [mu] NOT held *)
+let stop_flusher t =
+  let joinee =
+    Mutex.lock t.mu;
+    let th = t.flusher in
+    t.flusher_stop <- true;
+    t.flusher <- None;
+    Condition.signal t.work_cond;
+    Mutex.unlock t.mu;
+    th
+  in
+  match joinee with None -> () | Some th -> Thread.join th
+
+let open_log ?(durability = Flush_per_commit) path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let t =
+    {
+      path;
+      oc = Some oc;
+      mu = Mutex.create ();
+      durability;
+      commits_logged = 0;
+      flushes = 0;
+      fsyncs = 0;
+      group_batches = 0;
+      group_commits = 0;
+      batched_scopes = 0;
+      batched_commits = 0;
+      work_cond = Condition.create ();
+      flush_cond = Condition.create ();
+      enqueued_gen = 0;
+      flushed_gen = 0;
+      flusher = None;
+      flusher_stop = false;
+      flusher_error = None;
+      deferring = false;
+      deferred_dirty = false;
+    }
+  in
+  Mutex.lock t.mu;
+  ensure_flusher t;
+  Mutex.unlock t.mu;
+  t
+
+let durability t =
+  Mutex.lock t.mu;
+  let d = t.durability in
+  Mutex.unlock t.mu;
+  d
+
+let set_durability t d =
+  let was_group =
+    Mutex.lock t.mu;
+    let wg = match t.durability with Group _ -> true | _ -> false in
+    t.durability <- d;
+    (match d with Group _ -> ensure_flusher t | _ -> ());
+    Mutex.unlock t.mu;
+    wg
+  in
+  match d with
+  | Group _ -> ()
+  | _ -> if was_group then stop_flusher t
+
+let io_stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      commits_logged = t.commits_logged;
+      flushes = t.flushes;
+      fsyncs = t.fsyncs;
+      group_batches = t.group_batches;
+      group_commits = t.group_commits;
+      batched_scopes = t.batched_scopes;
+      batched_commits = t.batched_commits;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let write_records t records =
+  (* [mu] held by caller *)
   let oc = channel t in
   List.iter
     (fun r ->
       output_string oc (encode_record r);
       output_char oc '\n')
-    records;
-  flush oc
+    records
 
-(** Append one committed batch: the records followed by a commit marker. *)
-let append_commit t ~txn_id records = append t (records @ [ Commit txn_id ])
+let append t records =
+  Mutex.lock t.mu;
+  (match
+     write_records t records;
+     if t.deferring then t.deferred_dirty <- true else do_flush t
+   with
+  | () -> Mutex.unlock t.mu
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e)
+
+(** [sync t] forces everything appended so far onto disk: one flush + one
+    fsync.  Raises [Wal_error] on a closed log or an fsync failure. *)
+let sync t =
+  Mutex.lock t.mu;
+  (match
+     do_flush t;
+     do_fsync t
+   with
+  | () -> Mutex.unlock t.mu
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e)
+
+let raise_sticky t =
+  (* [mu] held *)
+  match t.flusher_error with
+  | Some e ->
+    Mutex.unlock t.mu;
+    raise e
+  | None -> ()
+
+let wait_flushed t gen =
+  Mutex.lock t.mu;
+  while t.flushed_gen < gen && t.flusher_error = None do
+    Condition.wait t.flush_cond t.mu
+  done;
+  let err = t.flusher_error in
+  Mutex.unlock t.mu;
+  match err with Some e -> raise e | None -> ()
+
+(** [durable_append_commit t ~txn_id records] appends one committed batch
+    (records + commit marker) and returns a wait closure that blocks until
+    the batch is as durable as the current mode promises.  The closure must
+    be called {i after} releasing any lock held across the append — that is
+    what lets concurrent commits coalesce into one group flush. *)
+let durable_append_commit t ~txn_id records =
+  Mutex.lock t.mu;
+  raise_sticky t;
+  match
+    write_records t records;
+    write_records t [ Commit txn_id ];
+    t.commits_logged <- t.commits_logged + 1;
+    if t.deferring then begin
+      (* inside a batch scope: the scope end performs the single
+         mode-appropriate sync for every commit deferred here *)
+      t.deferred_dirty <- true;
+      t.batched_commits <- t.batched_commits + 1;
+      `Done
+    end
+    else begin
+      match t.durability with
+      | Never -> `Done
+      | Flush_per_commit ->
+        do_flush t;
+        `Done
+      | Fsync_per_commit ->
+        do_flush t;
+        do_fsync t;
+        `Done
+      | Group _ ->
+        t.enqueued_gen <- t.enqueued_gen + 1;
+        Condition.signal t.work_cond;
+        `Wait t.enqueued_gen
+    end
+  with
+  | `Done ->
+    Mutex.unlock t.mu;
+    fun () -> ()
+  | `Wait gen ->
+    Mutex.unlock t.mu;
+    fun () -> wait_flushed t gen
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+(** Append one committed batch and block until it is durable (legacy
+    blocking form of {!durable_append_commit}). *)
+let append_commit t ~txn_id records =
+  (durable_append_commit t ~txn_id records) ()
+
+(** [with_batch t f] defers every flush/fsync inside [f] and performs one
+    mode-appropriate sync at scope end (even if [f] raises): commits made
+    within the scope share a single flush — and a single fsync in the fsync
+    modes.  Scopes do not nest. *)
+let with_batch t f =
+  Mutex.lock t.mu;
+  if t.deferring then begin
+    Mutex.unlock t.mu;
+    Errors.fail (Errors.Wal_error "nested WAL batch scope")
+  end;
+  raise_sticky t;
+  t.deferring <- true;
+  t.deferred_dirty <- false;
+  t.batched_scopes <- t.batched_scopes + 1;
+  Mutex.unlock t.mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.deferring <- false;
+      let dirty = t.deferred_dirty in
+      t.deferred_dirty <- false;
+      match
+        if dirty then begin
+          match t.durability with
+          | Never -> ()
+          | Flush_per_commit -> do_flush t
+          | Fsync_per_commit | Group _ ->
+            do_flush t;
+            do_fsync t
+        end
+      with
+      | () -> Mutex.unlock t.mu
+      | exception e ->
+        Mutex.unlock t.mu;
+        raise e)
+    f
 
 let close t =
+  stop_flusher t;
+  Mutex.lock t.mu;
   match t.oc with
-  | None -> ()
+  | None -> Mutex.unlock t.mu
   | Some oc ->
-    close_out oc;
-    t.oc <- None
+    let fin =
+      try
+        flush oc;
+        (match t.durability with
+        | Fsync_per_commit | Group _ -> do_fsync t
+        | Never | Flush_per_commit -> ());
+        None
+      with e -> Some e
+    in
+    close_out_noerr oc;
+    t.oc <- None;
+    Mutex.unlock t.mu;
+    (match fin with Some e -> raise e | None -> ())
 
 (* ---------------- recovery ---------------- *)
 
@@ -193,23 +572,97 @@ let read_records path =
         List.rev acc
     in
     let lines = read_lines [] in
-    let last = List.length lines - 1 in
-    lines
-    |> List.mapi (fun i l -> i, l)
-    |> List.filter_map (fun (i, line) ->
-           if line = "" then None
-           else
-             match decode_record line with
-             | r -> Some r
-             | exception
-                 ( Errors.Db_error (Errors.Wal_error _)
-                 | Failure _ | Invalid_argument _ )
-               when i = last ->
-               (* A torn write cut the final record mid-line.  Its batch
-                  has no commit marker, so it would be discarded anyway —
-                  drop the fragment.  An undecodable line anywhere else is
-                  real corruption and still fails loudly. *)
-               None)
+    (* Decode every line once; remember where the last decodable commit
+       marker sits.  Group commit writes a whole multi-record batch in one
+       buffered write, so a torn tail can now span several lines — any
+       undecodable line strictly AFTER the last commit marker belongs to a
+       batch that has no commit marker and would be discarded anyway.  An
+       undecodable line at-or-before the last commit marker sits inside a
+       batch that claims to be complete: real corruption, fail loudly. *)
+    let decoded =
+      List.map
+        (fun line ->
+          if line = "" then `Blank
+          else
+            match decode_record line with
+            | r -> `Ok r
+            | exception (Errors.Db_error _ | Failure _ | Invalid_argument _)
+              ->
+              (* a torn line can fail anywhere in decoding — framing, value
+                 parsing, or schema validation of a truncated [T|] record *)
+              `Bad line)
+        lines
+    in
+    let last_commit = ref (-1) in
+    List.iteri
+      (fun i d -> match d with `Ok (Commit _) -> last_commit := i | _ -> ())
+      decoded;
+    decoded
+    |> List.mapi (fun i d -> (i, d))
+    |> List.filter_map (fun (i, d) ->
+           match d with
+           | `Blank -> None
+           | `Ok r -> Some r
+           | `Bad line ->
+             if i > !last_commit then None
+             else Errors.fail (Errors.Wal_error ("unparsable record: " ^ line)))
+  end
+
+(** [truncate_torn_tail path] chops the log back to the end of its last
+    complete (commit-terminated) batch, returning [true] if bytes were
+    removed.  {!read_records} already ignores a torn tail when replaying,
+    but an append-mode reopen would otherwise write the next batch directly
+    after the torn fragment, merging stale pre-crash bytes into a committed
+    batch — so recovery must physically truncate before appending. *)
+let truncate_torn_tail path =
+  if not (Sys.file_exists path) then false
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let keep = ref 0 in
+    (* byte offset just past the last commit-marker line *)
+    let keep_missing_nl = ref false in
+    (* that line was complete but had no trailing newline *)
+    let pos = ref 0 in
+    let buf = Buffer.create 256 in
+    while !pos < len do
+      Buffer.clear buf;
+      let rec line () =
+        if !pos >= len then false
+        else begin
+          let c = input_char ic in
+          incr pos;
+          if c = '\n' then true
+          else begin
+            Buffer.add_char buf c;
+            line ()
+          end
+        end
+      in
+      let had_nl = line () in
+      (match decode_record (Buffer.contents buf) with
+      | Commit _ ->
+        keep := !pos;
+        keep_missing_nl := not had_nl
+      | _ -> ()
+      | exception _ -> ())
+    done;
+    close_in ic;
+    let truncated = !keep < len in
+    if truncated then begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> Unix.ftruncate fd !keep)
+    end;
+    (* if the surviving tail is a commit line cut exactly at its newline,
+       re-add the newline so the next append starts on a fresh line *)
+    if !keep > 0 && !keep_missing_nl then begin
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_char oc '\n';
+      close_out oc
+    end;
+    truncated
   end
 
 (** [replay path] rebuilds a catalog from the log, applying only complete
@@ -271,11 +724,14 @@ let records_of_ops ops =
         Update (Table.name table, old_row, new_row))
     ops
 
-(** [attach wal mgr] wires a transaction manager's commit hook to the log. *)
+(** [attach wal mgr] wires a transaction manager's commit hook to the log.
+    The hook returns the durability wait closure, which {!Txn.commit} runs
+    after releasing the manager mutex — in [Group] mode that is what lets
+    concurrent commits pile into one flusher batch. *)
 let attach t (mgr : Txn.manager) =
   let counter = ref 0 in
   Txn.set_on_commit mgr
     (Some
        (fun ops ->
          incr counter;
-         append_commit t ~txn_id:!counter (records_of_ops ops)))
+         durable_append_commit t ~txn_id:!counter (records_of_ops ops)))

@@ -1,9 +1,32 @@
-(** Redo-only write-ahead log.
+(** Redo-only write-ahead log with configurable commit durability.
 
     The transaction manager appends one batch of redo records per committed
-    transaction, terminated by a commit marker, and flushes.  Recovery
-    replays every {i complete} batch into a fresh catalog; a trailing batch
-    without its commit marker (torn write) is discarded.
+    transaction, terminated by a commit marker.  How hard the log then
+    pushes those bytes toward disk is the {!durability} mode:
+
+    {ul
+    {- [Never] — records stay in the channel buffer until close.  Fastest;
+       a crash loses everything since the last incidental flush.}
+    {- [Flush_per_commit] — one [flush] per commit (the historical
+       default).  This only moves bytes into the {e kernel} page cache: it
+       survives a process crash but {b not} an OS crash or power loss —
+       there is no [fsync].}
+    {- [Fsync_per_commit] — one [flush] + one [fsync] per commit.  Full
+       single-commit durability at the cost of a disk round-trip per
+       transaction.  An [fsync] failure raises [Wal_error] at the
+       committing caller — never silently ignored.}
+    {- [Group _] — group commit: a dedicated flusher thread coalesces every
+       commit that arrives within [max_delay_us] (or until [max_batch]
+       commits are pending) into {e one} buffered write + {e one} [fsync];
+       commit acks block only until their batch's flush completes.  An
+       [fsync] failure is sticky: the waiting commits and every later
+       commit fail loudly.}}
+
+    Recovery replays every {i complete} batch into a fresh catalog; a torn
+    {i batch} tail — any run of undecodable or commit-less trailing lines
+    after the last commit marker, which group commit can now produce — is
+    discarded, and {!truncate_torn_tail} physically removes it before the
+    log is reopened for append.
 
     The format is line-oriented text; field values are percent-escaped so
     separators and newlines never appear raw. *)
@@ -15,6 +38,33 @@ type record =
   | Delete of string * Tuple.t
   | Update of string * Tuple.t * Tuple.t
   | Commit of int
+
+(** {1 Durability} *)
+
+type durability =
+  | Never  (** buffer only; no flush at commit *)
+  | Flush_per_commit
+      (** flush to the OS per commit — {b no} crash durability (no fsync) *)
+  | Fsync_per_commit  (** flush + fsync per commit *)
+  | Group of { max_batch : int; max_delay_us : int }
+      (** group commit: one flush + one fsync per batch of concurrent
+          commits, closed after [max_batch] commits or [max_delay_us] *)
+
+val durability_to_string : durability -> string
+
+val durability_of_string : string -> durability option
+(** Accepts ["never"], ["flush"], ["fsync"], ["group"] (defaults 32
+    commits / 2000 µs) and ["group(<max_batch>,<max_delay_us>)"]. *)
+
+type io_stats = {
+  commits_logged : int;  (** committed batches appended *)
+  flushes : int;  (** channel flushes performed *)
+  fsyncs : int;  (** fsyncs performed *)
+  group_batches : int;  (** flusher batches written *)
+  group_commits : int;  (** commits coalesced into those batches *)
+  batched_scopes : int;  (** {!with_batch} scopes entered *)
+  batched_commits : int;  (** commits deferred inside those scopes *)
+}
 
 (** {1 Codecs} (exposed for tests) *)
 
@@ -37,22 +87,63 @@ val decode_record : string -> record
 
 type t
 
-val open_log : string -> t
-(** Opens for append, creating the file if needed. *)
+val open_log : ?durability:durability -> string -> t
+(** Opens for append, creating the file if needed.  [durability] defaults
+    to [Flush_per_commit]; [Group] starts the flusher thread. *)
+
+val durability : t -> durability
+
+val set_durability : t -> durability -> unit
+(** Switching into [Group] starts the flusher; switching out stops it
+    (after draining pending commits). *)
+
+val io_stats : t -> io_stats
 
 val append : t -> record list -> unit
+(** Raw append + flush (deferred inside {!with_batch}); used for DDL and by
+    tests.  Does not fsync. *)
+
 val append_commit : t -> txn_id:int -> record list -> unit
-(** One committed batch: the records followed by a commit marker. *)
+(** One committed batch: the records followed by a commit marker; blocks
+    until the batch is as durable as the current mode promises. *)
+
+val durable_append_commit : t -> txn_id:int -> record list -> unit -> unit
+(** Like {!append_commit} but returns the durability wait as a closure so
+    the caller can release its locks first — required for group commit to
+    coalesce anything (see {!Txn.set_on_commit}). *)
+
+val sync : t -> unit
+(** Force one flush + one fsync of everything appended so far.  Raises
+    [Wal_error] on a closed log or fsync failure. *)
+
+val with_batch : t -> (unit -> 'a) -> 'a
+(** Defer every flush/fsync inside the scope; at scope end (even on
+    exception) perform one mode-appropriate sync covering all deferred
+    commits.  The server's write-batching drainer wraps each batch in this
+    so a batch costs one flush (+ one fsync in the fsync modes) total.
+    Scopes do not nest. *)
 
 val close : t -> unit
+(** Stops the flusher (draining pending commits), flushes, fsyncs in the
+    fsync modes, and closes the file. *)
 
 (** {1 Recovery} *)
 
 val read_records : string -> record list
+(** Tolerates a torn batch tail: undecodable lines strictly after the last
+    commit marker are dropped; an undecodable line at-or-before it is real
+    corruption and fails loudly. *)
 
 val replay : string -> Catalog.t
 (** Rebuild a catalog from the log, applying only complete
     (commit-terminated) batches. *)
+
+val truncate_torn_tail : string -> bool
+(** Physically truncate the log to the end of its last complete batch
+    (returns [true] if bytes were removed).  Must run before reopening a
+    recovered log for append: otherwise the next batch is written directly
+    after the torn fragment and stale pre-crash bytes merge into a
+    committed batch. *)
 
 val records_of_ops : Txn.op list -> record list
 

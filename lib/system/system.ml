@@ -16,9 +16,11 @@ type t = {
   mu : Mutex.t;
 }
 
-let create ?(config = Core.Coordinator.default_config) ?wal_path () =
+let create ?(config = Core.Coordinator.default_config) ?wal_path ?durability () =
   let db = Database.create () in
-  (match wal_path with None -> () | Some path -> Database.attach_wal db path);
+  (match wal_path with
+  | None -> ()
+  | Some path -> Database.attach_wal ?durability db path);
   let coordinator = Core.Coordinator.create ~config db in
   let t = { db; coordinator; sessions = []; mu = Mutex.create () } in
   (* Route every notification to the mailbox of the owner's session(s). *)
@@ -36,9 +38,9 @@ let create ?(config = Core.Coordinator.default_config) ?wal_path () =
     answer relations are re-registered with the coordinator.  Pending
     entangled queries are *not* durable — the demo semantics is that
     unanswered requests are re-submitted by their owners after a crash. *)
-let recover ?(config = Core.Coordinator.default_config) ~wal_path
+let recover ?(config = Core.Coordinator.default_config) ?durability ~wal_path
     ~answer_relations () =
-  let db = Database.recover wal_path in
+  let db = Database.recover ?durability wal_path in
   let coordinator = Core.Coordinator.create ~config db in
   List.iter
     (fun rel -> Core.Coordinator.adopt_answer_relation coordinator rel)
@@ -125,3 +127,8 @@ let submit_equery t (session : Session.t) (q : Core.Equery.t) =
 
 (** [poke t] — retry pending coordinations after database updates. *)
 let poke t = Core.Coordinator.poke t.coordinator
+
+(** [poke_batch t ~statements] — one poke amortising a whole write batch
+    (see {!Core.Coordinator.poke_batch}). *)
+let poke_batch t ~statements =
+  Core.Coordinator.poke_batch ~statements t.coordinator

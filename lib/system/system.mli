@@ -11,10 +11,18 @@ open Relational
 
 type t
 
-val create : ?config:Core.Coordinator.config -> ?wal_path:string -> unit -> t
+val create :
+  ?config:Core.Coordinator.config ->
+  ?wal_path:string ->
+  ?durability:Wal.durability ->
+  unit ->
+  t
+(** [durability] selects the WAL commit durability mode (default
+    {!Wal.Flush_per_commit}); ignored without [wal_path]. *)
 
 val recover :
   ?config:Core.Coordinator.config ->
+  ?durability:Wal.durability ->
   wal_path:string ->
   answer_relations:string list ->
   unit ->
@@ -57,3 +65,7 @@ val submit_equery : t -> Session.t -> Core.Equery.t -> Core.Coordinator.outcome
 
 val poke : t -> Core.Events.notification list
 (** Retry pending coordinations after database updates. *)
+
+val poke_batch : t -> statements:int -> Core.Events.notification list
+(** One poke amortising a whole write batch of [statements] DML
+    statements; see {!Core.Coordinator.poke_batch}. *)

@@ -226,8 +226,10 @@ let rec outcome_digest = function
     "multi:" ^ String.concat ";" (List.map outcome_digest os)
 
 (* Replay [actions] under [config]; the digest trace captures everything
-   observable (per-action result, final answers, final pending set). *)
-let run_actions ~use_plan_cache ~use_dirty_poke actions =
+   observable (per-action result, final answers, final pending set).
+   [batch_pokes] routes every Poke through {!Coordinator.poke_batch}
+   instead of {!Coordinator.poke} — the two must be indistinguishable. *)
+let run_actions ?(batch_pokes = false) ~use_plan_cache ~use_dirty_poke actions =
   let config =
     { Coordinator.default_config with
       Coordinator.use_plan_cache; use_dirty_poke }
@@ -281,7 +283,8 @@ let run_actions ~use_plan_cache ~use_dirty_poke actions =
           | None -> ());
           "shrink"
         | Poke ->
-          Coordinator.poke coord
+          (if batch_pokes then Coordinator.poke_batch ~statements:3 coord
+           else Coordinator.poke coord)
           |> List.map notification_digest
           |> List.sort compare |> String.concat "|")
       actions
@@ -312,10 +315,128 @@ let prop_incremental_equivalence =
           run_actions ~use_plan_cache ~use_dirty_poke actions = reference)
         [ true, false; false, true; true, true ])
 
+(* I7 (batched coordination equivalence): the server's write batching
+   replaces one poke per statement with one {!Coordinator.poke_batch} per
+   batch.  Two layers to check:
+
+   I7a — poke_batch IS poke: routing every poke of an I6 workload through
+   poke_batch leaves the full observable trace bit-identical, under every
+   config combination.
+
+   I7b — for monotone (insert-only) workloads, poking once per batch of
+   statements reaches the same coordination outcome as poking after every
+   statement: the same queries get fulfilled, the same queries stay
+   pending.  (Only the grouping of notifications into pokes differs — the
+   amortisation the server exploits.) *)
+
+let prop_poke_batch_is_poke =
+  QCheck.Test.make ~name:"poke_batch trace-equivalent to poke (I7a)" ~count:60
+    (QCheck.make action_gen) (fun actions ->
+      List.for_all
+        (fun (use_plan_cache, use_dirty_poke) ->
+          run_actions ~batch_pokes:false ~use_plan_cache ~use_dirty_poke actions
+          = run_actions ~batch_pokes:true ~use_plan_cache ~use_dirty_poke
+              actions)
+        [ false, false; true, false; false, true; true, true ])
+
+(* Insert-only workload: submissions and table growth, no deletes — the
+   wire write path the BATCH benchmark exercises. *)
+let monotone_action_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (frequency
+         [
+           ( 3,
+             map3
+               (fun p side d -> Submit (p, side, d))
+               (int_bound 5) bool
+               (int_bound (Array.length dests - 1)) );
+           2, map (fun d -> Grow d) (int_bound (Array.length dests - 1));
+         ]))
+
+(* Replay with one poke_batch per [chunk] actions (chunk = 1 degenerates to
+   per-statement poking via plain poke).  Returns everything observable at
+   the end plus WHO got notified along the way (values aside — CHOOSE may
+   legitimately pick a different flight when later inserts of the same
+   batch are already visible at poke time). *)
+let run_chunked ~chunk actions =
+  let db = Database.create () in
+  let flights =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Flights"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  List.iteri
+    (fun i d ->
+      if d <> "NoFlight" then
+        ignore (Table.insert flights [| v_int (100 + i); v_str d |]))
+    (Array.to_list dests);
+  let coord = Coordinator.create db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  let cat = db.Database.catalog in
+  let next_fno = ref 1000 in
+  let notified = ref [] in
+  let note (n : Events.notification) =
+    notified := Printf.sprintf "%d:%s" n.Events.query_id n.Events.owner :: !notified
+  in
+  let rec note_outcome = function
+    | Coordinator.Answered n -> note n
+    | Coordinator.Multi os -> List.iter note_outcome os
+    | Coordinator.Rejected _ | Coordinator.Registered _ -> ()
+  in
+  let apply action =
+    match action with
+    | Submit (p, side_a, d) ->
+      let me = Printf.sprintf "%s%d" (if side_a then "A" else "B") p in
+      let partner = Printf.sprintf "%s%d" (if side_a then "B" else "A") p in
+      note_outcome
+        (Coordinator.submit coord (side_query cat ~me ~partner ~dest:dests.(d)))
+    | Grow d ->
+      incr next_fno;
+      ignore (Table.insert flights [| v_int !next_fno; v_str dests.(d) |])
+    | Shrink _ | Poke -> ()
+  in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+      let rec take n = function
+        | x :: tl when n > 0 ->
+          let h, t = take (n - 1) tl in
+          x :: h, t
+        | rest -> [], rest
+      in
+      let h, t = take chunk l in
+      h :: chunks t
+  in
+  List.iter
+    (fun batch ->
+      List.iter apply batch;
+      let ns =
+        if chunk = 1 then Coordinator.poke coord
+        else Coordinator.poke_batch ~statements:(List.length batch) coord
+      in
+      List.iter note ns)
+    (chunks actions);
+  ( List.sort compare !notified,
+    List.sort compare (List.map fst (answer_rows db)),
+    Coordinator.pending coord |> Pending.to_list
+    |> List.map (fun (q : Equery.t) -> q.Equery.id)
+    |> List.sort compare )
+
+let prop_batched_poke_equivalence =
+  QCheck.Test.make
+    ~name:"per-batch poke reaches per-statement outcome (I7b)" ~count:60
+    (QCheck.make QCheck.Gen.(pair monotone_action_gen (int_range 2 8)))
+    (fun (actions, chunk) -> run_chunked ~chunk:1 actions = run_chunked ~chunk actions)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_pair_semantics;
     QCheck_alcotest.to_alcotest prop_order_independence;
     QCheck_alcotest.to_alcotest prop_group_cliques;
     QCheck_alcotest.to_alcotest prop_incremental_equivalence;
+    QCheck_alcotest.to_alcotest prop_poke_batch_is_poke;
+    QCheck_alcotest.to_alcotest prop_batched_poke_equivalence;
   ]

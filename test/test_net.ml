@@ -401,6 +401,211 @@ let test_slow_consumer_dropped () =
         ~finally:(fun () -> Net.Client.close c)
         (fun () -> check string_t "server alive" "ok" (Net.Client.ping ~payload:"ok" c)))
 
+(* ---------------- write batching ---------------- *)
+
+(* Concurrent writers against the batching drainer: every insert lands,
+   every write request is accounted to a batch, and the admin probe
+   exposes the new pipeline counters. *)
+let test_batched_writes_e2e () =
+  let config =
+    { Net.Server.default_config with
+      Net.Server.port = 0;
+      max_batch = 16;
+      max_delay_us = 5_000;
+    }
+  in
+  with_server ~config (fun server port ->
+      let c0 = Net.Client.connect ~port ~user:"ddl" () in
+      (match Net.Client.submit c0 "CREATE TABLE Log (id INT, who TEXT)" with
+      | Net.Wire.Sql_result _ -> ()
+      | _ -> Alcotest.fail "create should be a SQL result");
+      let n_clients = 4 and per_client = 8 in
+      let worker w =
+        let c = Net.Client.connect ~port ~user:(Printf.sprintf "w%d" w) () in
+        Fun.protect
+          ~finally:(fun () -> Net.Client.close c)
+          (fun () ->
+            for i = 0 to per_client - 1 do
+              match
+                Net.Client.submit c
+                  (Printf.sprintf "INSERT INTO Log VALUES (%d, 'w%d')"
+                     ((w * 100) + i) w)
+              with
+              | Net.Wire.Sql_result _ -> ()
+              | _ -> Alcotest.fail "insert should be a SQL result"
+            done)
+      in
+      let ts = List.init n_clients (fun w -> Thread.create worker w) in
+      List.iter Thread.join ts;
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c0)
+        (fun () ->
+          (match Net.Client.submit c0 "SELECT COUNT(*) FROM Log" with
+          | Net.Wire.Sql_result s ->
+            check bool "all concurrent inserts landed" true
+              (Astring.String.is_infix
+                 ~affix:(string_of_int (n_clients * per_client))
+                 s)
+          | _ -> Alcotest.fail "count should be a SQL result");
+          let s = Net.Server_stats.snapshot (Net.Server.stats server) in
+          check bool "drainer executed batches" true
+            (s.Net.Server_stats.batches >= 1);
+          check int "every write went through a batch"
+            ((n_clients * per_client) + 1)
+            s.Net.Server_stats.batched_requests;
+          check bool "mean batch size sane" true
+            (s.Net.Server_stats.batch_size_mean >= 1.);
+          let admin = Net.Client.admin c0 "server" in
+          List.iter
+            (fun key ->
+              check bool ("admin exposes " ^ key) true
+                (Astring.String.is_infix ~affix:(key ^ "=") admin))
+            [
+              "batches";
+              "batched_requests";
+              "batch_size_mean";
+              "batch_size_hist";
+              "wal_flushes";
+              "wal_fsyncs";
+              "submit_latency_p50_us";
+              "submit_latency_p99_us";
+            ]))
+
+(* A write that fails mid-batch (executable parse, missing table) must
+   error alone: concurrent good writes in the same drainer commit, and the
+   failing client's connection stays usable. *)
+let test_batch_error_isolation () =
+  let config =
+    { Net.Server.default_config with
+      Net.Server.port = 0;
+      max_batch = 8;
+      max_delay_us = 20_000;  (* wide window: both requests share a batch *)
+    }
+  in
+  with_server ~config (fun _server port ->
+      let good = Net.Client.connect ~port ~user:"good" () in
+      let bad = Net.Client.connect ~port ~user:"bad" () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close good;
+          Net.Client.close bad)
+        (fun () ->
+          (match Net.Client.submit good "CREATE TABLE Ok (id INT)" with
+          | Net.Wire.Sql_result _ -> ()
+          | _ -> Alcotest.fail "create should succeed");
+          let results = Array.make 2 (Ok ()) in
+          let run i c sql =
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  (match Net.Client.submit c sql with
+                  | _ -> Ok ()
+                  | exception Net.Client.Server_error m -> Error m))
+              ()
+          in
+          let t0 = run 0 good "INSERT INTO Ok VALUES (1)" in
+          let t1 = run 1 bad "INSERT INTO Missing VALUES (1)" in
+          Thread.join t0;
+          Thread.join t1;
+          (match results.(0) with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "good write poisoned by batchmate: %s" m);
+          (match results.(1) with
+          | Error _ -> ()
+          | Ok () -> Alcotest.fail "write to a missing table must error");
+          (match Net.Client.submit good "SELECT COUNT(*) FROM Ok" with
+          | Net.Wire.Sql_result s ->
+            check bool "good row committed" true
+              (Astring.String.is_infix ~affix:"1" s)
+          | _ -> Alcotest.fail "count should be a SQL result");
+          check string_t "bad client's connection survives" "alive"
+            (Net.Client.ping ~payload:"alive" bad)))
+
+(* Plain DML over the wire now pokes the coordinator (once per batch): a
+   parked pair over a flightless destination is fulfilled the moment an
+   INSERT creates the flight — both clients get their push with no further
+   submissions. *)
+let test_wire_dml_triggers_poke () =
+  with_server (fun _server port ->
+      let alice = Net.Client.connect ~port ~user:"alice" () in
+      let bob = Net.Client.connect ~port ~user:"bob" () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close alice;
+          Net.Client.close bob)
+        (fun () ->
+          let parked c user friend =
+            match
+              Net.Client.submit c
+                (Travel.Workload.pair_sql ~user ~friend ~dest:"Nowhere")
+            with
+            | Net.Wire.Registered _ -> ()
+            | _ -> Alcotest.fail (user ^ " should park: no flight to Nowhere")
+          in
+          parked alice "alice" "bob";
+          parked bob "bob" "alice";
+          check bool "nothing to push yet" true
+            (Net.Client.poll_notifications alice = []);
+          (* the flight appears via ordinary SQL; the per-batch poke must
+             re-evaluate the parked pair *)
+          (match
+             Net.Client.submit alice
+               "INSERT INTO Flights VALUES (999, 'Lima', 'Nowhere', 3, 100.0, \
+                4)"
+           with
+          | Net.Wire.Sql_result _ -> ()
+          | _ -> Alcotest.fail "insert should be a SQL result");
+          (match Net.Client.wait_notification ~timeout:5. alice with
+          | Some n ->
+            check string_t "alice fulfilled by wire DML" "alice"
+              n.Core.Events.owner
+          | None -> Alcotest.fail "alice never got her push");
+          match Net.Client.wait_notification ~timeout:5. bob with
+          | Some n ->
+            check string_t "bob fulfilled by wire DML" "bob" n.Core.Events.owner
+          | None -> Alcotest.fail "bob never got his push"))
+
+(* The per-request baseline path (batching off) keeps the same observable
+   behaviour: writes commit and wire DML still pokes. *)
+let test_unbatched_path_equivalent () =
+  let config =
+    { Net.Server.default_config with Net.Server.port = 0; batch_writes = false }
+  in
+  with_server ~config (fun server port ->
+      let alice = Net.Client.connect ~port ~user:"alice" () in
+      let bob = Net.Client.connect ~port ~user:"bob" () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close alice;
+          Net.Client.close bob)
+        (fun () ->
+          (match
+             Net.Client.submit alice
+               (Travel.Workload.pair_sql ~user:"alice" ~friend:"bob"
+                  ~dest:"Nowhere")
+           with
+          | Net.Wire.Registered _ -> ()
+          | _ -> Alcotest.fail "alice should park");
+          (match
+             Net.Client.submit bob
+               (Travel.Workload.pair_sql ~user:"bob" ~friend:"alice"
+                  ~dest:"Nowhere")
+           with
+          | Net.Wire.Registered _ -> ()
+          | _ -> Alcotest.fail "bob should park");
+          (match
+             Net.Client.submit bob
+               "INSERT INTO Flights VALUES (998, 'Lima', 'Nowhere', 3, 90.0, 2)"
+           with
+          | Net.Wire.Sql_result _ -> ()
+          | _ -> Alcotest.fail "insert should be a SQL result");
+          (match Net.Client.wait_notification ~timeout:5. alice with
+          | Some _ -> ()
+          | None -> Alcotest.fail "alice never got her push (unbatched)");
+          let s = Net.Server_stats.snapshot (Net.Server.stats server) in
+          check int "no drainer batches on the baseline path" 0
+            s.Net.Server_stats.batches))
+
 let test_poll_partial_frame_nonblocking () =
   (* hand-rolled server: handshake, then dribble a PUSH frame in two
      halves; poll_notifications must buffer the half and return instead of
@@ -489,6 +694,13 @@ let suite =
     Alcotest.test_case "malformed escape survives" `Quick
       test_malformed_escape_handled;
     Alcotest.test_case "slow consumer dropped" `Quick test_slow_consumer_dropped;
+    Alcotest.test_case "batched writes end-to-end" `Quick test_batched_writes_e2e;
+    Alcotest.test_case "batch errors are isolated" `Quick
+      test_batch_error_isolation;
+    Alcotest.test_case "wire DML triggers per-batch poke" `Quick
+      test_wire_dml_triggers_poke;
+    Alcotest.test_case "unbatched path equivalent" `Quick
+      test_unbatched_path_equivalent;
     Alcotest.test_case "poll buffers partial frames" `Quick
       test_poll_partial_frame_nonblocking;
   ]

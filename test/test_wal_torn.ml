@@ -128,6 +128,100 @@ let test_cut_at_boundaries () =
           check int (Printf.sprintf "boundary %d" i) i rows)
         boundaries)
 
+(* ---------------- group-commit batches ---------------- *)
+
+(** Byte offset just past each commit-marker line (including its newline),
+    in order — the durable batch boundaries of any log, however the bytes
+    were buffered when written. *)
+let commit_line_ends path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let ends = ref [] in
+  let pos = ref 0 in
+  let buf = Buffer.create 64 in
+  while !pos < len do
+    Buffer.clear buf;
+    let fin = ref false in
+    while (not !fin) && !pos < len do
+      let c = input_char ic in
+      incr pos;
+      if c = '\n' then fin := true else Buffer.add_char buf c
+    done;
+    let line = Buffer.contents buf in
+    if String.length line >= 2 && String.sub line 0 2 = "C|" then
+      ends := !pos :: !ends
+  done;
+  close_in ic;
+  List.rev !ends
+
+(** Group commit writes several commits in ONE buffered write, so a torn
+    tail can cut across multiple records and commit markers at once.
+    Truncate a group-written log at EVERY byte: recovery must always yield
+    exactly the batches whose commit markers survived (prefix-of-batches),
+    never an error. *)
+let test_every_offset_of_group_batch () =
+  with_tmp (fun path ->
+      let log = Wal.open_log ~durability:Wal.Never path in
+      Wal.append_commit log ~txn_id:0 [ Wal.Create_table (schema ()) ];
+      (* one deferred scope: 3 commits land in a single buffered write *)
+      Wal.with_batch log (fun () ->
+          for i = 1 to 3 do
+            Wal.append_commit log ~txn_id:i
+              [
+                Wal.Insert
+                  ( "Accounts",
+                    [|
+                      Value.Int i;
+                      Value.Str (Printf.sprintf "owner%d" i);
+                      Value.Int (i * 100);
+                    |] );
+              ]
+          done);
+      Wal.close log;
+      let boundaries = commit_line_ends path in
+      check int "4 commit markers" 4 (List.length boundaries);
+      let full = List.nth boundaries 3 in
+      for cut = 0 to full do
+        let copy = truncate_copy path cut in
+        let rows =
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove copy with Sys_error _ -> ())
+            (fun () -> rows_after_replay copy)
+        in
+        let expected =
+          match List.filter (fun b -> b - 1 <= cut) boundaries with
+          | [] -> -1
+          | survivors -> List.length survivors - 1
+        in
+        check int
+          (Printf.sprintf "rows after group cut at byte %d/%d" cut full)
+          expected rows
+      done)
+
+(** The append-after-torn-tail hazard: reopening a torn log in append mode
+    would write the next batch directly after the stale fragment, merging
+    pre-crash bytes into a committed batch.  {!Database.recover} must
+    physically truncate the tail so post-recovery commits replay cleanly. *)
+let test_recover_truncates_torn_tail () =
+  with_tmp (fun path ->
+      ignore (write_batches path 2);
+      (* simulate a crash mid-append: a record fragment, no newline *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "I|Accounts|i99";
+      close_out oc;
+      let db = Database.recover path in
+      check int "torn tail ignored on recovery" 2
+        (Table.row_count (Database.find_table db "Accounts"));
+      (* a fresh commit after recovery must not absorb the stale fragment *)
+      let table = Database.find_table db "Accounts" in
+      Database.with_txn db (fun txn ->
+          ignore
+            (Txn.insert txn table [| Value.Int 3; Value.Str "owner3"; Value.Int 300 |]));
+      Database.close db;
+      let cat = Wal.replay path in
+      check int "post-recovery commit replays cleanly" 3
+        (Table.row_count (Catalog.find cat "Accounts")))
+
 (** Corruption that is NOT a torn tail — an undecodable line with complete
     batches after it — must still fail loudly, not be skipped. *)
 let test_mid_log_corruption_still_fails () =
@@ -151,6 +245,10 @@ let suite =
     Alcotest.test_case "cuts across all batches" `Quick
       test_cuts_across_all_batches;
     Alcotest.test_case "cuts at batch boundaries" `Quick test_cut_at_boundaries;
+    Alcotest.test_case "every offset of a group-commit batch" `Quick
+      test_every_offset_of_group_batch;
+    Alcotest.test_case "recover truncates the torn tail" `Quick
+      test_recover_truncates_torn_tail;
     Alcotest.test_case "mid-log corruption still fails" `Quick
       test_mid_log_corruption_still_fails;
   ]

@@ -8,6 +8,7 @@ let () =
       "query", Test_query.suite;
       "storage", Test_storage.suite;
       "wal-torn", Test_wal_torn.suite;
+      "group-commit", Test_group_commit.suite;
       "stats", Test_stats.suite;
       "sql", Test_sql.suite;
       "sql-features", Test_sql_features.suite;
