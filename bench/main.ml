@@ -898,6 +898,277 @@ let e_inc ({ fast; _ } as opts) =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* REPL — checkpoint + WAL-shipping replication.  Part 1: 8 point-read
+   clients against the primary alone vs routed across 2 read replicas,
+   both under a continuous UPDATE stream (the writer holds the primary's
+   exclusive lock; replicas serve reads off their own engines).  Part 2:
+   recovery time of an update-heavy WAL with vs without a checkpoint —
+   replay re-applies every historical update while the snapshot holds
+   only the final rows, so the suffix-only path wins by construction and
+   the ratio is the gated metric. *)
+
+let e_repl { fast; seed } =
+  header
+    "REPL — replication: read scale-out across replicas + checkpointed \
+     recovery";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "youtopia_repl_bench_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cleanup () =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  (* -------- part 1: read scale-out under write load --------
+
+     The servers run as separate OS processes (the server binary, like a
+     real deployment): OCaml 5 systhreads share one domain, so an
+     in-process primary + replicas would multiplex every engine scan over
+     a single core and scale-out could never show.  Only the clients
+     (readers + one writer) live in the bench process. *)
+  let wal_path = Filename.concat dir "primary.wal" in
+  let n_rows = if fast then 2048 else 8192 in
+  let n_readers = 8 in
+  let reads_each = if fast then 100 else 400 in
+  let server_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/youtopia_server.exe"
+  in
+  if not (Sys.file_exists server_exe) then
+    failwith ("REPL: server binary not built at " ^ server_exe);
+  let free_port () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    port
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let spawn args =
+    Unix.create_process server_exe
+      (Array.of_list (server_exe :: args))
+      devnull devnull devnull
+  in
+  let await_server port =
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec go () =
+      match Net.Client.connect ~port ~user:"probe" () with
+      | c -> Net.Client.close c
+      | exception (Unix.Unix_error _ | Net.Wire.Closed) ->
+        if Unix.gettimeofday () > deadline then
+          failwith "REPL: server did not come up"
+        else begin
+          Thread.delay 0.05;
+          go ()
+        end
+    in
+    go ()
+  in
+  let pport = free_port () in
+  let ppid =
+    spawn [ "--port"; string_of_int pport; "--wal"; wal_path ]
+  in
+  await_server pport;
+  let seeder = Net.Client.connect ~port:pport ~user:"seed" () in
+  ignore (Net.Client.submit seeder "CREATE TABLE Kv (k INT PRIMARY KEY, v TEXT)");
+  for k = 0 to n_rows - 1 do
+    ignore
+      (Net.Client.submit seeder
+         (Printf.sprintf "INSERT INTO Kv VALUES (%d, 'v%d')" k k))
+  done;
+  let start_replica i =
+    let port = free_port () in
+    let pid =
+      spawn
+        [
+          "--port"; string_of_int port;
+          "--replica-of"; Printf.sprintf "127.0.0.1:%d" pport;
+          "--replica-id"; Printf.sprintf "bench-replica-%d" i;
+        ]
+    in
+    await_server port;
+    (pid, port)
+  in
+  let replicas = [ start_replica 1; start_replica 2 ] in
+  let synced (_, port) =
+    match Net.Client.connect ~port ~user:"sync-probe" () with
+    | exception (Unix.Unix_error _ | Net.Wire.Closed) -> false
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+            at 0
+          in
+          match Net.Client.submit c "SELECT count(*) AS n FROM Kv" with
+          | Net.Wire.Sql_result s -> contains s (string_of_int n_rows)
+          | _ | (exception Net.Client.Server_error _) -> false)
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while
+    (not (List.for_all synced replicas)) && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.05
+  done;
+  if not (List.for_all synced replicas) then
+    failwith "REPL: replicas never caught up with the seed data";
+  let replica_addrs = List.map (fun (_, p) -> ("127.0.0.1", p)) replicas in
+  say
+    "primary on :%d; replicas on %s (separate processes); %d rows, %d \
+     readers x %d aggregate scans"
+    pport
+    (String.concat ", "
+       (List.map (fun (_, p) -> Printf.sprintf ":%d" p) replica_addrs))
+    n_rows n_readers reads_each;
+  let run_variant ?(port = pport) ?(with_writer = true) ~label ~routes () =
+    let stop_writer = Atomic.make false in
+    let writer =
+      Thread.create
+        (fun () ->
+          if not with_writer then () else
+          let c = Net.Client.connect ~port:pport ~user:"writer" () in
+          let rng = Random.State.make [| seed; 77 |] in
+          while not (Atomic.get stop_writer) do
+            let k = Random.State.int rng n_rows in
+            ignore
+              (Net.Client.submit c
+                 (Printf.sprintf "UPDATE Kv SET v = 'w%d' WHERE k = %d" k k));
+            (* fixed offered write rate (~250/s): unthrottled, the writer
+               speeds up exactly when readers leave the primary, flooding
+               the replicas' writer-preferring locks with applies and
+               measuring the write stream instead of read scale-out *)
+            Thread.delay 0.004
+          done;
+          Net.Client.close c)
+        ()
+    in
+    let elapsed, () =
+      time_once (fun () ->
+          (* each reader is its own forked process: in-process reader
+             threads all serialize on this process's runtime lock and cap
+             throughput below what even one server can sustain, hiding
+             any scale-out.  Children only open fresh sockets and
+             [Unix._exit] — nothing of the parent's state is touched. *)
+          let pids =
+            List.init n_readers (fun w ->
+                match Unix.fork () with
+                | 0 ->
+                  (try
+                     let c =
+                       Net.Client.connect ~port ~replicas:routes
+                         ~user:(Printf.sprintf "reader%d" w)
+                         ()
+                     in
+                     let rng = Random.State.make [| seed; w |] in
+                     (* engine-bound reads: an aggregate scan, so serving
+                        them is real work a replica can take off the
+                        primary (point lookups are RTT-bound and show
+                        routing cost, not scale-out) *)
+                     for _ = 1 to reads_each do
+                       let k = Random.State.int rng n_rows in
+                       ignore
+                         (Net.Client.submit c
+                            (Printf.sprintf
+                               "SELECT count(*) AS n, sum(k) AS s FROM Kv \
+                                WHERE k >= %d"
+                               k))
+                     done;
+                     Net.Client.close c
+                   with _ -> Unix._exit 1);
+                  Unix._exit 0
+                | pid -> pid)
+          in
+          List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids)
+    in
+    Atomic.set stop_writer true;
+    Thread.join writer;
+    let qps = float_of_int (n_readers * reads_each) /. elapsed in
+    say "  %-16s %7d reads in %7.3f s = %9.0f reads/s" label
+      (n_readers * reads_each) elapsed qps;
+    qps
+  in
+  let qps_primary = run_variant ~label:"primary only" ~routes:[] () in
+  let qps_replicas = run_variant ~label:"+2 replicas" ~routes:replica_addrs () in
+  let cores = Domain.recommended_domain_count () in
+  say "  read scale-out speedup: %.2fx (%d core(s) on this host%s)"
+    (qps_replicas /. qps_primary)
+    cores
+    (if cores <= 2 then
+       "; all three servers time-share the same core(s), so >1x needs a \
+        multi-core host"
+     else "");
+  record ~experiment:"REPL" ~metric:"read_primary_only_qps" qps_primary;
+  record ~experiment:"REPL" ~metric:"read_with_replicas_qps" qps_replicas;
+  record ~experiment:"REPL" ~metric:"read_scaleout_speedup"
+    (qps_replicas /. qps_primary);
+  Net.Client.close seeder;
+  let reap pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  List.iter (fun (pid, _) -> reap pid) replicas;
+  reap ppid;
+  Unix.close devnull;
+
+  (* -------- part 2: recovery with vs without a checkpoint -------- *)
+  let rwal = Filename.concat dir "recovery.wal" in
+  let n_base = if fast then 1_000 else 5_000 in
+  let n_updates = if fast then 8_000 else 50_000 in
+  let db = Database.create () in
+  Database.attach_wal db rwal;
+  let t =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Accounts"
+         [ Schema.column "id" Ctype.TInt; Schema.column "balance" Ctype.TInt ])
+  in
+  for i = 0 to n_base - 1 do
+    Database.with_txn db (fun txn ->
+        ignore (Txn.insert txn t [| Value.Int i; Value.Int 0 |]))
+  done;
+  let rng = Random.State.make [| seed; 13 |] in
+  for u = 1 to n_updates do
+    let k = Random.State.int rng n_base in
+    Database.with_txn db (fun txn ->
+        match Table.lookup_pk t [| Value.Int k |] with
+        | Some id -> ignore (Txn.update txn t id [| Value.Int k; Value.Int u |])
+        | None -> ())
+  done;
+  Database.close db;
+  let t_full, db_full = time_once (fun () -> Database.recover rwal) in
+  (* the load-bearing configuration: snapshot + prefix truncation, so the
+     next recovery neither reads nor replays the checkpointed history *)
+  ignore (Database.checkpoint ~truncate_wal:true db_full);
+  Database.close db_full;
+  let t_ckpt, db_ckpt = time_once (fun () -> Database.recover rwal) in
+  (match Database.recovery_stats db_ckpt with
+  | Some { Database.snapshot_lsn = Some _; replayed_batches; _ } ->
+    say "  checkpointed recovery replayed %d suffix batch(es)" replayed_batches
+  | _ -> failwith "REPL: checkpointed recovery did not use the snapshot");
+  Database.close db_ckpt;
+  say
+    "  recovery of %d-batch WAL: full replay %8.1f ms | from checkpoint \
+     %8.1f ms | %.1fx"
+    (n_base + n_updates + 1)
+    (t_full *. 1e3) (t_ckpt *. 1e3)
+    (t_full /. t_ckpt);
+  record ~experiment:"REPL" ~metric:"recovery_full_ms" (t_full *. 1e3);
+  record ~experiment:"REPL" ~metric:"recovery_ckpt_ms" (t_ckpt *. 1e3);
+  record ~experiment:"REPL" ~metric:"recovery_speedup" (t_full /. t_ckpt)
+
 let experiments =
   [
     "E1", ("Figure 1 mutual match (bechamel)", fun (_ : opts) -> e1_fig1 ());
@@ -910,6 +1181,7 @@ let experiments =
     "E13", ("cascade chain depth", e13_cascade);
     "INC", ("incremental matching + concurrent read path", e_inc);
     "BATCH", ("write batching x durability over loopback TCP", e_batch);
+    "REPL", ("read replicas + checkpointed recovery", e_repl);
     "NET", ("travel workload over loopback TCP", e_net);
     "MICRO", ("engine primitive microbenchmarks", fun (_ : opts) -> e_micro ());
   ]

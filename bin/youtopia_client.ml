@@ -29,8 +29,23 @@ let rec print_body = function
   | Net.Wire.Rejected m -> Printf.printf "rejected: %s\n" m
   | Net.Wire.Multi bodies -> List.iter print_body bodies
 
-let run ~host ~port ~user scripts =
-  match Net.Client.connect ~host ~port ~user () with
+let parse_replica spec =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    let h = String.sub spec 0 i in
+    let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt p with
+    | Some p when h <> "" -> (h, p)
+    | _ ->
+      prerr_endline ("bad --replica '" ^ spec ^ "' (expected HOST:PORT)");
+      exit 2)
+  | None ->
+    prerr_endline ("bad --replica '" ^ spec ^ "' (expected HOST:PORT)");
+    exit 2
+
+let run ~host ~port ~user ~replicas scripts =
+  let replicas = List.map parse_replica replicas in
+  match Net.Client.connect ~host ~port ~replicas ~user () with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot connect to %s:%d: %s\n" host port (Unix.error_message e);
     1
@@ -38,8 +53,11 @@ let run ~host ~port ~user scripts =
     Printf.eprintf "server rejected the connection: %s\n" m;
     1
   | client ->
-    Printf.printf "connected to %s:%d as %s (server: %s)\n%!" host port user
-      (Net.Client.banner client);
+    Printf.printf "connected to %s:%d as %s (server: %s)%s\n%!" host port user
+      (Net.Client.banner client)
+      (match Net.Client.replica_count client with
+      | 0 -> ""
+      | n -> Printf.sprintf "; routing reads across %d replica(s)" n);
     let execute line =
       match String.trim line with
       | "" -> ()
@@ -125,6 +143,15 @@ let user_opt =
     & opt string (try Sys.getenv "USER" with Not_found -> "client")
     & info [ "user" ] ~docv:"NAME" ~doc:"Session owner (entangled-query owner).")
 
+let replicas_opt =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "replica" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Read replica to route read-only SQL to (repeatable; round-robin \
+           with fallback to the primary).")
+
 let scripts_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"SCRIPT" ~doc:"SQL script files.")
 
@@ -133,7 +160,8 @@ let cmd =
   Cmd.v
     (Cmd.info "youtopia_client" ~doc)
     Term.(
-      const (fun host port user scripts -> run ~host ~port ~user scripts)
-      $ host_opt $ port_opt $ user_opt $ scripts_arg)
+      const (fun host port user replicas scripts ->
+          run ~host ~port ~user ~replicas scripts)
+      $ host_opt $ port_opt $ user_opt $ replicas_opt $ scripts_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,20 +5,65 @@
      dune exec bin/youtopia_server.exe -- --travel           # demo dataset
      dune exec bin/youtopia_server.exe -- --port 7077 --wal /tmp/y.wal
      dune exec bin/youtopia_server.exe -- --read-timeout 300
+     dune exec bin/youtopia_server.exe -- --replica-of 10.0.0.1:7077  # read replica
 
    Connect with bin/youtopia_client.exe (or any speaker of
    docs/PROTOCOL.md).  Ctrl-C shuts down gracefully: in-flight responses
    are flushed before connections close. *)
 
 let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
-    ~max_batch ~max_delay_us ~no_batch ~verbose =
+    ~max_batch ~max_delay_us ~no_batch ~replica_of ~replica_id ~verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
-    Logs.Src.set_level Net.Server.log_src (Some Logs.Debug)
+    Logs.Src.set_level Net.Server.log_src (Some Logs.Debug);
+    Logs.Src.set_level Net.Replication.log_src (Some Logs.Debug)
+  end;
+  let replica_of =
+    match replica_of with
+    | None -> None
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+        let h = String.sub spec 0 i in
+        let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt p with
+        | Some p when h <> "" -> Some (h, p)
+        | _ ->
+          prerr_endline ("bad --replica-of '" ^ spec ^ "' (expected HOST:PORT)");
+          exit 2)
+      | None ->
+        prerr_endline ("bad --replica-of '" ^ spec ^ "' (expected HOST:PORT)");
+        exit 2)
+  in
+  if replica_of <> None && (travel || wal <> None) then begin
+    prerr_endline
+      "--replica-of is incompatible with --travel/--wal: a replica's state \
+       comes from the primary";
+    exit 2
   end;
   let sys =
     if travel then Travel.Datagen.make_system ~seed ~n_flights:32 ~n_hotels:16 ()
-    else Youtopia.System.create ?wal_path:wal ()
+    else
+      match wal with
+      | Some wal_path
+        when Sys.file_exists wal_path
+             && (Unix.stat wal_path).Unix.st_size > 0 ->
+        (* restart: replay the existing log (checkpoint + suffix) instead
+           of coming up empty next to our own history *)
+        let sys =
+          Youtopia.System.recover ~wal_path ~answer_relations:[] ()
+        in
+        let db = Youtopia.System.database sys in
+        (match Relational.Database.recovery_stats db with
+        | Some { Relational.Database.snapshot_lsn; replayed_batches; _ } ->
+          Printf.printf "recovered %s: %s%d batch(es) replayed\n%!" wal_path
+            (match snapshot_lsn with
+            | Some lsn -> Printf.sprintf "snapshot at lsn %d + " lsn
+            | None -> "")
+            replayed_batches
+        | None -> ());
+        sys
+      | _ -> Youtopia.System.create ?wal_path:wal ()
   in
   let durability =
     match durability with
@@ -43,11 +88,16 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
       max_batch;
       max_delay_us;
       batch_writes = not no_batch;
+      replica_of;
+      replica_id;
     }
   in
   let server = Net.Server.start ~config sys in
-  Printf.printf "youtopia server listening on %s:%d (protocol v%d)\n%!" host
-    (Net.Server.port server) Net.Wire.protocol_version;
+  Printf.printf "youtopia server listening on %s:%d (protocol v%d)%s\n%!" host
+    (Net.Server.port server) Net.Wire.protocol_version
+    (match replica_of with
+    | Some (h, p) -> Printf.sprintf " — read replica of %s:%d" h p
+    | None -> "");
   if travel then print_endline "travel dataset loaded (32 flights, 16 hotels)";
   (* Signal handlers only run at safepoints in a thread executing OCaml
      code; a main thread parked in Condition.wait never reaches one, so a
@@ -140,6 +190,23 @@ let no_batch_flag =
           "Disable write batching: every write takes the engine lock, \
            flushes and pokes alone (the per-request baseline).")
 
+let replica_of_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a read replica of the primary at $(docv): serve SELECTs \
+           locally, redirect writes, and tail the primary's WAL (snapshot \
+           bootstrap + live stream, reconnecting with backoff).")
+
+let replica_id_opt =
+  Arg.(
+    value
+    & opt string Net.Server.default_config.Net.Server.replica_id
+    & info [ "replica-id" ] ~docv:"NAME"
+        ~doc:"Name announced to the primary in the replica handshake.")
+
 let verbose_flag =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log connection events.")
 
@@ -150,11 +217,12 @@ let cmd =
     Term.(
       const
         (fun host port travel seed wal read_timeout max_frame durability
-             max_batch max_delay_us no_batch verbose ->
+             max_batch max_delay_us no_batch replica_of replica_id verbose ->
           run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame
-            ~durability ~max_batch ~max_delay_us ~no_batch ~verbose)
+            ~durability ~max_batch ~max_delay_us ~no_batch ~replica_of
+            ~replica_id ~verbose)
       $ host_opt $ port_opt $ travel_flag $ seed_opt $ wal_opt $ read_timeout_opt
       $ max_frame_opt $ durability_opt $ max_batch_opt $ max_delay_us_opt
-      $ no_batch_flag $ verbose_flag)
+      $ no_batch_flag $ replica_of_opt $ replica_id_opt $ verbose_flag)
 
 let () = exit (Cmd.eval' cmd)

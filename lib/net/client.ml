@@ -1,11 +1,24 @@
 (** Blocking client for the Youtopia wire protocol.
 
-    One TCP connection, one session owner.  Requests are synchronous:
-    [submit]/[cancel]/[admin]/[ping] send a frame and block until the
-    correlated response arrives.  [PUSH] frames — coordination answers
-    delivered asynchronously by the server — can arrive interleaved with
-    responses; they are stashed in a local queue and surfaced by
-    {!poll_notifications} / {!wait_notification}.
+    One primary TCP connection, one session owner, plus optional read
+    replicas.  Requests are synchronous: [submit]/[cancel]/[admin]/[ping]
+    send a frame and block until the correlated response arrives.  [PUSH]
+    frames — coordination answers delivered asynchronously by the server —
+    can arrive interleaved with responses; they are stashed in a local
+    queue and surfaced by {!poll_notifications} / {!wait_notification}.
+    Pushes only travel the primary link: replicas reject the writes and
+    entangled submissions that produce them.
+
+    {b Replica routing}: when [connect] is given [~replicas], scripts that
+    parse as read-only (the same {!Sql.Ast.read_only} predicate the server
+    uses) are routed round-robin across the replicas; anything else — and
+    anything that fails to parse locally — goes to the primary.  Replica
+    connections are dialled lazily; a replica that refuses or drops is
+    marked down with exponential backoff ({!Backoff}) and its reads fall
+    over to the next replica, then to the primary, so a dying replica
+    costs latency, not errors.  If a replica still answers with a
+    read-only redirect (it and the client disagreed about a statement),
+    the request is re-sent to the primary transparently.
 
     Not thread-safe: use one client per thread (the benchmark drives one
     connection per simulated user). *)
@@ -13,61 +26,101 @@
 exception Server_error of string
 (** The server answered with an ERROR frame. *)
 
+(** One framed connection: fd + read-ahead buffer (a partially delivered
+    frame waits in [l_pending] until the rest arrives). *)
+type link = { l_fd : Unix.file_descr; mutable l_pending : string }
+
+type replica_slot = {
+  r_host : string;
+  r_port : int;
+  mutable r_link : link option;  (** dialled lazily *)
+  mutable r_fails : int;  (** consecutive failures, drives the backoff *)
+  mutable r_down_until : float;  (** skip this replica until then *)
+}
+
 type t = {
-  fd : Unix.file_descr;
   max_frame : int;
   user : string;
+  retry : Backoff.policy;
   mutable banner : string;
   mutable next_id : int;
   pushes : Core.Events.notification Queue.t;
-  mutable pending : string;
-      (* bytes received ahead of frame decoding; a partially delivered
-         frame waits here until the rest arrives *)
+  primary : link;
+  replicas : replica_slot array;
+  mutable rr : int;  (** round-robin cursor over [replicas] *)
   mutable closed : bool;
 }
 
 let user t = t.user
 let banner t = t.banner
+let replica_count t = Array.length t.replicas
 
-let connect ?(host = "127.0.0.1") ?(port = 7077)
-    ?(max_frame = Wire.default_max_frame) ~user () =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+let transient = function
+  | Unix.Unix_error _ | Wire.Closed -> true
+  | _ -> false
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let dial ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
   | () -> ()
   | exception e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    close_fd fd;
     raise e);
   Unix.setsockopt fd Unix.TCP_NODELAY true;
-  let t =
-    {
-      fd;
-      max_frame;
-      user;
-      banner = "";
-      next_id = 1;
-      pushes = Queue.create ();
-      pending = "";
-      closed = false;
-    }
-  in
-  Wire.write_frame ~max_frame fd
-    (Wire.encode_request (Wire.Hello { version = Wire.protocol_version; user }));
-  (match Wire.decode_response (Wire.read_frame ~max_frame fd) with
-  | Wire.Welcome { banner; _ } -> t.banner <- banner
+  { l_fd = fd; l_pending = "" }
+
+(** Dial + HELLO; returns the link and the server's banner. *)
+let open_link ~max_frame ~user ~host ~port =
+  let link = dial ~host ~port in
+  match
+    Wire.write_frame ~max_frame link.l_fd
+      (Wire.encode_request (Wire.Hello { version = Wire.protocol_version; user }));
+    Wire.decode_response (Wire.read_frame ~max_frame link.l_fd)
+  with
+  | Wire.Welcome { banner; _ } -> (link, banner)
   | Wire.Error { message; _ } ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    close_fd link.l_fd;
     raise (Server_error message)
   | _ ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise (Wire.Protocol_error "expected WELCOME"));
-  t
+    close_fd link.l_fd;
+    raise (Wire.Protocol_error "expected WELCOME")
+  | exception e ->
+    close_fd link.l_fd;
+    raise e
+
+let connect ?(host = "127.0.0.1") ?(port = 7077)
+    ?(max_frame = Wire.default_max_frame) ?(replicas = [])
+    ?(retry = Backoff.no_retry) ~user () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let primary, banner =
+    Backoff.retry ~policy:retry ~retry_on:transient (fun () ->
+        open_link ~max_frame ~user ~host ~port)
+  in
+  {
+    max_frame;
+    user;
+    retry;
+    banner;
+    next_id = 1;
+    pushes = Queue.create ();
+    primary;
+    replicas =
+      Array.of_list
+        (List.map
+           (fun (r_host, r_port) ->
+             { r_host; r_port; r_link = None; r_fails = 0; r_down_until = 0. })
+           replicas);
+    rr = 0;
+    closed = false;
+  }
 
 (* ---------------- response pump ---------------- *)
 
-(** Extract one complete frame from the read-ahead buffer, if present. *)
-let take_frame t =
-  let s = t.pending in
+(** Extract one complete frame from the link's read-ahead buffer. *)
+let take_frame t link =
+  let s = link.l_pending in
   let len = String.length s in
   if len < 4 then None
   else begin
@@ -79,42 +132,44 @@ let take_frame t =
               t.max_frame));
     if len < 4 + n then None
     else begin
-      t.pending <- String.sub s (4 + n) (len - 4 - n);
+      link.l_pending <- String.sub s (4 + n) (len - 4 - n);
       Some (String.sub s 4 n)
     end
   end
 
 (** One [read] into the buffer — blocking unless the fd is known
     readable, in which case it returns whatever is available. *)
-let fill t =
+let fill link =
   let buf = Bytes.create 8192 in
   let got =
-    try Unix.read t.fd buf 0 (Bytes.length buf)
+    try Unix.read link.l_fd buf 0 (Bytes.length buf)
     with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
   in
   if got = 0 then raise Wire.Closed;
-  t.pending <- t.pending ^ Bytes.sub_string buf 0 got
+  link.l_pending <- link.l_pending ^ Bytes.sub_string buf 0 got
 
-let rec read_buffered_frame t =
-  match take_frame t with
+let rec read_buffered_frame t link =
+  match take_frame t link with
   | Some payload -> payload
   | None ->
-    fill t;
-    read_buffered_frame t
+    fill link;
+    read_buffered_frame t link
 
-let read_response t = Wire.decode_response (read_buffered_frame t)
+let read_response t link = Wire.decode_response (read_buffered_frame t link)
 
-(** Block until the response correlated with [id] arrives, stashing any
-    pushes encountered on the way. *)
-let rec await t id =
-  match read_response t with
+(** Block until the response correlated with [id] arrives on [link],
+    stashing any pushes encountered on the way. *)
+let rec await t link id =
+  match read_response t link with
   | Wire.Push n ->
     Queue.push n t.pushes;
-    await t id
+    await t link id
   | Wire.Result { id = id'; body } when id' = id -> Ok body
   | Wire.Error { id = id'; message } when id' = id || id' = 0 -> Error message
   | Wire.Pong { id = id'; payload } when id' = id -> Ok (Wire.Sql_result payload)
   | Wire.Stats { id = id'; body } when id' = id -> Ok (Wire.Listing body)
+  | Wire.Snapshot_chunk _ | Wire.Wal_recs _ ->
+    raise (Wire.Protocol_error "replication frame on a client connection")
   | Wire.Welcome _ | Wire.Result _ | Wire.Error _ | Wire.Pong _ | Wire.Stats _ ->
     raise (Wire.Protocol_error "response for an unknown request id")
 
@@ -123,16 +178,124 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+let rpc_on t link request id =
+  Wire.write_frame ~max_frame:t.max_frame link.l_fd (Wire.encode_request request);
+  match await t link id with
+  | Ok body -> body
+  | Error m -> raise (Server_error m)
+
 let rpc t request id =
   if t.closed then raise (Wire.Protocol_error "client is closed");
-  Wire.write_frame ~max_frame:t.max_frame t.fd (Wire.encode_request request);
-  match await t id with Ok body -> body | Error m -> raise (Server_error m)
+  rpc_on t t.primary request id
+
+(* ---------------- replica routing ---------------- *)
+
+(** Conservative client-side read-only check: a script routes to a replica
+    only when it parses locally and every statement passes the same
+    predicate the server applies.  Unparsable input goes to the primary —
+    it is the authority on errors. *)
+
+(* Syntactic fast path: a single statement that starts with SELECT and
+   contains no INTO (so no SELECT ... INTO ANSWER) cannot mutate.  The
+   full parse below costs more than a point read, and routing runs on
+   every submit — without this, a reader fleet bottlenecks on its own
+   client-side parser before any server does.  Anything unsure (multiple
+   statements, INTO anywhere — even inside a string literal) falls
+   through to the parser, which stays the authority. *)
+let fast_read_only sql =
+  let s = String.trim sql in
+  let u = String.uppercase_ascii s in
+  let contains needle =
+    let nh = String.length u and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub u i nn = needle || at (i + 1)) in
+    at 0
+  in
+  String.length u >= 7
+  && String.sub u 0 7 = "SELECT "
+  && (not (String.contains u ';'))
+  && not (contains "INTO")
+
+let read_only_script sql =
+  fast_read_only sql
+  ||
+  match Sql.Parser.parse_script sql with
+  | [] -> false
+  | stmts -> List.for_all Sql.Ast.read_only stmts
+  | exception _ -> false
+
+let mark_down t slot =
+  (match slot.r_link with
+  | Some link ->
+    close_fd link.l_fd;
+    slot.r_link <- None
+  | None -> ());
+  slot.r_fails <- slot.r_fails + 1;
+  let policy = if t.retry == Backoff.no_retry then Backoff.default else t.retry in
+  slot.r_down_until <-
+    Unix.gettimeofday ()
+    +. Backoff.jittered policy ~attempt:(min slot.r_fails policy.Backoff.attempts)
+
+(** The slot's live link, dialling (one attempt) if needed; [None] marks
+    the slot down for a backoff window. *)
+let slot_link t slot =
+  match slot.r_link with
+  | Some link -> Some link
+  | None -> (
+    match
+      open_link ~max_frame:t.max_frame ~user:t.user ~host:slot.r_host
+        ~port:slot.r_port
+    with
+    | link, _banner ->
+      slot.r_link <- Some link;
+      slot.r_fails <- 0;
+      Some link
+    | exception e when transient e || (match e with Server_error _ -> true | _ -> false)
+      ->
+      mark_down t slot;
+      None)
+
+(** Submit a read-only script: round-robin over replicas that are not in a
+    backoff window, falling back to the primary when none answers.  A
+    replica that fails mid-request is marked down and the request moves
+    on — the caller sees one answer either way. *)
+let submit_read t ~id ~sql =
+  let n = Array.length t.replicas in
+  let rec try_slots k =
+    if k >= n then rpc t (Wire.Submit { id; sql }) id
+    else begin
+      let slot = t.replicas.(t.rr mod n) in
+      t.rr <- t.rr + 1;
+      if slot.r_down_until > Unix.gettimeofday () then try_slots (k + 1)
+      else
+        match slot_link t slot with
+        | None -> try_slots (k + 1)
+        | Some link -> (
+          match rpc_on t link (Wire.Submit { id; sql }) id with
+          | body ->
+            slot.r_fails <- 0;
+            body
+          | exception Server_error m -> (
+            match Wire.parse_readonly_redirect m with
+            | Some _ ->
+              (* the replica disagreed about read-onlyness; the primary is
+                 the authority *)
+              rpc t (Wire.Submit { id; sql }) id
+            | None -> raise (Server_error m))
+          | exception e when transient e ->
+            mark_down t slot;
+            try_slots (k + 1))
+    end
+  in
+  try_slots 0
 
 (* ---------------- calls ---------------- *)
 
 let submit t sql =
   let id = fresh_id t in
-  rpc t (Wire.Submit { id; sql }) id
+  if t.closed then raise (Wire.Protocol_error "client is closed");
+  if Array.length t.replicas > 0 && read_only_script sql then
+    submit_read t ~id ~sql
+  else rpc t (Wire.Submit { id; sql }) id
 
 let cancel t query_id =
   let id = fresh_id t in
@@ -146,13 +309,28 @@ let admin t what =
   | Wire.Listing body -> body
   | _ -> raise (Wire.Protocol_error "unexpected admin response")
 
+(** [admin_on_replica t i what] — probe replica [i] directly (dialling it
+    if needed); bypasses routing, for lag inspection and tests. *)
+let admin_on_replica t i what =
+  let slot = t.replicas.(i) in
+  match slot_link t slot with
+  | None -> raise (Server_error "replica is down")
+  | Some link -> (
+    let id = fresh_id t in
+    match rpc_on t link (Wire.Admin { id; what }) id with
+    | Wire.Listing body -> body
+    | _ -> raise (Wire.Protocol_error "unexpected admin response")
+    | exception e when transient e ->
+      mark_down t slot;
+      raise e)
+
 let ping ?(payload = "ping") t =
   let id = fresh_id t in
   match rpc t (Wire.Ping { id; payload }) id with
   | Wire.Sql_result echo -> echo
   | _ -> raise (Wire.Protocol_error "unexpected ping response")
 
-(* ---------------- notifications ---------------- *)
+(* ---------------- notifications (primary link only) ---------------- *)
 
 let drain t =
   let out = List.of_seq (Queue.to_seq t.pushes) in
@@ -164,11 +342,14 @@ let drain t =
     complete frames are decoded; a frame still in flight stays in the
     read-ahead buffer for a later call, so this never blocks mid-frame. *)
 let poll_notifications t =
+  let link = t.primary in
   let readable () =
-    match Unix.select [ t.fd ] [] [] 0. with [ _ ], _, _ -> true | _ -> false
+    match Unix.select [ link.l_fd ] [] [] 0. with
+    | [ _ ], _, _ -> true
+    | _ -> false
   in
   let rec slurp () =
-    match take_frame t with
+    match take_frame t link with
     | Some payload -> (
       match Wire.decode_response payload with
       | Wire.Push n ->
@@ -177,7 +358,7 @@ let poll_notifications t =
       | _ -> raise (Wire.Protocol_error "unsolicited non-push response"))
     | None ->
       if readable () then
-        match fill t with () -> slurp () | exception Wire.Closed -> ()
+        match fill link with () -> slurp () | exception Wire.Closed -> ()
   in
   if not t.closed then slurp ();
   drain t
@@ -188,9 +369,10 @@ let poll_notifications t =
 let wait_notification ?(timeout = -1.) t =
   if not (Queue.is_empty t.pushes) then Some (Queue.pop t.pushes)
   else begin
+    let link = t.primary in
     let deadline = if timeout < 0. then None else Some (Unix.gettimeofday () +. timeout) in
     let rec wait () =
-      match take_frame t with
+      match take_frame t link with
       | Some payload -> (
         match Wire.decode_response payload with
         | Wire.Push n -> Some n
@@ -203,9 +385,9 @@ let wait_notification ?(timeout = -1.) t =
         in
         if left = 0. && deadline <> None then None
         else (
-          match Unix.select [ t.fd ] [] [] left with
+          match Unix.select [ link.l_fd ] [] [] left with
           | [ _ ], _, _ -> (
-            match fill t with () -> wait () | exception Wire.Closed -> None)
+            match fill link with () -> wait () | exception Wire.Closed -> None)
           | _ -> wait ())
     in
     wait ()
@@ -214,7 +396,17 @@ let wait_notification ?(timeout = -1.) t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (try Wire.write_frame ~max_frame:t.max_frame t.fd (Wire.encode_request Wire.Bye)
+    (try
+       Wire.write_frame ~max_frame:t.max_frame t.primary.l_fd
+         (Wire.encode_request Wire.Bye)
      with Wire.Closed | Wire.Protocol_error _ | Unix.Unix_error _ -> ());
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    close_fd t.primary.l_fd;
+    Array.iter
+      (fun slot ->
+        match slot.r_link with
+        | Some link ->
+          close_fd link.l_fd;
+          slot.r_link <- None
+        | None -> ())
+      t.replicas
   end

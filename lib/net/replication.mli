@@ -1,0 +1,122 @@
+(** Checkpoint + WAL-shipping replication: primary-side hub and
+    replica-side upstream loop.
+
+    The primary's {!Hub} collects committed WAL batches (via
+    {!Relational.Wal.set_on_append}, so DDL auto-commits ship too) and
+    fans them out to replica sinks; the server enqueues under the engine
+    lock and calls {!Hub.flush} after releasing it.  A {!Replica} is a
+    background thread that dials the primary with {!Backoff}, announces
+    the last LSN it applied, bootstraps from a streamed checkpoint
+    snapshot (or a WAL-file suffix when the primary still has it), then
+    tails live batches — applying strictly in LSN sequence and
+    acknowledging each batch.
+
+    Neither side depends on {!Server}; sending and applying go through
+    callbacks, so the protocol is testable over bare sockets. *)
+
+open Relational
+
+val log_src : Logs.src
+
+val now_us : unit -> int
+(** Wall-clock µs since the epoch — the [sent_at_us] stamp on [WREC]
+    frames. *)
+
+val encode_batch : Wal.record list -> string
+(** Newline-joined WAL line codec — the payload of [WREC] frames. *)
+
+val decode_batch : string -> Wal.record list
+
+val frames_of_batch :
+  lsn:int -> sent_at_us:int -> Wal.record list -> Wire.response list
+(** Chunked [WREC] frames for one committed batch, in send order. *)
+
+val frames_of_snapshot : lsn:int -> string list -> Wire.response list
+(** Chunked [SNAP] frames for {!Relational.Checkpoint.to_lines} output. *)
+
+val catchup_batches :
+  wal_path:string -> after_lsn:int -> (int * Wal.record list) list
+(** Committed batches recorded in the WAL file past [after_lsn], oldest
+    first.  Tolerates a concurrently appending writer (a torn tail is an
+    incomplete batch and is dropped — the live stream covers it). *)
+
+module Hub : sig
+  type t
+  type sink
+
+  type stats = {
+    replicas : int;
+    batches_shipped : int;
+    records_shipped : int;
+    last_shipped_lsn : int;
+    min_acked_lsn : int;  (** 0 when no replica is connected *)
+  }
+
+  val create : unit -> t
+
+  val attach : t -> Wal.t -> unit
+  (** Hook the hub into a WAL so every committed batch is noted for
+      shipping. *)
+
+  val note : t -> lsn:int -> Wal.record list -> unit
+  (** Record a committed batch (called under the WAL lock — only
+      enqueues). *)
+
+  val register : t -> replica_id:string -> send:(Wire.response -> unit) -> sink
+  (** Add a replica sink.  [send] must be non-blocking (the server's
+      per-connection enqueue); if it raises, the sink is marked dead. *)
+
+  val unregister : t -> sink -> unit
+  val ack : sink -> lsn:int -> unit
+
+  val flush : t -> unit
+  (** Drain pending batches to every live sink in commit order.  Call
+      after releasing the engine lock. *)
+
+  val stats : t -> stats
+
+  val replicas : t -> (string * int * int) list
+  (** Live sinks as [(replica_id, sent_lsn, acked_lsn)]. *)
+end
+
+module Replica : sig
+  type event =
+    | Connected
+    | Disconnected of string
+    | Snapshot_loaded of { lsn : int }
+    | Batch_applied of { lsn : int; lag_lsn : int; lag_ms : float }
+
+  type callbacks = {
+    load_snapshot : lsn:int -> Catalog.t -> unit;
+        (** swap the replica's state to the snapshot; runs on the replica
+            thread — wrap in the engine write lock *)
+    apply_batch : lsn:int -> Wal.record list -> unit;
+        (** apply one committed batch; same locking discipline *)
+    notify : event -> unit;  (** stats / logging; must not raise *)
+  }
+
+  type t
+
+  val start :
+    host:string ->
+    port:int ->
+    ?replica_id:string ->
+    ?policy:Backoff.policy ->
+    ?max_frame:int ->
+    callbacks ->
+    t
+  (** Spawn the upstream loop: dial, [RHELLO], bootstrap, tail; reconnect
+      with backoff forever until {!stop}. *)
+
+  val stop : t -> unit
+  (** Shut the link down and join the thread. *)
+
+  val applied_lsn : t -> int
+  val seen_lsn : t -> int
+  (** Highest primary LSN observed (applied or still in flight). *)
+
+  val connected : t -> bool
+
+  val stats : t -> int * int * int * float
+  (** [(reconnects, snapshots_loaded, batches_applied, last_lag_ms)]. *)
+end

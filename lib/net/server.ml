@@ -48,6 +48,11 @@ type config = {
   durability : Relational.Wal.durability option;
       (** applied to the system's WAL at {!start}; [None] leaves the
           database's current mode untouched *)
+  replica_of : (string * int) option;
+      (** run as a read replica of this primary: writes are rejected with
+          a redirect naming it, and an upstream loop bootstraps from a
+          streamed snapshot then tails the primary's WAL *)
+  replica_id : string;  (** name announced in the replica handshake *)
 }
 
 let default_config =
@@ -65,6 +70,8 @@ let default_config =
     max_delay_us = 1_000;
     max_batchq = 256;
     durability = None;
+    replica_of = None;
+    replica_id = "replica";
   }
 
 type conn = {
@@ -106,11 +113,32 @@ type t = {
   batch_cond : Condition.t;  (* work arrived (or shutdown) *)
   batch_space : Condition.t;  (* queue has room again *)
   mutable drainer : Thread.t option;
+  (* replication *)
+  hub : Replication.Hub.t option;
+      (** primary side: committed batches fan out to replica sinks;
+          [None] without a WAL or in replica mode *)
+  mutable replica : Replication.Replica.t option;
+      (** replica side: the upstream loop tailing the primary *)
 }
 
 let port t = t.bound_port
 let stats t = t.stats
 let system t = t.sys
+let is_replica t = t.config.replica_of <> None
+
+(** Ship batches noted under the engine lock to connected replicas; called
+    after the lock is released, next to the response fan-out. *)
+let hub_flush t =
+  match t.hub with
+  | None -> ()
+  | Some hub ->
+    Replication.Hub.flush hub;
+    let s = Replication.Hub.stats hub in
+    Server_stats.set_repl_shipping t.stats
+      ~batches:s.Replication.Hub.batches_shipped
+      ~records:s.Replication.Hub.records_shipped
+      ~last_lsn:s.Replication.Hub.last_shipped_lsn
+      ~acked_lsn:s.Replication.Hub.min_acked_lsn
 
 (* ---------------- engine access ---------------- *)
 
@@ -133,16 +161,10 @@ let with_engine_read t f =
     r
   end
 
-(** A statement the engine can run under the shared lock: it touches no
-    table data, no pending store and no session transaction state.  SELECT
-    INTO ANSWER is a coordinator submission (exclusive); ANALYZE and the
-    transaction controls mutate engine state; EXPLAIN only plans. *)
-let read_only_stmt : Sql.Ast.statement -> bool = function
-  | Sql.Ast.Select s -> s.Sql.Ast.into_answer = []
-  | Sql.Ast.Explain _ | Sql.Ast.Explain_analyze _ | Sql.Ast.Show_tables
-  | Sql.Ast.Show_pending ->
-    true
-  | _ -> false
+(** A statement the engine can run under the shared lock — shared with the
+    client's replica routing so both sides agree (see
+    {!Sql.Ast.read_only}). *)
+let read_only_stmt : Sql.Ast.statement -> bool = Sql.Ast.read_only
 
 (* ---------------- outbound queue ---------------- *)
 
@@ -319,7 +341,9 @@ let execute_batch t batch =
     (fun (wr, response, _) ->
       send t wr.wr_conn response;
       Server_stats.on_submit t.stats ~latency:(now -. wr.wr_t0))
-    results
+    results;
+  (* replicas ride the same fan-out discipline as client responses *)
+  hub_flush t
 
 (** Drainer thread: wait for write requests, let concurrent writers pile
     in (holding a lone request open up to [max_delay_us]), then execute up
@@ -415,7 +439,15 @@ let handle_submit t conn session ~id ~sql =
       (Wire.Error { id; message = Relational.Errors.kind_to_string kind });
     Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
   | Ok stmts ->
-    if List.for_all read_only_stmt stmts then begin
+    if (not (List.for_all read_only_stmt stmts)) && is_replica t then begin
+      (* read replica: anything that could mutate goes to the primary *)
+      let host, port = Option.get t.config.replica_of in
+      Server_stats.on_readonly_rejected t.stats;
+      send t conn
+        (Wire.Error { id; message = Wire.readonly_redirect ~host ~port });
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+    end
+    else if List.for_all read_only_stmt stmts then begin
       let response =
         match
           with_engine_read t (fun () ->
@@ -445,11 +477,20 @@ let handle_submit t conn session ~id ~sql =
             response)
       in
       send t conn response;
+      hub_flush t;
       Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
     end
 
 let handle_cancel t ~id ~query_id =
-  match
+  if is_replica t then begin
+    (* cancels mutate the pending store, which lives on the primary *)
+    let host, port = Option.get t.config.replica_of in
+    Server_stats.on_readonly_rejected t.stats;
+    Server_stats.on_error t.stats;
+    Wire.Error { id; message = Wire.readonly_redirect ~host ~port }
+  end
+  else
+    match
     with_engine t (fun () ->
         Core.Coordinator.cancel (Youtopia.System.coordinator t.sys) query_id)
   with
@@ -467,6 +508,33 @@ let handle_admin t ~id ~what =
   | "answers" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_answers t.sys) }
   | "tables" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_tables t.sys) }
   | "report" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.report t.sys) }
+  | "checkpoint" -> (
+    (* exclusive: the snapshot must be a consistent cut, and two
+       concurrent checkpoints would race on the temp file *)
+    match
+      Relational.Errors.guard (fun () ->
+          with_engine t (fun () -> Youtopia.System.checkpoint t.sys))
+    with
+    | Ok (lsn, path) ->
+      Wire.Stats { id; body = Printf.sprintf "checkpoint lsn=%d path=%s" lsn path }
+    | Error kind ->
+      Server_stats.on_error t.stats;
+      Wire.Error { id; message = Relational.Errors.kind_to_string kind })
+  | "replicas" ->
+    let body =
+      match t.hub with
+      | None -> "replicas=0"
+      | Some hub ->
+        let rows = Replication.Hub.replicas hub in
+        String.concat "\n"
+          (Printf.sprintf "replicas=%d" (List.length rows)
+          :: List.map
+               (fun (rid, sent, acked) ->
+                 Printf.sprintf "replica=%s sent_lsn=%d acked_lsn=%d" rid sent
+                   acked)
+               rows)
+    in
+    Wire.Stats { id; body }
   | other ->
     Server_stats.on_error t.stats;
     Wire.Error { id; message = "unknown admin probe: " ^ other }
@@ -475,11 +543,73 @@ let handle_admin t ~id ~what =
 
 exception Goodbye
 
-(** Handshake: the first frame must be a HELLO speaking our protocol
-    version; the reply is WELCOME (or ERROR, then the connection drops). *)
+(** What the handshake made of this connection: an ordinary client session,
+    or a replica's upstream link. *)
+type peer =
+  | Client_peer of Youtopia.Session.t
+  | Replica_peer of Replication.Hub.sink
+
+(** Send a replica its bootstrap stream.  The sink is already registered,
+    so every batch committed from here on reaches it live; the replica's
+    strict LSN sequencing absorbs the deliberate overlap between the
+    bootstrap data and the live stream.
+
+    Two bootstrap shapes: when the WAL file still holds the suffix past
+    the replica's last applied LSN, ship those batches straight from the
+    file (no lock needed — a torn tail is an incomplete batch the live
+    stream covers).  Otherwise — fresh replica against a truncated log, or
+    a replica ahead of a restarted primary — stream a full checkpoint
+    snapshot cut under the shared engine lock, which excludes writers. *)
+let bootstrap_replica t conn ~last_lsn =
+  let db = Youtopia.System.database t.sys in
+  match db.Relational.Database.wal with
+  | None -> raise (Wire.Protocol_error "primary has no WAL; cannot replicate")
+  | Some wal ->
+    Relational.Wal.sync wal;
+    let base = Relational.Wal.base_lsn wal in
+    let last = Relational.Wal.last_lsn wal in
+    if last_lsn >= base && last_lsn <= last then begin
+      let batches =
+        Replication.catchup_batches ~wal_path:(Relational.Wal.path wal)
+          ~after_lsn:last_lsn
+      in
+      let sent_at_us = Replication.now_us () in
+      List.iter
+        (fun (lsn, records) ->
+          List.iter (send t conn)
+            (Replication.frames_of_batch ~lsn ~sent_at_us records))
+        batches;
+      Log.info (fun f ->
+          f "conn %d: replica catch-up from lsn %d: %d batch(es) shipped"
+            conn.conn_id last_lsn (List.length batches))
+    end
+    else begin
+      let lsn, lines =
+        with_engine_read t (fun () ->
+            Relational.Wal.sync wal;
+            let lsn = Relational.Wal.last_lsn wal in
+            ( lsn,
+              Relational.Checkpoint.to_lines ~lsn (Youtopia.System.catalog t.sys)
+            ))
+      in
+      List.iter (send t conn) (Replication.frames_of_snapshot ~lsn lines);
+      Log.info (fun f ->
+          f "conn %d: replica bootstrap snapshot at lsn %d (replica was at %d)"
+            conn.conn_id lsn last_lsn)
+    end
+
+(** Handshake: the first frame must be a HELLO (client) or RHELLO (replica
+    upstream link) speaking our protocol version; the reply is WELCOME (or
+    ERROR, then the connection drops). *)
 let handshake t conn =
   let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
   Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+  let version_error version =
+    raise
+      (Wire.Protocol_error
+         (Printf.sprintf "unsupported protocol version %d (server speaks %d)"
+            version Wire.protocol_version))
+  in
   match Wire.decode_request payload with
   | Wire.Hello { version; user } when version = Wire.protocol_version ->
     let session = Youtopia.System.session t.sys user in
@@ -490,32 +620,74 @@ let handshake t conn =
            send t conn (Wire.Push n)));
     send t conn
       (Wire.Welcome { version = Wire.protocol_version; banner = t.config.banner });
-    session
-  | Wire.Hello { version; _ } ->
-    raise
-      (Wire.Protocol_error
-         (Printf.sprintf "unsupported protocol version %d (server speaks %d)"
-            version Wire.protocol_version))
+    Client_peer session
+  | Wire.Hello { version; _ } -> version_error version
+  | Wire.Replica_hello { version; replica_id; last_lsn }
+    when version = Wire.protocol_version -> (
+    match t.hub with
+    | None ->
+      raise
+        (Wire.Protocol_error
+           "this server does not ship WAL (no WAL attached, or replica mode)")
+    | Some hub ->
+      (* register before cutting the bootstrap so no batch falls between
+         the snapshot/suffix and the live stream *)
+      let sink =
+        Replication.Hub.register hub ~replica_id
+          ~send:(fun r -> send t conn r)
+      in
+      Server_stats.on_replica_connect t.stats;
+      (match
+         send t conn
+           (Wire.Welcome
+              { version = Wire.protocol_version; banner = t.config.banner });
+         bootstrap_replica t conn ~last_lsn
+       with
+      | () -> ()
+      | exception e ->
+        Replication.Hub.unregister hub sink;
+        Server_stats.on_replica_disconnect t.stats;
+        raise e);
+      Replica_peer sink)
+  | Wire.Replica_hello { version; _ } -> version_error version
   | _ -> raise (Wire.Protocol_error "expected HELLO as the first frame")
 
 let reader_loop t conn =
-  let session = ref None in
+  let peer = ref None in
   (try
-     let s = handshake t conn in
-     session := Some s;
-     let rec loop () =
-       let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
-       Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
-       (match Wire.decode_request payload with
-       | Wire.Hello _ -> raise (Wire.Protocol_error "duplicate HELLO")
-       | Wire.Submit { id; sql } -> handle_submit t conn s ~id ~sql
-       | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
-       | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
-       | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
-       | Wire.Bye -> raise Goodbye);
+     let p = handshake t conn in
+     peer := Some p;
+     match p with
+     | Client_peer s ->
+       let rec loop () =
+         let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
+         Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+         (match Wire.decode_request payload with
+         | Wire.Hello _ | Wire.Replica_hello _ ->
+           raise (Wire.Protocol_error "duplicate HELLO")
+         | Wire.Repl_ack _ ->
+           raise (Wire.Protocol_error "RACK on a client connection")
+         | Wire.Submit { id; sql } -> handle_submit t conn s ~id ~sql
+         | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
+         | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
+         | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
+         | Wire.Bye -> raise Goodbye);
+         loop ()
+       in
        loop ()
-     in
-     loop ()
+     | Replica_peer sink ->
+       (* a replica link only ever sends acknowledgements *)
+       let rec loop () =
+         let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
+         Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+         (match Wire.decode_request payload with
+         | Wire.Repl_ack { lsn } -> Replication.Hub.ack sink ~lsn
+         | Wire.Bye -> raise Goodbye
+         | _ ->
+           raise (Wire.Protocol_error "unexpected frame on a replica link"));
+         loop ()
+       in
+       loop ()
    with
   | Wire.Closed | Goodbye -> ()
   | Wire.Protocol_error m ->
@@ -533,11 +705,16 @@ let reader_loop t conn =
     Log.debug (fun f ->
         f "conn %d: reader failed: %s" conn.conn_id (Printexc.to_string exn));
     send t conn (Wire.Error { id = 0; message = Printexc.to_string exn }));
-  (* teardown: detach the session, drain the writer, close the socket *)
-  (match !session with
-  | Some s ->
+  (* teardown: detach the session/sink, drain the writer, close the socket *)
+  (match !peer with
+  | Some (Client_peer s) ->
     Youtopia.Session.set_listener s None;
     Youtopia.System.close_session t.sys s
+  | Some (Replica_peer sink) ->
+    (match t.hub with
+    | Some hub -> Replication.Hub.unregister hub sink
+    | None -> ());
+    Server_stats.on_replica_disconnect t.stats
   | None -> ());
   Mutex.lock conn.out_mu;
   conn.closing <- true;
@@ -613,6 +790,16 @@ let start ?(config = default_config) sys =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let hub =
+    match
+      (config.replica_of, (Youtopia.System.database sys).Relational.Database.wal)
+    with
+    | None, Some wal ->
+      let hub = Replication.Hub.create () in
+      Replication.Hub.attach hub wal;
+      Some hub
+    | _ -> None
+  in
   let t =
     {
       sys;
@@ -631,16 +818,56 @@ let start ?(config = default_config) sys =
       batch_cond = Condition.create ();
       batch_space = Condition.create ();
       drainer = None;
+      hub;
+      replica = None;
     }
   in
   (match config.durability with
   | Some d ->
     Relational.Database.set_durability (Youtopia.System.database sys) d
   | None -> ());
+  (match config.replica_of with
+  | Some (host, rport) ->
+    (* replica mode: tail the primary, applying under the engine write
+       lock so local reads always see whole batches *)
+    let catalog = Youtopia.System.catalog sys in
+    let cb =
+      {
+        Replication.Replica.load_snapshot =
+          (fun ~lsn snapshot ->
+            with_engine t (fun () -> Relational.Catalog.adopt catalog snapshot);
+            Server_stats.on_repl_snapshot t.stats ~lsn);
+        apply_batch =
+          (fun ~lsn:_ records ->
+            with_engine t (fun () ->
+                ignore (Relational.Wal.apply_batches catalog records)));
+        notify =
+          (fun ev ->
+            match ev with
+            | Replication.Replica.Connected ->
+              Server_stats.set_repl_upstream t.stats true
+            | Replication.Replica.Disconnected _ ->
+              Server_stats.set_repl_upstream t.stats false;
+              Server_stats.on_repl_reconnect t.stats
+            | Replication.Replica.Snapshot_loaded _ -> ()
+            | Replication.Replica.Batch_applied { lsn; lag_lsn; lag_ms } ->
+              Server_stats.on_repl_apply t.stats ~lsn ~seen:(lsn + lag_lsn)
+                ~lag_lsn ~lag_ms);
+      }
+    in
+    t.replica <-
+      Some
+        (Replication.Replica.start ~host ~port:rport
+           ~replica_id:config.replica_id cb)
+  | None -> ());
   if config.batch_writes then
     t.drainer <- Some (Thread.create (fun () -> drainer_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
-  Log.info (fun f -> f "listening on %s:%d" config.host bound_port);
+  Log.info (fun f ->
+      f "listening on %s:%d%s" config.host bound_port
+        (match config.replica_of with
+        | Some (h, p) -> Printf.sprintf " (read replica of %s:%d)" h p
+        | None -> ""));
   t
 
 (** Graceful shutdown: stop accepting, nudge every connection's reader off
@@ -649,6 +876,12 @@ let start ?(config = default_config) sys =
 let stop t =
   if t.running then begin
     t.running <- false;
+    (* stop tailing the primary before tearing local state down *)
+    (match t.replica with
+    | Some r ->
+      Replication.Replica.stop r;
+      t.replica <- None
+    | None -> ());
     (* wake readers blocked on batch-queue backpressure and the drainer's
        empty-queue wait, so both see [running = false] *)
     Mutex.lock t.batch_mu;

@@ -46,12 +46,19 @@ type config = {
   durability : Relational.Wal.durability option;
       (** applied to the system's WAL at {!start}; [None] leaves the
           database's current mode untouched *)
+  replica_of : (string * int) option;
+      (** run as a read replica of this primary: read-only SELECTs and
+          admin probes are served locally, anything that could mutate is
+          rejected with a redirect error naming the primary
+          ({!Wire.readonly_redirect}), and a background loop bootstraps
+          from a streamed snapshot then tails the primary's WAL *)
+  replica_id : string;  (** name announced in the replica handshake *)
 }
 
 val default_config : config
 (** 127.0.0.1:7077, 1 MiB frames, no read timeout, 1024-frame outbound
     queues; batching on (32 requests / 1000 µs window / 256-deep queue),
-    durability untouched. *)
+    durability untouched; not a replica. *)
 
 type t
 
@@ -64,6 +71,8 @@ val port : t -> int
 
 val stats : t -> Server_stats.t
 val system : t -> Youtopia.System.t
+
+val is_replica : t -> bool
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, close every connection after its

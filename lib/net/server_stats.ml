@@ -58,6 +58,23 @@ type t = {
   batch_size_hist : int array;  (** [batch_buckets] buckets *)
   mutable wal_flushes : int;  (** WAL channel flushes across batches *)
   mutable wal_fsyncs : int;  (** WAL fsyncs across batches *)
+  (* replication: primary side *)
+  mutable replicas_active : int;
+  mutable replicas_total : int;
+  mutable repl_batches_shipped : int;
+  mutable repl_records_shipped : int;
+  mutable repl_last_shipped_lsn : int;
+  mutable repl_acked_lsn : int;  (** min acked across live replicas *)
+  (* replication: replica side *)
+  mutable repl_upstream_connected : bool;
+  mutable repl_applied_lsn : int;
+  mutable repl_seen_lsn : int;
+  mutable repl_lag_lsn : int;  (** last observed apply lag in batches *)
+  mutable repl_lag_ms : float;  (** last observed commit-to-apply ms *)
+  mutable repl_snapshots_loaded : int;
+  mutable repl_reconnects : int;
+  mutable readonly_rejections : int;
+      (** writes a read-only replica redirected to the primary *)
 }
 
 (** Immutable copy for rendering/reporting. *)
@@ -87,6 +104,20 @@ type snapshot = {
   batch_size_hist : int array;
   wal_flushes : int;  (** WAL flushes attributed to batches *)
   wal_fsyncs : int;  (** WAL fsyncs attributed to batches *)
+  replicas_active : int;
+  replicas_total : int;
+  repl_batches_shipped : int;
+  repl_records_shipped : int;
+  repl_last_shipped_lsn : int;
+  repl_acked_lsn : int;
+  repl_upstream_connected : bool;
+  repl_applied_lsn : int;
+  repl_seen_lsn : int;
+  repl_lag_lsn : int;
+  repl_lag_ms : float;
+  repl_snapshots_loaded : int;
+  repl_reconnects : int;
+  readonly_rejections : int;
 }
 
 let create () =
@@ -114,6 +145,20 @@ let create () =
     batch_size_hist = Array.make batch_buckets 0;
     wal_flushes = 0;
     wal_fsyncs = 0;
+    replicas_active = 0;
+    replicas_total = 0;
+    repl_batches_shipped = 0;
+    repl_records_shipped = 0;
+    repl_last_shipped_lsn = 0;
+    repl_acked_lsn = 0;
+    repl_upstream_connected = false;
+    repl_applied_lsn = 0;
+    repl_seen_lsn = 0;
+    repl_lag_lsn = 0;
+    repl_lag_ms = 0.;
+    repl_snapshots_loaded = 0;
+    repl_reconnects = 0;
+    readonly_rejections = 0;
   }
 
 let locked t f =
@@ -172,6 +217,48 @@ let on_batch t ~size ~flushes ~fsyncs =
       t.wal_flushes <- t.wal_flushes + flushes;
       t.wal_fsyncs <- t.wal_fsyncs + fsyncs)
 
+(* -- replication -- *)
+
+let on_replica_connect t =
+  locked t (fun () ->
+      t.replicas_total <- t.replicas_total + 1;
+      t.replicas_active <- t.replicas_active + 1)
+
+let on_replica_disconnect t =
+  locked t (fun () -> t.replicas_active <- max 0 (t.replicas_active - 1))
+
+(** Primary: mirror the hub's shipping gauges after a flush. *)
+let set_repl_shipping t ~batches ~records ~last_lsn ~acked_lsn =
+  locked t (fun () ->
+      t.repl_batches_shipped <- batches;
+      t.repl_records_shipped <- records;
+      t.repl_last_shipped_lsn <- last_lsn;
+      t.repl_acked_lsn <- acked_lsn)
+
+let set_repl_upstream t connected =
+  locked t (fun () -> t.repl_upstream_connected <- connected)
+
+(** Replica: one batch applied at [lsn], currently [lag_lsn] batches and
+    [lag_ms] milliseconds behind the primary's send time. *)
+let on_repl_apply t ~lsn ~seen ~lag_lsn ~lag_ms =
+  locked t (fun () ->
+      t.repl_applied_lsn <- lsn;
+      t.repl_seen_lsn <- max t.repl_seen_lsn seen;
+      t.repl_lag_lsn <- lag_lsn;
+      t.repl_lag_ms <- lag_ms)
+
+let on_repl_snapshot t ~lsn =
+  locked t (fun () ->
+      t.repl_snapshots_loaded <- t.repl_snapshots_loaded + 1;
+      t.repl_applied_lsn <- lsn;
+      t.repl_seen_lsn <- max t.repl_seen_lsn lsn)
+
+let on_repl_reconnect t =
+  locked t (fun () -> t.repl_reconnects <- t.repl_reconnects + 1)
+
+let on_readonly_rejected t =
+  locked t (fun () -> t.readonly_rejections <- t.readonly_rejections + 1)
+
 (* percentile from the log histogram: upper bound of the bucket where the
    cumulative count crosses p; the overflow bucket reports [max_s] *)
 let hist_percentile hist ~total ~max_s p =
@@ -227,6 +314,20 @@ let snapshot t : snapshot =
         batch_size_hist = Array.copy t.batch_size_hist;
         wal_flushes = t.wal_flushes;
         wal_fsyncs = t.wal_fsyncs;
+        replicas_active = t.replicas_active;
+        replicas_total = t.replicas_total;
+        repl_batches_shipped = t.repl_batches_shipped;
+        repl_records_shipped = t.repl_records_shipped;
+        repl_last_shipped_lsn = t.repl_last_shipped_lsn;
+        repl_acked_lsn = t.repl_acked_lsn;
+        repl_upstream_connected = t.repl_upstream_connected;
+        repl_applied_lsn = t.repl_applied_lsn;
+        repl_seen_lsn = t.repl_seen_lsn;
+        repl_lag_lsn = t.repl_lag_lsn;
+        repl_lag_ms = t.repl_lag_ms;
+        repl_snapshots_loaded = t.repl_snapshots_loaded;
+        repl_reconnects = t.repl_reconnects;
+        readonly_rejections = t.readonly_rejections;
       })
 
 (* "≤bound:count" pairs for the non-empty buckets, e.g. "le8:3,le16:12" *)
@@ -281,4 +382,18 @@ let render t =
         (hist_to_string ~bounds:batch_bound_labels s.batch_size_hist);
       Printf.sprintf "wal_flushes=%d" s.wal_flushes;
       Printf.sprintf "wal_fsyncs=%d" s.wal_fsyncs;
+      Printf.sprintf "replicas_active=%d" s.replicas_active;
+      Printf.sprintf "replicas_total=%d" s.replicas_total;
+      Printf.sprintf "repl_batches_shipped=%d" s.repl_batches_shipped;
+      Printf.sprintf "repl_records_shipped=%d" s.repl_records_shipped;
+      Printf.sprintf "repl_last_shipped_lsn=%d" s.repl_last_shipped_lsn;
+      Printf.sprintf "repl_acked_lsn=%d" s.repl_acked_lsn;
+      Printf.sprintf "repl_upstream_connected=%b" s.repl_upstream_connected;
+      Printf.sprintf "repl_applied_lsn=%d" s.repl_applied_lsn;
+      Printf.sprintf "repl_seen_lsn=%d" s.repl_seen_lsn;
+      Printf.sprintf "repl_lag_lsn=%d" s.repl_lag_lsn;
+      Printf.sprintf "repl_lag_ms=%.3f" s.repl_lag_ms;
+      Printf.sprintf "repl_snapshots_loaded=%d" s.repl_snapshots_loaded;
+      Printf.sprintf "repl_reconnects=%d" s.repl_reconnects;
+      Printf.sprintf "readonly_rejections=%d" s.readonly_rejections;
     ]

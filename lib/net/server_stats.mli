@@ -34,6 +34,21 @@ type snapshot = {
       (** buckets ≤1/2/4/8/16/32/64/128 requests + overflow *)
   wal_flushes : int;  (** WAL flushes attributed to drained batches *)
   wal_fsyncs : int;  (** WAL fsyncs attributed to drained batches *)
+  replicas_active : int;  (** replica sinks currently connected (primary) *)
+  replicas_total : int;
+  repl_batches_shipped : int;
+  repl_records_shipped : int;
+  repl_last_shipped_lsn : int;
+  repl_acked_lsn : int;  (** min acked LSN across live replicas *)
+  repl_upstream_connected : bool;  (** replica: upstream link is up *)
+  repl_applied_lsn : int;  (** replica: last batch applied *)
+  repl_seen_lsn : int;  (** replica: highest primary LSN observed *)
+  repl_lag_lsn : int;  (** replica: last observed apply lag in batches *)
+  repl_lag_ms : float;  (** replica: last observed commit-to-apply ms *)
+  repl_snapshots_loaded : int;
+  repl_reconnects : int;
+  readonly_rejections : int;
+      (** writes this read-only replica redirected to the primary *)
 }
 
 val create : unit -> t
@@ -56,6 +71,24 @@ val on_batch : t -> size:int -> flushes:int -> fsyncs:int -> unit
 (** One drained write batch of [size] requests; [flushes]/[fsyncs] are the
     WAL io deltas the batch caused (one flush + at most one fsync when the
     pipeline amortises correctly). *)
+
+val on_replica_connect : t -> unit
+val on_replica_disconnect : t -> unit
+
+val set_repl_shipping :
+  t -> batches:int -> records:int -> last_lsn:int -> acked_lsn:int -> unit
+(** Primary: mirror the hub's shipping gauges after a flush. *)
+
+val set_repl_upstream : t -> bool -> unit
+
+val on_repl_apply :
+  t -> lsn:int -> seen:int -> lag_lsn:int -> lag_ms:float -> unit
+(** Replica: one batch applied at [lsn], [lag_lsn] batches / [lag_ms]
+    milliseconds behind the primary. *)
+
+val on_repl_snapshot : t -> lsn:int -> unit
+val on_repl_reconnect : t -> unit
+val on_readonly_rejected : t -> unit
 
 val snapshot : t -> snapshot
 

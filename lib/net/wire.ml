@@ -19,7 +19,15 @@
 
     The protocol is versioned by the handshake: the first frame must be
     [HELLO] carrying {!protocol_version}; anything else — or a version the
-    server does not speak — is rejected and the connection closed. *)
+    server does not speak — is rejected and the connection closed.
+
+    {b Replication} reuses the same framing: a replica opens its upstream
+    connection with [RHELLO] instead of [HELLO], after which the link
+    becomes a one-way stream of [SNAP] (snapshot bootstrap chunks) and
+    [WREC] (committed WAL batches) frames from the primary, answered only
+    by [RACK] acknowledgements.  Snapshot and batch payloads are chunked
+    ({!repl_chunk_bytes}) so a large database or transaction never exceeds
+    the frame limit. *)
 
 open Relational
 
@@ -47,6 +55,13 @@ type request =
           "tables", "report" *)
   | Ping of { id : int; payload : string }
   | Bye  (** graceful goodbye; the server closes the connection *)
+  | Replica_hello of { version : int; replica_id : string; last_lsn : int }
+      (** Alternative first frame: this connection is a replica's upstream
+          link.  [last_lsn] is the last batch the replica has applied (0
+          for a fresh replica); the primary answers with a snapshot or a
+          WAL suffix, then live [WREC] frames. *)
+  | Repl_ack of { lsn : int }
+      (** Replica has durably applied every batch up to [lsn]. *)
 
 (** Flattened coordinator outcome / statement result. *)
 type result_body =
@@ -68,6 +83,47 @@ type response =
   | Push of Core.Events.notification
       (** unsolicited: an entangled query owned by this connection's user
           was answered *)
+  | Snapshot_chunk of { lsn : int; seq : int; last : bool; data : string }
+      (** One chunk of a checkpoint snapshot at [lsn] (see
+          {!Relational.Checkpoint}); chunks arrive in [seq] order and the
+          replica assembles them until [last]. *)
+  | Wal_recs of { lsn : int; sent_at_us : int; last : bool; records : string }
+      (** One chunk of committed batch [lsn]: newline-joined WAL records in
+          the {!Relational.Wal} line codec, ending with the commit marker
+          on the final ([last]) chunk.  [sent_at_us] is the primary's send
+          timestamp (µs since the epoch) for lag measurement. *)
+
+(* ---------------- replication constants ---------------- *)
+
+(** Chunk budget for snapshot/batch payloads — comfortably under
+    {!default_max_frame} even after percent-escaping (worst case 3×). *)
+let repl_chunk_bytes = 256 * 1024
+
+(** Error message a read-only replica answers writes with; machine-parsable
+    so clients can fail over to the primary it names. *)
+let readonly_redirect_prefix = "read-only replica; writes go to primary "
+
+let readonly_redirect ~host ~port =
+  Printf.sprintf "%s%s:%d" readonly_redirect_prefix host port
+
+(** [parse_readonly_redirect msg] — [Some (host, port)] when [msg] is a
+    read-only redirect naming the primary. *)
+let parse_readonly_redirect msg =
+  let plen = String.length readonly_redirect_prefix in
+  if
+    String.length msg > plen
+    && String.sub msg 0 plen = readonly_redirect_prefix
+  then
+    let rest = String.sub msg plen (String.length msg - plen) in
+    match String.rindex_opt rest ':' with
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" -> Some (host, p)
+      | _ -> None)
+    | None -> None
+  else None
 
 (* ---------------- field helpers ---------------- *)
 
@@ -152,6 +208,9 @@ let encode_request = function
   | Admin { id; what } -> Printf.sprintf "ADMIN|%d|%s" id (esc what)
   | Ping { id; payload } -> Printf.sprintf "PING|%d|%s" id (esc payload)
   | Bye -> "BYE"
+  | Replica_hello { version; replica_id; last_lsn } ->
+    Printf.sprintf "RHELLO|%d|%s|%d" version (esc replica_id) last_lsn
+  | Repl_ack { lsn } -> Printf.sprintf "RACK|%d" lsn
 
 let decode_request s =
   match String.split_on_char '|' s with
@@ -166,6 +225,14 @@ let decode_request s =
   | [ "PING"; id; payload ] ->
     Ping { id = int_field "request id" id; payload = unesc payload }
   | [ "BYE" ] -> Bye
+  | [ "RHELLO"; v; rid; lsn ] ->
+    Replica_hello
+      {
+        version = int_field "version" v;
+        replica_id = unesc rid;
+        last_lsn = int_field "lsn" lsn;
+      }
+  | [ "RACK"; lsn ] -> Repl_ack { lsn = int_field "lsn" lsn }
   | _ -> fail "bad request: %s" s
 
 let encode_response = function
@@ -176,6 +243,11 @@ let encode_response = function
   | Pong { id; payload } -> Printf.sprintf "PONG|%d|%s" id (esc payload)
   | Stats { id; body } -> Printf.sprintf "STATS|%d|%s" id (esc body)
   | Push n -> "PUSH|" ^ esc (encode_notification n)
+  | Snapshot_chunk { lsn; seq; last; data } ->
+    Printf.sprintf "SNAP|%d|%d|%d|%s" lsn seq (Bool.to_int last) (esc data)
+  | Wal_recs { lsn; sent_at_us; last; records } ->
+    Printf.sprintf "WREC|%d|%d|%d|%s" lsn sent_at_us (Bool.to_int last)
+      (esc records)
 
 let decode_response s =
   match String.split_on_char '|' s with
@@ -190,6 +262,22 @@ let decode_response s =
   | [ "STATS"; id; body ] ->
     Stats { id = int_field "request id" id; body = unesc body }
   | [ "PUSH"; n ] -> Push (decode_notification (unesc n))
+  | [ "SNAP"; lsn; seq; last; data ] ->
+    Snapshot_chunk
+      {
+        lsn = int_field "lsn" lsn;
+        seq = int_field "seq" seq;
+        last = int_field "last" last <> 0;
+        data = unesc data;
+      }
+  | [ "WREC"; lsn; sent_at; last; records ] ->
+    Wal_recs
+      {
+        lsn = int_field "lsn" lsn;
+        sent_at_us = int_field "sent_at" sent_at;
+        last = int_field "last" last <> 0;
+        records = unesc records;
+      }
   | _ -> fail "bad response: %s" s
 
 (* ---------------- framing ---------------- *)

@@ -26,6 +26,11 @@ type request =
       (** "server", "stats", "pending", "answers", "tables", "report" *)
   | Ping of { id : int; payload : string }
   | Bye
+  | Replica_hello of { version : int; replica_id : string; last_lsn : int }
+      (** alternative first frame: this connection is a replica's upstream
+          link; [last_lsn] = last batch already applied (0 when fresh) *)
+  | Repl_ack of { lsn : int }
+      (** replica has applied every batch up to [lsn] *)
 
 type result_body =
   | Sql_result of string
@@ -43,6 +48,29 @@ type response =
   | Stats of { id : int; body : string }
   | Push of Core.Events.notification
       (** unsolicited coordination answer for this connection's user *)
+  | Snapshot_chunk of { lsn : int; seq : int; last : bool; data : string }
+      (** one chunk of a checkpoint snapshot at [lsn], assembled in [seq]
+          order until [last] *)
+  | Wal_recs of { lsn : int; sent_at_us : int; last : bool; records : string }
+      (** one chunk of committed batch [lsn]: newline-joined WAL records,
+          commit marker on the final chunk; [sent_at_us] = primary's send
+          time for lag measurement *)
+
+(** {1 Replication constants} *)
+
+val repl_chunk_bytes : int
+(** Chunk budget for snapshot/batch payloads — stays under
+    {!default_max_frame} even after escaping. *)
+
+val readonly_redirect_prefix : string
+
+val readonly_redirect : host:string -> port:int -> string
+(** Error message a read-only replica answers writes with; parsable by
+    {!parse_readonly_redirect}. *)
+
+val parse_readonly_redirect : string -> (string * int) option
+(** [Some (host, port)] when the message is a read-only redirect naming
+    the primary. *)
 
 (** {1 Codecs} *)
 

@@ -59,6 +59,17 @@ let drop_table t name =
   if not (mem t name) then Errors.fail (Errors.No_such_table name);
   Hashtbl.remove t.tables (key name)
 
+(** [adopt dst src] replaces [dst]'s contents (tables and views) with
+    [src]'s, in place.  A replica bootstrapping from a streamed snapshot
+    uses this so every live reference to its catalog — sessions, the
+    coordinator, the server's engine — observes the new state without
+    rewiring. *)
+let adopt dst src =
+  Hashtbl.reset dst.tables;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.tables k v) src.tables;
+  Hashtbl.reset dst.views;
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst.views k v) src.views
+
 let table_names t =
   Hashtbl.fold (fun _ table acc -> Table.name table :: acc) t.tables []
   |> List.sort String.compare

@@ -20,6 +20,11 @@ val add_table : t -> Table.t -> unit
 
 val drop_table : t -> string -> unit
 
+val adopt : t -> t -> unit
+(** [adopt dst src] replaces [dst]'s tables and views with [src]'s, in
+    place, so live references to [dst] observe the new state — used by a
+    replica bootstrapping from a streamed snapshot. *)
+
 (** {1 Views}
 
     Views are stored as their defining SELECT text; the SQL layer parses

@@ -1,0 +1,203 @@
+(** Atomic point-in-time snapshots of a catalog.
+
+    A checkpoint captures every table (schema, version, rows) and view of
+    a database at a recorded WAL position, so recovery can load the
+    snapshot and replay only the WAL suffix past it instead of the entire
+    history.  The format reuses the WAL's line/escape codec:
+
+    {v
+      YCHK|1|<lsn>            header: magic, format version, WAL LSN
+      T|<version>|<schema>    table (schema as in the WAL's S records)
+      R|<table>|<tuple>       one line per row of the preceding tables
+      V|<name>|<select sql>   view definition
+      E|<tables>|<rows>       footer: counts double as a validity seal
+    v}
+
+    A snapshot file is only ever produced by write-to-temp + rename, and
+    is only considered valid when the header parses, every line decodes,
+    and the footer's counts match — truncation or corruption anywhere
+    makes {!load} raise and {!load_latest} fall back to an older snapshot
+    (or to full WAL replay).  Files are named [<wal>.ckpt-<lsn>] next to
+    the log they belong to. *)
+
+let magic = "YCHK"
+let format_version = 1
+
+(* ---------------- encoding ---------------- *)
+
+(** [to_lines ~lsn cat] serialises the catalog in deterministic (sorted)
+    table order.  The caller must exclude concurrent writers for the
+    snapshot to be a consistent cut. *)
+let to_lines ~lsn cat =
+  let out = ref [] in
+  let add l = out := l :: !out in
+  add (Printf.sprintf "%s|%d|%d" magic format_version lsn);
+  let n_tables = ref 0 and n_rows = ref 0 in
+  List.iter
+    (fun name ->
+      let table = Catalog.find cat name in
+      incr n_tables;
+      add
+        (Printf.sprintf "T|%d|%s" (Table.version table)
+           (Wal.encode_schema (Table.schema table)));
+      Table.iter
+        (fun _ row ->
+          incr n_rows;
+          add
+            (Printf.sprintf "R|%s|%s" (Wal.escape name) (Wal.encode_tuple row)))
+        table)
+    (Catalog.table_names cat);
+  List.iter
+    (fun v ->
+      match Catalog.find_view cat v with
+      | Some sql ->
+        add (Printf.sprintf "V|%s|%s" (Wal.escape v) (Wal.escape sql))
+      | None -> ())
+    (Catalog.view_names cat);
+  add (Printf.sprintf "E|%d|%d" !n_tables !n_rows);
+  List.rev !out
+
+(* ---------------- decoding ---------------- *)
+
+let invalid fmt = Printf.ksprintf (fun m -> Errors.fail (Errors.Wal_error m)) fmt
+
+(** [of_lines lines] rebuilds [(lsn, catalog)]; raises [Wal_error] on any
+    framing, codec, count, or ordering problem — an invalid snapshot must
+    never load partially. *)
+let of_lines lines =
+  let lsn, body =
+    match lines with
+    | header :: body -> (
+      match String.split_on_char '|' header with
+      | [ m; v; lsn ] when m = magic && v = string_of_int format_version -> (
+        match int_of_string_opt lsn with
+        | Some lsn when lsn >= 0 -> (lsn, body)
+        | _ -> invalid "checkpoint: bad header lsn %s" lsn)
+      | _ -> invalid "checkpoint: bad header %s" header)
+    | [] -> invalid "checkpoint: empty file"
+  in
+  let cat = Catalog.create () in
+  let n_tables = ref 0 and n_rows = ref 0 in
+  let versions = ref [] in
+  let sealed = ref false in
+  List.iter
+    (fun line ->
+      if !sealed then invalid "checkpoint: data after footer";
+      match String.split_on_char '|' line with
+      | [ "T"; version; schema ] ->
+        let schema = Wal.decode_schema schema in
+        let table = Catalog.create_table cat schema in
+        (match int_of_string_opt version with
+        | Some v when v >= 0 -> versions := (table, v) :: !versions
+        | _ -> invalid "checkpoint: bad table version %s" version);
+        incr n_tables
+      | [ "R"; name; tuple ] ->
+        let table = Catalog.find cat (Wal.unescape name) in
+        ignore (Table.insert table (Wal.decode_tuple tuple));
+        incr n_rows
+      | [ "V"; name; sql ] ->
+        Catalog.create_view cat (Wal.unescape name) (Wal.unescape sql)
+      | [ "E"; tables; rows ] ->
+        if
+          int_of_string_opt tables <> Some !n_tables
+          || int_of_string_opt rows <> Some !n_rows
+        then invalid "checkpoint: footer counts do not match contents";
+        sealed := true
+      | _ -> invalid "checkpoint: unparsable line %s" line)
+    body;
+  if not !sealed then invalid "checkpoint: missing footer (truncated?)";
+  (* only now: every R-line insert bumped its table's version, and the
+     recorded value is the table's true mutation count at the checkpoint
+     (always >= the live-row count), so restoring after the inserts lands
+     exactly on it *)
+  List.iter (fun (t, v) -> Table.restore_version t v) !versions;
+  (lsn, cat)
+
+(* Decoding hands lines to the WAL/schema codecs, which report their own
+   error kinds; a torn file must surface uniformly as [Wal_error] so
+   callers (load_latest's fallback, the replica bootstrap) can rely on
+   one kind. *)
+let of_lines lines =
+  try of_lines lines with
+  | Errors.Db_error (Errors.Wal_error _) as e -> raise e
+  | Errors.Db_error k ->
+    invalid "checkpoint: corrupt content (%s)" (Errors.kind_to_string k)
+
+(* ---------------- files ---------------- *)
+
+let path_for ~wal_path ~lsn = Printf.sprintf "%s.ckpt-%d" wal_path lsn
+
+(** Existing snapshot files for this WAL, as [(lsn, path)] newest first. *)
+let list ~wal_path =
+  let dir = Filename.dirname wal_path in
+  let prefix = Filename.basename wal_path ^ ".ckpt-" in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun f ->
+         if String.length f > String.length prefix
+            && String.sub f 0 (String.length prefix) = prefix
+         then
+           let suffix =
+             String.sub f (String.length prefix)
+               (String.length f - String.length prefix)
+           in
+           match int_of_string_opt suffix with
+           | Some lsn -> Some (lsn, Filename.concat dir f)
+           | None -> None  (* .tmp leftovers and other noise *)
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+(** [write ~wal_path ~lsn cat] writes the snapshot atomically (temp file,
+    flush, fsync, rename) and returns its path. *)
+let write ~wal_path ~lsn cat =
+  let final = path_for ~wal_path ~lsn in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+  (match
+     List.iter
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n')
+       (to_lines ~lsn cat);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp final;
+  final
+
+(** [load path] reads one snapshot file; raises [Wal_error] when invalid. *)
+let load path =
+  let ic = open_in path in
+  let lines =
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> go [])
+  in
+  of_lines lines
+
+(** [load_latest ~wal_path] tries snapshots newest-first, skipping invalid
+    (torn, corrupt) ones; [None] when no valid snapshot exists. *)
+let load_latest ~wal_path =
+  let rec try_all = function
+    | [] -> None
+    | (_, path) :: older -> (
+      match load path with
+      | lsn, cat -> Some (lsn, cat, path)
+      | exception (Errors.Db_error _ | Sys_error _ | Failure _) ->
+        try_all older)
+  in
+  try_all (list ~wal_path)
+
+(** [prune ~wal_path ~keep] deletes all but the newest [keep] snapshots. *)
+let prune ~wal_path ~keep =
+  list ~wal_path
+  |> List.filteri (fun i _ -> i >= keep)
+  |> List.iter (fun (_, path) -> try Sys.remove path with Sys_error _ -> ())

@@ -5,10 +5,20 @@
     DDL operation is logged; {!recover} rebuilds an equivalent database from
     the log alone. *)
 
+type recovery_stats = {
+  snapshot_lsn : int option;
+      (** LSN of the checkpoint recovery started from, if any *)
+  replayed_batches : int;  (** WAL batches applied on top *)
+  replayed_records : int;  (** redo records inside those batches *)
+}
+
 type t = {
   catalog : Catalog.t;
   txns : Txn.manager;
   mutable wal : Wal.t option;
+  mutable recovery : recovery_stats option;
+      (** how the last {!recover} rebuilt this database; [None] for a
+          database born with {!create} *)
 }
 
 val create : unit -> t
@@ -23,6 +33,17 @@ val set_durability : t -> Wal.durability -> unit
 
 val wal_durability : t -> Wal.durability option
 val wal_io : t -> Wal.io_stats option
+
+val reset_io_stats : t -> unit
+(** Zero the WAL io counters (no-op without a WAL); {!recover} does this
+    so recovery replay doesn't pollute bench/admin deltas. *)
+
+val last_lsn : t -> int
+(** LSN of the last committed WAL batch; 0 without a WAL. *)
+
+val recovery_stats : t -> recovery_stats option
+(** How the last {!recover} rebuilt this database; [None] for a database
+    born with {!create}. *)
 
 val with_wal_batch : t -> (unit -> 'a) -> 'a
 (** Run inside {!Wal.with_batch} when a WAL is attached: every commit in
@@ -42,10 +63,21 @@ val fingerprint : t -> string list -> (int * int) list
     Equal fingerprints imply identical table contents — tables only change
     through version-bumping mutations. *)
 
+val checkpoint : ?truncate_wal:bool -> ?keep:int -> t -> int * string
+(** Atomically snapshot the catalog at the WAL's current LSN (see
+    {!Checkpoint}); returns [(lsn, snapshot_path)].  The caller must
+    exclude concurrent writers.  [truncate_wal] (default [false]) also
+    cuts the WAL prefix the snapshot covers — making the snapshot
+    load-bearing, since full replay of a truncated log is impossible.
+    Prunes old snapshots down to [keep] (default 2).  Raises [Wal_error]
+    without an attached WAL. *)
+
 val recover : ?durability:Wal.durability -> string -> t
 (** Rebuild a database from a WAL file (complete batches only), physically
     truncating any torn tail, and re-attach the log so new commits append
-    to it. *)
+    to it.  Loads the newest valid checkpoint first and replays only the
+    WAL suffix past its LSN; a torn/corrupt snapshot falls back to older
+    snapshots, then to full replay.  See {!recovery_stats}. *)
 
 val close : t -> unit
 

@@ -50,6 +50,12 @@ let row_count t = t.live
 let version t = t.version
 let uid t = t.uid
 
+(** [restore_version t v] fast-forwards the version counter to at least
+    [v] — used when a checkpoint load rebuilds a table whose recorded
+    version is ahead of the raw insert count, so post-load mutations keep
+    the monotone fingerprint contract.  Never moves backwards. *)
+let restore_version t v = if v > t.version then t.version <- v
+
 let get t row_id =
   if row_id < 0 || row_id >= t.high then None else t.slots.(row_id)
 

@@ -24,6 +24,11 @@ val uid : t -> int
     version)] pair never aliases across a drop-and-recreate of the same
     table name, which makes it a safe cache fingerprint component. *)
 
+val restore_version : t -> int -> unit
+(** Fast-forward the version counter to at least the given value (never
+    backwards) — checkpoint load uses this so a rebuilt table's version
+    stays ahead of everything the snapshot observed. *)
+
 val get : t -> int -> Tuple.t option
 val get_exn : t -> int -> Tuple.t
 

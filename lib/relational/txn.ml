@@ -17,14 +17,18 @@ type state = Active | Committed | Aborted
 type manager = {
   mutex : Mutex.t;
   mutable next_id : int;
-  mutable on_commit : (op list -> unit -> unit) option;
+  mutable on_commit : (op list -> int * (unit -> unit)) option;
       (** durability hook; receives the redo log in execution order and
-          returns a wait closure that {!commit} runs {i after} releasing
-          the manager mutex — group commit can only coalesce concurrent
-          transactions if the durability wait happens outside the lock *)
+          returns the batch's WAL LSN plus a wait closure that {!commit}
+          runs {i after} releasing the manager mutex — group commit can
+          only coalesce concurrent transactions if the durability wait
+          happens outside the lock *)
   mutable observers : (op list -> unit) list;
       (** commit observers (e.g. the coordinator's dirty-table tracker);
           run after [on_commit], in registration order *)
+  mutable lsn_observers : (lsn:int -> op list -> unit) list;
+      (** like [observers] but also told the commit's WAL LSN (0 when no
+          WAL is attached); run after the plain observers *)
 }
 
 type t = {
@@ -35,7 +39,13 @@ type t = {
 }
 
 let create_manager () =
-  { mutex = Mutex.create (); next_id = 1; on_commit = None; observers = [] }
+  {
+    mutex = Mutex.create ();
+    next_id = 1;
+    on_commit = None;
+    observers = [];
+    lsn_observers = [];
+  }
 
 let set_on_commit mgr hook = mgr.on_commit <- hook
 
@@ -43,6 +53,11 @@ let set_on_commit mgr hook = mgr.on_commit <- hook
     log (in execution order), after the durability hook.  Observers must not
     start transactions (the manager mutex is still held). *)
 let add_observer mgr f = mgr.observers <- mgr.observers @ [ f ]
+
+(** [add_lsn_observer mgr f] — like {!add_observer}, but [f] is also told
+    the WAL LSN the commit was assigned (0 without an attached WAL).  Runs
+    after the plain observers, same restrictions. *)
+let add_lsn_observer mgr f = mgr.lsn_observers <- mgr.lsn_observers @ [ f ]
 
 let begin_ mgr =
   Mutex.lock mgr.mutex;
@@ -127,12 +142,13 @@ let commit t =
     else begin
       let redo = List.rev t.undo in
       try
-        let wait =
+        let lsn, wait =
           match t.mgr.on_commit with
           | Some hook -> hook redo
-          | None -> fun () -> ()
+          | None -> (0, fun () -> ())
         in
         List.iter (fun f -> f redo) t.mgr.observers;
+        List.iter (fun f -> f ~lsn redo) t.mgr.lsn_observers;
         wait
       with e ->
         (* the durability hook failed: the lock must not leak *)

@@ -13,8 +13,16 @@
       D|<table>|<tuple>   delete (by full tuple)
       U|<table>|<old>|<new>
       C|<txn id>          commit marker
+      L|<lsn>             base marker: the log starts after this LSN
     v}
-    Field values are percent-escaped so [|] and newlines never appear raw. *)
+    Field values are percent-escaped so [|] and newlines never appear raw.
+
+    Every commit-terminated batch carries a monotone {e log sequence
+    number} (LSN): batch [n] of the database's history has LSN [n],
+    counted from 1.  A log whose pre-checkpoint prefix was truncated
+    starts with an [L|<lsn>] base marker recording how many batches were
+    cut; replay of such a log is only possible on top of a checkpoint at
+    or past that LSN. *)
 
 type record =
   | Create_table of Schema.t
@@ -23,6 +31,7 @@ type record =
   | Delete of string * Tuple.t
   | Update of string * Tuple.t * Tuple.t
   | Commit of int
+  | Lsn_base of int
 
 (* ---------------- escaping ---------------- *)
 
@@ -70,6 +79,14 @@ let unescape s =
 
 (* ---------------- value / tuple / schema codecs ---------------- *)
 
+(* Decoders run on torn log tails and on wire payloads from peers, so a
+   malformed field must surface as [Wal_error] — never as the stdlib's
+   [Failure]/[Invalid_argument] from int/float/bool_of_string. *)
+let codec_guard what f s =
+  try f s with
+  | Failure _ | Invalid_argument _ ->
+    Errors.fail (Errors.Wal_error (Printf.sprintf "unparsable %s: %s" what s))
+
 let encode_value = function
   | Value.Null -> "n"
   | Value.Int i -> "i" ^ string_of_int i
@@ -77,7 +94,7 @@ let encode_value = function
   | Value.Bool b -> "b" ^ string_of_bool b
   | Value.Str s -> "s" ^ escape s
 
-let decode_value s =
+let decode_value_exn s =
   if s = "" then Errors.fail (Errors.Wal_error "empty value field");
   let body = String.sub s 1 (String.length s - 1) in
   match s.[0] with
@@ -87,6 +104,8 @@ let decode_value s =
   | 'b' -> Value.Bool (bool_of_string body)
   | 's' -> Value.Str (unescape body)
   | c -> Errors.fail (Errors.Wal_error (Printf.sprintf "bad value tag %c" c))
+
+let decode_value s = codec_guard "value" decode_value_exn s
 
 let encode_tuple (t : Tuple.t) =
   String.concat "," (List.map encode_value (Tuple.to_list t))
@@ -105,7 +124,7 @@ let encode_schema (s : Schema.t) =
     (String.concat "," (List.map string_of_int s.Schema.primary_key))
     (String.concat ";" (List.map col (Array.to_list s.Schema.columns)))
 
-let decode_schema s =
+let decode_schema_exn s =
   match String.split_on_char ';' s with
   | name :: pk :: cols ->
     let primary_key =
@@ -126,6 +145,8 @@ let decode_schema s =
     Schema.make ~primary_key (unescape name) (List.map column cols)
   | _ -> Errors.fail (Errors.Wal_error ("bad schema record " ^ s))
 
+let decode_schema s = codec_guard "schema" decode_schema_exn s
+
 (* ---------------- record codec ---------------- *)
 
 let encode_record = function
@@ -136,8 +157,9 @@ let encode_record = function
   | Update (t, o, n) ->
     Printf.sprintf "U|%s|%s|%s" (escape t) (encode_tuple o) (encode_tuple n)
   | Commit id -> "C|" ^ string_of_int id
+  | Lsn_base lsn -> "L|" ^ string_of_int lsn
 
-let decode_record line =
+let decode_record_exn line =
   match String.split_on_char '|' line with
   | [ "S"; s ] -> Create_table (decode_schema s)
   | [ "X"; n ] -> Drop_table (unescape n)
@@ -145,7 +167,10 @@ let decode_record line =
   | [ "D"; t; row ] -> Delete (unescape t, decode_tuple row)
   | [ "U"; t; o; n ] -> Update (unescape t, decode_tuple o, decode_tuple n)
   | [ "C"; id ] -> Commit (int_of_string id)
+  | [ "L"; lsn ] -> Lsn_base (int_of_string lsn)
   | _ -> Errors.fail (Errors.Wal_error ("unparsable record: " ^ line))
+
+let decode_record line = codec_guard "record" decode_record_exn line
 
 (* ---------------- durability ---------------- *)
 
@@ -231,6 +256,16 @@ type t = {
   (* deferred-sync batch scope, see [with_batch] *)
   mutable deferring : bool;
   mutable deferred_dirty : bool;
+  (* log sequence numbers (under [mu]) *)
+  mutable base_lsn : int;  (** batches truncated away before this log's start *)
+  mutable last_lsn : int;  (** LSN of the last commit-terminated batch *)
+  mutable on_append : (lsn:int -> record list -> unit) option;
+      (** shipping hook: called under [mu] with each complete batch
+          (records + commit marker) as it reaches the log, in strict LSN
+          order.  Must not call back into the log. *)
+  mutable pending_ship : record list;
+      (** records appended since the last commit marker, newest first;
+          they join the next batch handed to [on_append] *)
 }
 
 let channel t =
@@ -335,7 +370,34 @@ let stop_flusher t =
   in
   match joinee with None -> () | Some th -> Thread.join th
 
+(* Scan an existing log for its LSN position without building a catalog:
+   base from a leading [Lsn_base] line (written by prefix truncation), plus
+   one LSN per decodable commit marker.  A torn tail is cut from the end of
+   a single buffered batch write, so its commit marker (the last line) is
+   never complete — torn tails cannot inflate the count. *)
+let scan_lsns path =
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let ic = open_in path in
+    let base = ref 0 and commits = ref 0 and first = ref true in
+    (try
+       while true do
+         let line = input_line ic in
+         if line <> "" then begin
+           (match decode_record line with
+           | Lsn_base n -> if !first then base := n
+           | Commit _ -> incr commits
+           | _ -> ()
+           | exception _ -> ());
+           first := false
+         end
+       done
+     with End_of_file -> close_in ic);
+    (!base, !base + !commits)
+  end
+
 let open_log ?(durability = Flush_per_commit) path =
+  let base_lsn, last_lsn = scan_lsns path in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let t =
     {
@@ -359,6 +421,10 @@ let open_log ?(durability = Flush_per_commit) path =
       flusher_error = None;
       deferring = false;
       deferred_dirty = false;
+      base_lsn;
+      last_lsn;
+      on_append = None;
+      pending_ship = [];
     }
   in
   Mutex.lock t.mu;
@@ -401,6 +467,58 @@ let io_stats t =
   Mutex.unlock t.mu;
   s
 
+(** [reset_io_stats t] zeroes the io counters.  Recovery replay and
+    re-creation of answer relations go through the same log, so a freshly
+    recovered database would otherwise start life with their flushes
+    already on the meter — bench and admin deltas must start from zero. *)
+let reset_io_stats t =
+  Mutex.lock t.mu;
+  t.commits_logged <- 0;
+  t.flushes <- 0;
+  t.fsyncs <- 0;
+  t.group_batches <- 0;
+  t.group_commits <- 0;
+  t.batched_scopes <- 0;
+  t.batched_commits <- 0;
+  Mutex.unlock t.mu
+
+let path t = t.path
+
+let last_lsn t =
+  Mutex.lock t.mu;
+  let n = t.last_lsn in
+  Mutex.unlock t.mu;
+  n
+
+let base_lsn t =
+  Mutex.lock t.mu;
+  let n = t.base_lsn in
+  Mutex.unlock t.mu;
+  n
+
+let set_on_append t hook =
+  Mutex.lock t.mu;
+  t.on_append <- hook;
+  Mutex.unlock t.mu
+
+(* [mu] held.  Slice newly written records into commit-terminated batches,
+   assign each the next LSN, and hand complete batches to the shipping
+   hook; records not yet commit-terminated wait in [pending_ship]. *)
+let note_appended t records =
+  List.iter
+    (fun r ->
+      match r with
+      | Commit _ ->
+        t.last_lsn <- t.last_lsn + 1;
+        let batch = List.rev (r :: t.pending_ship) in
+        t.pending_ship <- [];
+        (match t.on_append with
+        | Some hook -> hook ~lsn:t.last_lsn batch
+        | None -> ())
+      | Lsn_base _ -> ()
+      | r -> t.pending_ship <- r :: t.pending_ship)
+    records
+
 let write_records t records =
   (* [mu] held by caller *)
   let oc = channel t in
@@ -414,6 +532,7 @@ let append t records =
   Mutex.lock t.mu;
   (match
      write_records t records;
+     note_appended t records;
      if t.deferring then t.deferred_dirty <- true else do_flush t
    with
   | () -> Mutex.unlock t.mu
@@ -452,46 +571,49 @@ let wait_flushed t gen =
   match err with Some e -> raise e | None -> ()
 
 (** [durable_append_commit t ~txn_id records] appends one committed batch
-    (records + commit marker) and returns a wait closure that blocks until
-    the batch is as durable as the current mode promises.  The closure must
-    be called {i after} releasing any lock held across the append — that is
-    what lets concurrent commits coalesce into one group flush. *)
+    (records + commit marker), assigns it the next LSN, and returns that
+    LSN with a wait closure that blocks until the batch is as durable as
+    the current mode promises.  The closure must be called {i after}
+    releasing any lock held across the append — that is what lets
+    concurrent commits coalesce into one group flush. *)
 let durable_append_commit t ~txn_id records =
   Mutex.lock t.mu;
   raise_sticky t;
   match
     write_records t records;
     write_records t [ Commit txn_id ];
+    note_appended t (records @ [ Commit txn_id ]);
+    let lsn = t.last_lsn in
     t.commits_logged <- t.commits_logged + 1;
     if t.deferring then begin
       (* inside a batch scope: the scope end performs the single
          mode-appropriate sync for every commit deferred here *)
       t.deferred_dirty <- true;
       t.batched_commits <- t.batched_commits + 1;
-      `Done
+      `Done lsn
     end
     else begin
       match t.durability with
-      | Never -> `Done
+      | Never -> `Done lsn
       | Flush_per_commit ->
         do_flush t;
-        `Done
+        `Done lsn
       | Fsync_per_commit ->
         do_flush t;
         do_fsync t;
-        `Done
+        `Done lsn
       | Group _ ->
         t.enqueued_gen <- t.enqueued_gen + 1;
         Condition.signal t.work_cond;
-        `Wait t.enqueued_gen
+        `Wait (lsn, t.enqueued_gen)
     end
   with
-  | `Done ->
+  | `Done lsn ->
     Mutex.unlock t.mu;
-    fun () -> ()
-  | `Wait gen ->
+    (lsn, fun () -> ())
+  | `Wait (lsn, gen) ->
     Mutex.unlock t.mu;
-    fun () -> wait_flushed t gen
+    (lsn, fun () -> wait_flushed t gen)
   | exception e ->
     Mutex.unlock t.mu;
     raise e
@@ -499,7 +621,7 @@ let durable_append_commit t ~txn_id records =
 (** Append one committed batch and block until it is durable (legacy
     blocking form of {!durable_append_commit}). *)
 let append_commit t ~txn_id records =
-  (durable_append_commit t ~txn_id records) ()
+  (snd (durable_append_commit t ~txn_id records)) ()
 
 (** [with_batch t f] defers every flush/fsync inside [f] and performs one
     mode-appropriate sync at scope end (even if [f] raises): commits made
@@ -641,7 +763,10 @@ let truncate_torn_tail path =
       in
       let had_nl = line () in
       (match decode_record (Buffer.contents buf) with
-      | Commit _ ->
+      | Commit _ | Lsn_base _ ->
+        (* a base marker is batch-like for truncation: a freshly
+           prefix-truncated log is a lone [L|<lsn>] line, and chopping it
+           off would silently reset the log's LSN origin *)
         keep := !pos;
         keep_missing_nl := not had_nl
       | _ -> ()
@@ -665,52 +790,173 @@ let truncate_torn_tail path =
     truncated
   end
 
-(** [replay path] rebuilds a catalog from the log, applying only complete
-    (commit-terminated) batches. *)
-let replay path =
-  let cat = Catalog.create () in
-  let apply = function
-    | Create_table s -> ignore (Catalog.create_table cat s)
-    | Drop_table n -> Catalog.drop_table cat n
-    | Insert (t, row) -> ignore (Table.insert (Catalog.find cat t) row)
-    | Delete (t, row) ->
-      let table = Catalog.find cat t in
-      let victim =
-        Table.fold
-          (fun acc row_id r -> if Tuple.equal r row && acc = None then Some row_id else acc)
-          None table
-      in
-      (match victim with
-      | Some row_id -> ignore (Table.delete table row_id)
-      | None ->
-        Errors.fail
-          (Errors.Wal_error
-             (Printf.sprintf "replay: delete of absent row in %s" t)))
-    | Update (t, old_row, new_row) ->
-      let table = Catalog.find cat t in
-      let victim =
-        Table.fold
-          (fun acc row_id r ->
-            if Tuple.equal r old_row && acc = None then Some row_id else acc)
-          None table
-      in
-      (match victim with
-      | Some row_id -> ignore (Table.update table row_id new_row)
-      | None ->
-        Errors.fail
-          (Errors.Wal_error
-             (Printf.sprintf "replay: update of absent row in %s" t)))
-    | Commit _ -> ()
+(* Locate the row a redo Update/Delete names.  With a primary key the
+   victim is one index probe; a full scan (for keyless tables, or if the
+   probe surfaces a row that does not match the logged image) would make
+   replay quadratic in table size — and a replica re-applies every
+   shipped update through this path, so the probe also keeps a read
+   replica from stalling its readers behind O(n) applies. *)
+let find_victim table row =
+  let pk = (Table.schema table).Schema.primary_key in
+  let by_scan () =
+    Table.fold
+      (fun acc row_id r -> if acc = None && Tuple.equal r row then Some row_id else acc)
+      None table
   in
-  let rec batches pending = function
+  if pk = [] then by_scan ()
+  else
+    match Table.lookup_pk table (Array.of_list (List.map (Array.get row) pk)) with
+    | Some row_id when Tuple.equal (Table.get_exn table row_id) row -> Some row_id
+    | Some _ | None -> by_scan ()
+
+(** [apply_record cat r] applies one redo record to a live catalog.  Used
+    by recovery replay and by a replica applying shipped batches. *)
+let apply_record cat = function
+  | Create_table s -> ignore (Catalog.create_table cat s)
+  | Drop_table n -> Catalog.drop_table cat n
+  | Insert (t, row) -> ignore (Table.insert (Catalog.find cat t) row)
+  | Delete (t, row) ->
+    let table = Catalog.find cat t in
+    (match find_victim table row with
+    | Some row_id -> ignore (Table.delete table row_id)
+    | None ->
+      Errors.fail
+        (Errors.Wal_error
+           (Printf.sprintf "replay: delete of absent row in %s" t)))
+  | Update (t, old_row, new_row) ->
+    let table = Catalog.find cat t in
+    (match find_victim table old_row with
+    | Some row_id -> ignore (Table.update table row_id new_row)
+    | None ->
+      Errors.fail
+        (Errors.Wal_error
+           (Printf.sprintf "replay: update of absent row in %s" t)))
+  | Commit _ | Lsn_base _ -> ()
+
+(** [apply_batches cat records] applies every complete (commit-terminated)
+    batch to [cat]; trailing records without a commit marker are discarded.
+    Returns [(batches, records)] applied. *)
+let apply_batches cat records =
+  let n_batches = ref 0 and n_records = ref 0 in
+  let rec go pending = function
     | [] -> ()  (* trailing records without commit marker: discarded *)
     | Commit _ :: rest ->
-      List.iter apply (List.rev pending);
-      batches [] rest
-    | r :: rest -> batches (r :: pending) rest
+      List.iter
+        (fun r ->
+          apply_record cat r;
+          incr n_records)
+        (List.rev pending);
+      incr n_batches;
+      go [] rest
+    | Lsn_base _ :: rest -> go pending rest
+    | r :: rest -> go (r :: pending) rest
   in
-  batches [] (read_records path);
+  go [] records;
+  (!n_batches, !n_records)
+
+let records_base = function Lsn_base n :: _ -> n | _ -> 0
+
+(** [replay_into cat path ~after_lsn] applies to [cat] only the complete
+    batches whose LSN exceeds [after_lsn] — the WAL suffix past a
+    checkpoint.  Fails loudly when the log's prefix was truncated beyond
+    [after_lsn]: the missing batches are unrecoverable without a newer
+    snapshot.  Returns [(batches, records)] applied. *)
+let replay_into cat path ~after_lsn =
+  let records = read_records path in
+  let base = records_base records in
+  if after_lsn < base then
+    Errors.fail
+      (Errors.Wal_error
+         (Printf.sprintf
+            "%s starts at lsn %d (prefix truncated): cannot replay from lsn %d"
+            path base after_lsn));
+  (* drop the batches the snapshot already contains: batch i (1-based from
+     the base marker) has LSN [base + i] *)
+  let n_batches = ref 0 and n_records = ref 0 in
+  let lsn = ref base in
+  let rec go pending = function
+    | [] -> ()
+    | Commit _ :: rest ->
+      incr lsn;
+      if !lsn > after_lsn then begin
+        List.iter
+          (fun r ->
+            apply_record cat r;
+            incr n_records)
+          (List.rev pending);
+        incr n_batches
+      end;
+      go [] rest
+    | Lsn_base _ :: rest -> go pending rest
+    | r :: rest -> go (r :: pending) rest
+  in
+  go [] records;
+  (!n_batches, !n_records)
+
+(** [replay path] rebuilds a catalog from the log, applying only complete
+    (commit-terminated) batches.  Fails loudly on a prefix-truncated log —
+    its full history only exists on top of a checkpoint (see
+    {!Checkpoint} and {!replay_into}). *)
+let replay path =
+  let cat = Catalog.create () in
+  ignore (replay_into cat path ~after_lsn:0);
   cat
+
+(** [truncate_prefix t ~upto_lsn] rewrites the live log without the
+    batches at or below [upto_lsn], leaving an [L|<upto_lsn>] base marker
+    followed by the surviving suffix (including any trailing records not
+    yet commit-terminated).  Called after a checkpoint at [upto_lsn]:
+    recovery then needs the snapshot plus only this suffix — but full
+    replay of a truncated log is impossible, so keep a valid snapshot. *)
+let truncate_prefix t ~upto_lsn =
+  Mutex.lock t.mu;
+  match
+    if t.deferring then
+      Errors.fail (Errors.Wal_error "truncate_prefix inside a WAL batch scope");
+    if upto_lsn < t.base_lsn || upto_lsn > t.last_lsn then
+      Errors.fail
+        (Errors.Wal_error
+           (Printf.sprintf "truncate_prefix: lsn %d outside [%d, %d]" upto_lsn
+              t.base_lsn t.last_lsn));
+    do_flush t;
+    let records = read_records t.path in
+    let base = records_base records in
+    let kept =
+      let lsn = ref base in
+      let out = ref [] in
+      let emit rs = List.iter (fun r -> out := r :: !out) rs in
+      let rec go pending = function
+        | [] -> emit (List.rev pending)
+        | (Commit _ as c) :: rest ->
+          incr lsn;
+          if !lsn > upto_lsn then emit (List.rev (c :: pending));
+          go [] rest
+        | Lsn_base _ :: rest -> go pending rest
+        | r :: rest -> go (r :: pending) rest
+      in
+      go [] records;
+      List.rev !out
+    in
+    close_out (channel t);
+    t.oc <- None;
+    let tmp = t.path ^ ".trunc" in
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+    List.iter
+      (fun r ->
+        output_string oc (encode_record r);
+        output_char oc '\n')
+      (Lsn_base upto_lsn :: kept);
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc);
+    close_out oc;
+    Sys.rename tmp t.path;
+    t.oc <- Some (open_out_gen [ Open_append ] 0o644 t.path);
+    t.base_lsn <- upto_lsn
+  with
+  | () -> Mutex.unlock t.mu
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
 (** Convert a transaction's redo ops (from {!Txn.set_on_commit}) into WAL
     records. *)

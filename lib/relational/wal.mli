@@ -28,6 +28,13 @@
     discarded, and {!truncate_torn_tail} physically removes it before the
     log is reopened for append.
 
+    Every commit-terminated batch carries a monotone {e log sequence
+    number} (LSN): batch [n] of the database's history has LSN [n],
+    counted from 1 and preserved across reopen.  {!truncate_prefix} cuts
+    the already-checkpointed prefix, leaving an [Lsn_base] marker that
+    records the cut position; such a log can only be replayed on top of a
+    checkpoint at or past that LSN (see {!Checkpoint}).
+
     The format is line-oriented text; field values are percent-escaped so
     separators and newlines never appear raw. *)
 
@@ -38,6 +45,9 @@ type record =
   | Delete of string * Tuple.t
   | Update of string * Tuple.t * Tuple.t
   | Commit of int
+  | Lsn_base of int
+      (** first line of a prefix-truncated log: the LSN of the last batch
+          cut away; the next batch in the file has this LSN + 1 *)
 
 (** {1 Durability} *)
 
@@ -99,6 +109,29 @@ val set_durability : t -> durability -> unit
 
 val io_stats : t -> io_stats
 
+val reset_io_stats : t -> unit
+(** Zero the io counters — called when a freshly recovered database
+    attaches, so recovery replay and answer-relation re-creation don't
+    pollute bench/admin deltas. *)
+
+val path : t -> string
+
+val last_lsn : t -> int
+(** LSN of the last commit-terminated batch appended (0 on a fresh log);
+    initialised from the file contents on {!open_log}. *)
+
+val base_lsn : t -> int
+(** LSN position at which this log file starts: 0 unless
+    {!truncate_prefix} cut an already-checkpointed prefix. *)
+
+val set_on_append : t -> (lsn:int -> record list -> unit) option -> unit
+(** Shipping hook for replication: called with every complete batch
+    (records followed by the commit marker) as it reaches the log, in
+    strict LSN order, while the log's internal lock is held — the hook
+    must only enqueue and must never call back into the log.  Unlike
+    {!Txn.add_observer} this also sees auto-committed DDL, which bypasses
+    the transaction manager. *)
+
 val append : t -> record list -> unit
 (** Raw append + flush (deferred inside {!with_batch}); used for DDL and by
     tests.  Does not fsync. *)
@@ -107,10 +140,11 @@ val append_commit : t -> txn_id:int -> record list -> unit
 (** One committed batch: the records followed by a commit marker; blocks
     until the batch is as durable as the current mode promises. *)
 
-val durable_append_commit : t -> txn_id:int -> record list -> unit -> unit
-(** Like {!append_commit} but returns the durability wait as a closure so
-    the caller can release its locks first — required for group commit to
-    coalesce anything (see {!Txn.set_on_commit}). *)
+val durable_append_commit : t -> txn_id:int -> record list -> int * (unit -> unit)
+(** Like {!append_commit} but returns the batch's assigned LSN and the
+    durability wait as a closure so the caller can release its locks
+    first — required for group commit to coalesce anything (see
+    {!Txn.set_on_commit}). *)
 
 val sync : t -> unit
 (** Force one flush + one fsync of everything appended so far.  Raises
@@ -136,7 +170,24 @@ val read_records : string -> record list
 
 val replay : string -> Catalog.t
 (** Rebuild a catalog from the log, applying only complete
-    (commit-terminated) batches. *)
+    (commit-terminated) batches.  Raises [Wal_error] on a prefix-truncated
+    log: its full history only exists on top of a checkpoint. *)
+
+val apply_record : Catalog.t -> record -> unit
+(** Apply one redo record to a live catalog ([Commit]/[Lsn_base] are
+    no-ops).  Raises [Wal_error] when a delete/update finds no victim row
+    — the catalog has diverged from the log. *)
+
+val apply_batches : Catalog.t -> record list -> int * int
+(** Apply every complete (commit-terminated) batch; trailing records
+    without a commit marker are discarded.  Returns [(batches, records)]
+    applied.  A replica applies shipped batches with this. *)
+
+val replay_into : Catalog.t -> string -> after_lsn:int -> int * int
+(** Apply to the given catalog only the complete batches with LSN >
+    [after_lsn] — the WAL suffix past a checkpoint.  Raises [Wal_error]
+    when the log's prefix was truncated beyond [after_lsn].  Returns
+    [(batches, records)] applied. *)
 
 val truncate_torn_tail : string -> bool
 (** Physically truncate the log to the end of its last complete batch
@@ -144,6 +195,12 @@ val truncate_torn_tail : string -> bool
     recovered log for append: otherwise the next batch is written directly
     after the torn fragment and stale pre-crash bytes merge into a
     committed batch. *)
+
+val truncate_prefix : t -> upto_lsn:int -> unit
+(** Rewrite the live log without the batches at or below [upto_lsn],
+    leaving an [Lsn_base] marker followed by the surviving suffix.  Only
+    meaningful right after a checkpoint at [upto_lsn]; raises [Wal_error]
+    for an LSN outside [base_lsn, last_lsn] or inside a batch scope. *)
 
 val records_of_ops : Txn.op list -> record list
 

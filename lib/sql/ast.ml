@@ -105,6 +105,18 @@ let is_entangled = function
   | Select s -> s.into_answer <> []
   | _ -> false
 
+(** True when the statement touches no table data, no pending store and no
+    session transaction state — safe under a shared engine lock, and safe
+    to serve from a read replica.  SELECT INTO ANSWER is a coordinator
+    submission (exclusive); ANALYZE and the transaction controls mutate
+    engine state; EXPLAIN only plans.  The server uses this to route
+    scripts to the shared lock, and the client to route them to replicas —
+    both sides must agree on the same predicate. *)
+let read_only = function
+  | Select s -> s.into_answer = []
+  | Explain _ | Explain_analyze _ | Show_tables | Show_pending -> true
+  | _ -> false
+
 let empty_select =
   {
     distinct = false;

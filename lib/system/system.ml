@@ -58,6 +58,11 @@ let database t = t.db
 let catalog t = t.db.Database.catalog
 let coordinator t = t.coordinator
 
+(** [checkpoint t] — snapshot the database at the WAL's current LSN (see
+    {!Database.checkpoint}); the caller must exclude concurrent writers. *)
+let checkpoint ?truncate_wal ?keep t =
+  Database.checkpoint ?truncate_wal ?keep t.db
+
 (** [session t user] — create and register a session for [user]. *)
 let session t user =
   Mutex.lock t.mu;

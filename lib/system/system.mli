@@ -37,6 +37,13 @@ val database : t -> Database.t
 val catalog : t -> Catalog.t
 val coordinator : t -> Core.Coordinator.t
 
+val checkpoint : ?truncate_wal:bool -> ?keep:int -> t -> int * string
+(** Snapshot the database at the WAL's current LSN; returns
+    [(lsn, snapshot_path)].  The caller must exclude concurrent writers
+    (the network server runs this under its exclusive engine lock).
+    Raises [Wal_error] without an attached WAL.  See
+    {!Database.checkpoint}. *)
+
 val session : t -> string -> Session.t
 (** Create and register a session for the user; the session's mailbox
     receives that user's coordination answers. *)

@@ -1,0 +1,373 @@
+(* Replication: frame codecs, chunking, WAL-file catch-up extraction,
+   and end-to-end loopback primary/replica pairs — snapshot bootstrap,
+   live tailing with acked lag, write redirection, catch-up across a
+   primary restart, and client-side read routing. *)
+
+open Relational
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let await ?(timeout = 15.) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "youtopia_repl_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o700;
+  let rm_rf () =
+    Array.iter
+      (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:rm_rf (fun () -> f (Filename.concat dir "primary.wal"))
+
+(* ---------------- codecs ---------------- *)
+
+let test_frames_roundtrip () =
+  let reqs =
+    [
+      Net.Wire.Replica_hello { version = 1; replica_id = "r|1%;\n"; last_lsn = 42 };
+      Net.Wire.Repl_ack { lsn = 7 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      check bool "request round-trips" true
+        (Net.Wire.decode_request (Net.Wire.encode_request r) = r))
+    reqs;
+  let resps =
+    [
+      Net.Wire.Snapshot_chunk { lsn = 5; seq = 0; last = false; data = "a|b%\nc" };
+      Net.Wire.Snapshot_chunk { lsn = 5; seq = 1; last = true; data = "" };
+      Net.Wire.Wal_recs
+        { lsn = 6; sent_at_us = 123456; last = true; records = "I|t|i1\nC|0" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      check bool "response round-trips" true
+        (Net.Wire.decode_response (Net.Wire.encode_response r) = r))
+    resps
+
+let test_readonly_redirect_parse () =
+  let msg = Net.Wire.readonly_redirect ~host:"10.0.0.7" ~port:7077 in
+  (match Net.Wire.parse_readonly_redirect msg with
+  | Some (h, p) ->
+    check Alcotest.string "host" "10.0.0.7" h;
+    check int "port" 7077 p
+  | None -> Alcotest.fail "redirect must parse");
+  check bool "other errors do not parse" true
+    (Net.Wire.parse_readonly_redirect "no such table: Flights" = None)
+
+let test_backoff_policy () =
+  let p = Net.Backoff.default in
+  check bool "delays grow" true
+    (Net.Backoff.delay_for p ~attempt:1 < Net.Backoff.delay_for p ~attempt:3);
+  check bool "delays are capped" true
+    (Net.Backoff.delay_for p ~attempt:50 <= p.Net.Backoff.max_delay);
+  for attempt = 1 to 8 do
+    let d = Net.Backoff.jittered p ~attempt in
+    check bool "jittered delay is never negative" true (d >= 0.);
+    check bool "jittered delay near nominal" true
+      (d <= Net.Backoff.delay_for p ~attempt *. (1. +. p.Net.Backoff.jitter) +. 1e-9)
+  done;
+  (* retry: transient failures then success *)
+  let calls = ref 0 in
+  let v =
+    Net.Backoff.retry
+      ~policy:{ p with Net.Backoff.base_delay = 0.001; max_delay = 0.002 }
+      (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky" else "ok")
+  in
+  check Alcotest.string "retry returns the success" "ok" v;
+  check int "two failures before success" 3 !calls
+
+let test_batch_chunking_roundtrip () =
+  (* a batch whose encoding spans several 256 KiB chunks *)
+  let big = String.make 200_000 'x' in
+  let records =
+    [
+      Wal.Insert ("T", [| Value.Int 1; Value.Str big |]);
+      Wal.Insert ("T", [| Value.Int 2; Value.Str big |]);
+      Wal.Insert ("T", [| Value.Int 3; Value.Str "plain" |]);
+      Wal.Commit 9;
+    ]
+  in
+  let frames = Net.Replication.frames_of_batch ~lsn:3 ~sent_at_us:1 records in
+  check bool "chunked into several frames" true (List.length frames > 1);
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i frame ->
+      match frame with
+      | Net.Wire.Wal_recs { lsn; last; records = piece; _ } ->
+        check int "all chunks carry the batch lsn" 3 lsn;
+        check bool "last flag only on the final chunk" (i = List.length frames - 1)
+          last;
+        Buffer.add_string buf piece
+      | _ -> Alcotest.fail "expected WREC frames")
+    frames;
+  let decoded = Net.Replication.decode_batch (Buffer.contents buf) in
+  check bool "records survive chunking" true (decoded = records);
+  (* every frame must clear the wire limit even after escaping *)
+  List.iter
+    (fun f ->
+      check bool "frame under max" true
+        (String.length (Net.Wire.encode_response f) < Net.Wire.default_max_frame))
+    frames
+
+let test_catchup_batches () =
+  with_tmp_dir (fun path ->
+      let wal = Wal.open_log path in
+      for i = 1 to 5 do
+        Wal.append_commit wal ~txn_id:i
+          [ Wal.Insert ("T", [| Value.Int i |]) ]
+      done;
+      Wal.sync wal;
+      let suffix = Net.Replication.catchup_batches ~wal_path:path ~after_lsn:2 in
+      check int "batches past lsn 2" 3 (List.length suffix);
+      check bool "oldest first with dense lsns" true
+        (List.map fst suffix = [ 3; 4; 5 ]);
+      (* a torn tail (half-written batch, no commit) is not shipped *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "I|T|i99\n";
+      close_out oc;
+      let suffix = Net.Replication.catchup_batches ~wal_path:path ~after_lsn:0 in
+      check int "torn tail dropped" 5 (List.length suffix);
+      Wal.close wal)
+
+(* ---------------- loopback primary / replica ---------------- *)
+
+let start_primary ?(port = 0) ~wal_path () =
+  let sys =
+    if Sys.file_exists wal_path then
+      Youtopia.System.recover ~wal_path ~answer_relations:[] ()
+    else Youtopia.System.create ~wal_path ()
+  in
+  let config = { Net.Server.default_config with Net.Server.port } in
+  let server = Net.Server.start ~config sys in
+  (sys, server, Net.Server.port server)
+
+let start_replica ~primary_port () =
+  let sys = Youtopia.System.create () in
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.port = 0;
+      replica_of = Some ("127.0.0.1", primary_port);
+      replica_id = "test-replica";
+    }
+  in
+  let server = Net.Server.start ~config sys in
+  (sys, server, Net.Server.port server)
+
+let replica_rows sys name =
+  match Catalog.find_opt (Youtopia.System.catalog sys) name with
+  | None -> -1
+  | Some t -> Table.row_count t
+
+let snap server = Net.Server_stats.snapshot (Net.Server.stats server)
+
+let test_e2e_snapshot_bootstrap_and_tail () =
+  with_tmp_dir (fun wal_path ->
+      let psys, pserver, pport = start_primary ~wal_path () in
+      let pc = Net.Client.connect ~port:pport ~user:"writer" () in
+      ignore (Net.Client.submit pc "CREATE TABLE Items (id INT PRIMARY KEY, v TEXT)");
+      for i = 1 to 20 do
+        ignore
+          (Net.Client.submit pc
+             (Printf.sprintf "INSERT INTO Items VALUES (%d, 'v%d')" i i))
+      done;
+      (* truncate the shipped prefix so the replica CANNOT catch up from
+         the WAL file: bootstrap must go through a streamed snapshot *)
+      ignore (Youtopia.System.checkpoint ~truncate_wal:true psys);
+      let rsys, rserver, rport = start_replica ~primary_port:pport () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close pc;
+          Net.Server.stop rserver;
+          Net.Server.stop pserver)
+        (fun () ->
+          await "snapshot bootstrap" (fun () -> replica_rows rsys "Items" = 20);
+          let s = snap rserver in
+          check bool "bootstrap used a snapshot" true (s.Net.Server_stats.repl_snapshots_loaded >= 1);
+          check bool "upstream connected" true s.Net.Server_stats.repl_upstream_connected;
+
+          (* live tail: new commits stream across without reconnecting *)
+          for i = 21 to 30 do
+            ignore
+              (Net.Client.submit pc
+                 (Printf.sprintf "INSERT INTO Items VALUES (%d, 'v%d')" i i))
+          done;
+          await "live tail" (fun () -> replica_rows rsys "Items" = 30);
+          let plsn =
+            Relational.Database.last_lsn (Youtopia.System.database psys)
+          in
+          await "applied lsn reaches primary lsn" (fun () ->
+              (snap rserver).Net.Server_stats.repl_applied_lsn = plsn);
+
+          (* replica serves reads locally over its own endpoint *)
+          let rc = Net.Client.connect ~port:rport ~user:"reader" () in
+          Fun.protect
+            ~finally:(fun () -> Net.Client.close rc)
+            (fun () ->
+              (match Net.Client.submit rc "SELECT v FROM Items WHERE id = 30" with
+              | Net.Wire.Sql_result s ->
+                check bool "replicated row readable" true
+                  (Astring.String.is_infix ~affix:"v30" s)
+              | _ -> Alcotest.fail "expected a SQL result");
+              (* ...and redirects anything that could mutate *)
+              (match
+                 Net.Client.submit rc "INSERT INTO Items VALUES (99, 'nope')"
+               with
+              | _ -> Alcotest.fail "write on a replica must be rejected"
+              | exception Net.Client.Server_error m -> (
+                match Net.Wire.parse_readonly_redirect m with
+                | Some (h, p) ->
+                  check Alcotest.string "redirect host" "127.0.0.1" h;
+                  check int "redirect names the primary" pport p
+                | None -> Alcotest.failf "unparsable redirect: %s" m));
+              check int "rejection counted" 1
+                (snap rserver).Net.Server_stats.readonly_rejections;
+              check int "write did not apply" 30 (replica_rows rsys "Items"));
+
+          (* the primary has acked shipping state for this replica *)
+          check int "one replica attached" 1
+            (snap pserver).Net.Server_stats.replicas_active;
+          await "replica acks reach the primary" (fun () ->
+              ignore (Net.Client.ping pc);
+              let admin = Net.Client.admin pc "replicas" in
+              Astring.String.is_infix ~affix:"replica=test-replica" admin
+              && Astring.String.is_infix
+                   ~affix:(Printf.sprintf "acked_lsn=%d" plsn)
+                   admin)))
+
+let test_e2e_catchup_after_primary_restart () =
+  with_tmp_dir (fun wal_path ->
+      let psys, pserver, pport = start_primary ~wal_path () in
+      let pc = Net.Client.connect ~port:pport ~user:"writer" () in
+      ignore (Net.Client.submit pc "CREATE TABLE Ledger (id INT PRIMARY KEY)");
+      for i = 1 to 5 do
+        ignore
+          (Net.Client.submit pc (Printf.sprintf "INSERT INTO Ledger VALUES (%d)" i))
+      done;
+      let rsys, rserver, _ = start_replica ~primary_port:pport () in
+      Fun.protect
+        ~finally:(fun () -> Net.Server.stop rserver)
+        (fun () ->
+          await "initial sync" (fun () -> replica_rows rsys "Ledger" = 5);
+
+          (* primary goes down mid-stream... *)
+          Net.Client.close pc;
+          Net.Server.stop pserver;
+          Relational.Database.close (Youtopia.System.database psys);
+          await "replica notices the loss" (fun () ->
+              not (snap rserver).Net.Server_stats.repl_upstream_connected);
+
+          (* ...restarts from its WAL on the same port, and takes writes
+             the replica never saw *)
+          let psys2, pserver2, _ = start_primary ~port:pport ~wal_path () in
+          let pc2 = Net.Client.connect ~port:pport ~user:"writer" () in
+          Fun.protect
+            ~finally:(fun () ->
+              Net.Client.close pc2;
+              Net.Server.stop pserver2)
+            (fun () ->
+              for i = 6 to 12 do
+                ignore
+                  (Net.Client.submit pc2
+                     (Printf.sprintf "INSERT INTO Ledger VALUES (%d)" i))
+              done;
+              (* the replica reconnects with backoff, announces lsn 6 (1 DDL
+                 + 5 inserts), and catches up from the WAL file suffix —
+                 no snapshot needed *)
+              await "catch-up after restart" (fun () ->
+                  replica_rows rsys "Ledger" = 12);
+              let s = snap rserver in
+              check bool "reconnect counted" true (s.Net.Server_stats.repl_reconnects >= 1);
+              check int "no snapshot for a suffix catch-up" 0
+                s.Net.Server_stats.repl_snapshots_loaded;
+              check int "replica lsn converges" 13 s.Net.Server_stats.repl_applied_lsn;
+              ignore psys2)))
+
+let test_client_routes_reads_to_replicas () =
+  with_tmp_dir (fun wal_path ->
+      let _psys, pserver, pport = start_primary ~wal_path () in
+      let admin_c = Net.Client.connect ~port:pport ~user:"admin" () in
+      ignore (Net.Client.submit admin_c "CREATE TABLE Kv (k INT PRIMARY KEY, v TEXT)");
+      ignore (Net.Client.submit admin_c "INSERT INTO Kv VALUES (1, 'one')");
+      let rsys, rserver, rport = start_replica ~primary_port:pport () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close admin_c;
+          Net.Server.stop rserver;
+          Net.Server.stop pserver)
+        (fun () ->
+          await "replica synced" (fun () -> replica_rows rsys "Kv" = 1);
+          let c =
+            Net.Client.connect ~port:pport
+              ~replicas:[ ("127.0.0.1", rport) ]
+              ~user:"router" ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Net.Client.close c)
+            (fun () ->
+              check int "replica configured" 1 (Net.Client.replica_count c);
+              let before = (snap rserver).Net.Server_stats.submits in
+              (match Net.Client.submit c "SELECT v FROM Kv WHERE k = 1" with
+              | Net.Wire.Sql_result s ->
+                check bool "read served" true
+                  (Astring.String.is_infix ~affix:"one" s)
+              | _ -> Alcotest.fail "expected a SQL result");
+              check int "read went to the replica" (before + 1)
+                (snap rserver).Net.Server_stats.submits;
+
+              (* writes route to the primary even with replicas configured *)
+              let wbefore = (snap pserver).Net.Server_stats.submits in
+              ignore (Net.Client.submit c "INSERT INTO Kv VALUES (2, 'two')");
+              check bool "write went to the primary" true
+                ((snap pserver).Net.Server_stats.submits > wbefore);
+              await "write replicated" (fun () -> replica_rows rsys "Kv" = 2);
+
+              (* a dead replica falls back to the primary transparently *)
+              Net.Server.stop rserver;
+              match Net.Client.submit c "SELECT v FROM Kv WHERE k = 2" with
+              | Net.Wire.Sql_result s ->
+                check bool "fallback read served" true
+                  (Astring.String.is_infix ~affix:"two" s)
+              | _ -> Alcotest.fail "expected a SQL result")))
+
+let suite =
+  [
+    Alcotest.test_case "replication frames round-trip" `Quick test_frames_roundtrip;
+    Alcotest.test_case "read-only redirect parses" `Quick
+      test_readonly_redirect_parse;
+    Alcotest.test_case "backoff grows, caps, jitters, retries" `Quick
+      test_backoff_policy;
+    Alcotest.test_case "batch chunking round-trips under frame limit" `Quick
+      test_batch_chunking_roundtrip;
+    Alcotest.test_case "catch-up reads the WAL suffix, drops torn tail" `Quick
+      test_catchup_batches;
+    Alcotest.test_case "e2e: snapshot bootstrap, live tail, redirect" `Quick
+      test_e2e_snapshot_bootstrap_and_tail;
+    Alcotest.test_case "e2e: catch-up after primary restart" `Quick
+      test_e2e_catchup_after_primary_restart;
+    Alcotest.test_case "client routes reads to replicas" `Quick
+      test_client_routes_reads_to_replicas;
+  ]

@@ -8,6 +8,7 @@ let () =
       "query", Test_query.suite;
       "storage", Test_storage.suite;
       "wal-torn", Test_wal_torn.suite;
+      "checkpoint", Test_checkpoint.suite;
       "group-commit", Test_group_commit.suite;
       "stats", Test_stats.suite;
       "sql", Test_sql.suite;
@@ -20,6 +21,7 @@ let () =
       "incremental", Test_incremental.suite;
       "frontend", Test_frontend.suite;
       "net", Test_net.suite;
+      "replication", Test_replication.suite;
       "edge-cases", Test_edge_cases.suite;
       "random-sql", Test_random_sql.suite;
       "ast-fuzz", Test_ast_fuzz.suite;
