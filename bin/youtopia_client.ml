@@ -87,6 +87,13 @@ let run ~host ~port ~user ~replicas scripts =
           match Net.Client.wait_notification ~timeout:secs client with
           | Some n -> print_notification n
           | None -> print_endline "(no answer yet)"))
+      | line when String.length line > 7 && String.sub line 0 7 = "\\admin " -> (
+        (* raw admin probe passthrough, e.g.
+           \admin failpoint arm wal.fsync 3->kill *)
+        let what = String.trim (String.sub line 7 (String.length line - 7)) in
+        match Net.Client.admin client what with
+        | m -> print_endline m
+        | exception Net.Client.Server_error m -> Printf.printf "error: %s\n" m)
       | line when String.length line > 8 && String.sub line 0 8 = "\\cancel " -> (
         match int_of_string_opt (String.trim (String.sub line 8 (String.length line - 8))) with
         | None -> print_endline "usage: \\cancel <query id>"

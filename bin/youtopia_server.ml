@@ -41,30 +41,40 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
        comes from the primary";
     exit 2
   end;
-  let sys =
-    if travel then Travel.Datagen.make_system ~seed ~n_flights:32 ~n_hotels:16 ()
-    else
-      match wal with
-      | Some wal_path
-        when Sys.file_exists wal_path
-             && (Unix.stat wal_path).Unix.st_size > 0 ->
-        (* restart: replay the existing log (checkpoint + suffix) instead
-           of coming up empty next to our own history *)
-        let sys =
-          Youtopia.System.recover ~wal_path ~answer_relations:[] ()
-        in
-        let db = Youtopia.System.database sys in
-        (match Relational.Database.recovery_stats db with
-        | Some { Relational.Database.snapshot_lsn; replayed_batches; _ } ->
-          Printf.printf "recovered %s: %s%d batch(es) replayed\n%!" wal_path
-            (match snapshot_lsn with
-            | Some lsn -> Printf.sprintf "snapshot at lsn %d + " lsn
-            | None -> "")
-            replayed_batches
-        | None -> ());
-        sys
-      | _ -> Youtopia.System.create ?wal_path:wal ()
+  let report_recovery wal_path sys =
+    let db = Youtopia.System.database sys in
+    (match Relational.Database.recovery_stats db with
+    | Some { Relational.Database.snapshot_lsn; replayed_batches; _ } ->
+      Printf.printf "recovered %s: %s%d batch(es) replayed\n%!" wal_path
+        (match snapshot_lsn with
+        | Some lsn -> Printf.sprintf "snapshot at lsn %d + " lsn
+        | None -> "")
+        replayed_batches
+    | None -> ());
+    sys
   in
+  (* restart: replay an existing log (checkpoint + suffix) instead of
+     coming up empty next to our own history *)
+  let existing_wal =
+    match wal with
+    | Some p when Sys.file_exists p && (Unix.stat p).Unix.st_size > 0 -> Some p
+    | _ -> None
+  in
+  let sys =
+    match travel, existing_wal with
+    | true, Some wal_path ->
+      (* a travel server restarting over its own log: recover (adopting
+         the travel answer relations) rather than re-populating *)
+      report_recovery wal_path (Travel.Datagen.recover_system ~wal_path ())
+    | true, None ->
+      Travel.Datagen.make_system ?wal_path:wal ~seed ~n_flights:32
+        ~n_hotels:16 ()
+    | false, Some wal_path ->
+      report_recovery wal_path
+        (Youtopia.System.recover ~wal_path ~answer_relations:[] ())
+    | false, None -> Youtopia.System.create ?wal_path:wal ()
+  in
+  let fresh_travel = travel && existing_wal = None in
   let durability =
     match durability with
     | None -> None
@@ -98,7 +108,8 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
     (match replica_of with
     | Some (h, p) -> Printf.sprintf " — read replica of %s:%d" h p
     | None -> "");
-  if travel then print_endline "travel dataset loaded (32 flights, 16 hotels)";
+  if fresh_travel then
+    print_endline "travel dataset loaded (32 flights, 16 hotels)";
   (* Signal handlers only run at safepoints in a thread executing OCaml
      code; a main thread parked in Condition.wait never reaches one, so a
      Ctrl-C would stay pending forever.  Poll a flag instead — Thread.delay

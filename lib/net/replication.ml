@@ -165,10 +165,15 @@ module Hub = struct
       enqueues, so holding it is cheap.  Call after releasing the engine
       lock. *)
   let flush t =
+    Fault.point "repl.hub.flush";
     with_mu t (fun () ->
         while not (Queue.is_empty t.pending) do
           let lsn, records = Queue.pop t.pending in
-          if t.sinks <> [] then begin
+          (* [repl.hub.drop] loses this batch on the shipping path (never
+             from the log): replicas must detect the LSN gap and recover
+             via reconnect catch-up *)
+          if Fault.skip "repl.hub.drop" then ()
+          else if t.sinks <> [] then begin
             let frames = frames_of_batch ~lsn ~sent_at_us:(now_us ()) records in
             List.iter
               (fun sink ->
@@ -331,6 +336,9 @@ module Replica = struct
               | Some (records, sent_at_us) ->
                 let lsn = t.applied_lsn + 1 in
                 Hashtbl.remove completed lsn;
+                (* raising here aborts the session before [applied_lsn]
+                   advances; the reconnect re-requests from this batch *)
+                Fault.point "repl.replica.apply";
                 t.cb.apply_batch ~lsn records;
                 t.applied_lsn <- lsn;
                 let lag_lsn = max 0 (t.seen_lsn - lsn) in

@@ -305,6 +305,9 @@ let execute_batch t batch =
   let results =
     match
       with_engine t (fun () ->
+          (* inside the engine lock, before any statement runs: a [kill]
+             here dies holding a possibly-unflushed WAL batch scope *)
+          Fault.point "server.batch";
           Relational.Database.with_wal_batch db (fun () ->
               let results =
                 List.map
@@ -337,6 +340,9 @@ let execute_batch t batch =
   let flushes, fsyncs = wal_io_delta io0 (wal_io_snapshot t) in
   Server_stats.on_batch t.stats ~size:(List.length batch) ~flushes ~fsyncs;
   let now = Unix.gettimeofday () in
+  (* after the lock release: the batch is durable but not yet acked — a
+     [kill] here is the classic committed-but-unacknowledged crash *)
+  Fault.point "server.batch.fanout";
   List.iter
     (fun (wr, response, _) ->
       send t wr.wr_conn response;
@@ -397,7 +403,13 @@ let drainer_loop t =
       done;
       Condition.broadcast t.batch_space;
       Mutex.unlock t.batch_mu;
-      execute_batch t (List.rev !batch);
+      (* the drainer must survive anything a batch throws (injected faults
+         included): a dead drainer would silently stall every writer *)
+      (match execute_batch t (List.rev !batch) with
+      | () -> ()
+      | exception exn ->
+        Server_stats.on_error t.stats;
+        Log.err (fun f -> f "batch executor: %s" (Printexc.to_string exn)));
       Mutex.lock t.batch_mu;
       loop ()
     end
@@ -535,6 +547,51 @@ let handle_admin t ~id ~what =
                rows)
     in
     Wire.Stats { id; body }
+  | other
+    when other = "failpoint"
+         || (String.length other > 10 && String.sub other 0 10 = "failpoint ")
+    -> (
+    (* fault-injection control — deliberately lock-free: it must work
+       even when a delay failpoint has the engine wedged *)
+    let ok body = Wire.Stats { id; body } in
+    let err message =
+      Server_stats.on_error t.stats;
+      Wire.Error { id; message }
+    in
+    let args =
+      String.split_on_char ' ' other
+      |> List.filter (fun s -> s <> "")
+      |> List.tl
+    in
+    match args with
+    | [] | [ "list" ] ->
+      let lines = Fault.list () in
+      ok
+        (String.concat "\n"
+           (Printf.sprintf "failpoints=%d" (List.length lines) :: lines))
+    | "arm" :: point :: spec_parts when spec_parts <> [] -> (
+      (* the spec is everything after the point name (an error(...)
+         message may contain spaces; runs of spaces collapse to one) *)
+      let spec = String.concat " " spec_parts in
+      match Fault.arm_spec point spec with
+      | Ok () -> ok (Printf.sprintf "armed %s=%s" point spec)
+      | Result.Error e -> err ("failpoint arm: " ^ e))
+    | [ "disarm"; point ] ->
+      Fault.disarm point;
+      ok ("disarmed " ^ point)
+    | [ "clear" ] ->
+      Fault.disarm_all ();
+      ok "cleared"
+    | [ "seed"; n ] -> (
+      match int_of_string_opt n with
+      | Some seed ->
+        Fault.set_seed seed;
+        ok (Printf.sprintf "seed=%d" seed)
+      | None -> err ("failpoint seed: not an integer: " ^ n))
+    | _ ->
+      err
+        "failpoint usage: failpoint [list] | failpoint arm <point> <spec> \
+         | failpoint disarm <point> | failpoint clear | failpoint seed <n>")
   | other ->
     Server_stats.on_error t.stats;
     Wire.Error { id; message = "unknown admin probe: " ^ other }

@@ -313,17 +313,41 @@ let really_read fd n =
   loop 0;
   buf
 
+(* Failpoints ([wire.send], [wire.send.drop], [wire.recv],
+   [wire.recv.drop]) model the network's betrayals at the framing layer:
+   a frame truncated mid-write, a frame silently swallowed, a stalled
+   socket ([delay]), a reset.  An injected [Error] surfaces as {!Closed}
+   — a reset, not a new exception — so every caller exercises its real
+   disconnect path. *)
+
 let write_frame ?(max_frame = default_max_frame) fd payload =
   let n = String.length payload in
   if n > max_frame then fail "outbound frame of %d bytes exceeds limit %d" n max_frame;
-  let frame = Bytes.create (4 + n) in
-  Bytes.set_int32_be frame 0 (Int32.of_int n);
-  Bytes.blit_string payload 0 frame 4 n;
-  really_write fd frame
+  if (try Fault.skip "wire.send.drop" with Fault.Injected _ -> raise Closed)
+  then ()
+  else begin
+    let frame = Bytes.create (4 + n) in
+    Bytes.set_int32_be frame 0 (Int32.of_int n);
+    Bytes.blit_string payload 0 frame 4 n;
+    match
+      try Fault.cut "wire.send" ~len:(4 + n)
+      with Fault.Injected _ -> raise Closed
+    with
+    | None -> really_write fd frame
+    | Some k ->
+      (* the wire got only the first [k] bytes of the frame, then the
+         connection died: the peer is left holding a truncated frame *)
+      (try really_write fd (Bytes.sub frame 0 k) with Closed -> ());
+      raise Closed
+  end
 
-let read_frame ?(max_frame = default_max_frame) fd =
+let rec read_frame ?(max_frame = default_max_frame) fd =
+  (try Fault.point "wire.recv" with Fault.Injected _ -> raise Closed);
   let header = really_read fd 4 in
   let n = Int32.to_int (Bytes.get_int32_be header 0) in
   if n < 0 || n > max_frame then
     fail "inbound frame of %d bytes exceeds limit %d" n max_frame;
-  Bytes.to_string (really_read fd n)
+  let payload = Bytes.to_string (really_read fd n) in
+  if (try Fault.skip "wire.recv.drop" with Fault.Injected _ -> raise Closed)
+  then read_frame ~max_frame fd
+  else payload

@@ -150,15 +150,26 @@ let list ~wal_path =
 (** [write ~wal_path ~lsn cat] writes the snapshot atomically (temp file,
     flush, fsync, rename) and returns its path. *)
 let write ~wal_path ~lsn cat =
+  Fault.point "checkpoint.write";
   let final = path_for ~wal_path ~lsn in
   let tmp = final ^ ".tmp" in
+  let lines = to_lines ~lsn cat in
+  (* [checkpoint.lines] models an in-place torn snapshot: write only the
+     first [n] lines yet STILL rename into place — deliberately bypassing
+     the temp+rename atomicity — so {!load_latest}'s fall-back past an
+     invalid newest snapshot is actually exercised. *)
+  let lines, torn =
+    match Fault.cut "checkpoint.lines" ~len:(List.length lines) with
+    | Some n -> (List.filteri (fun i _ -> i < n) lines, true)
+    | None -> (lines, false)
+  in
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
   (match
      List.iter
        (fun line ->
          output_string oc line;
          output_char oc '\n')
-       (to_lines ~lsn cat);
+       lines;
      flush oc;
      Unix.fsync (Unix.descr_of_out_channel oc)
    with
@@ -168,6 +179,8 @@ let write ~wal_path ~lsn cat =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
   Sys.rename tmp final;
+  if torn then
+    raise (Fault.Injected ("checkpoint.lines", "snapshot torn in place"));
   final
 
 (** [load path] reads one snapshot file; raises [Wal_error] when invalid. *)

@@ -153,5 +153,16 @@ let close db =
     Wal.close wal;
     db.wal <- None
 
+(** [crash db] — abandon the database as a SIGKILL would: the WAL fd is
+    closed without flushing (see {!Wal.crash}), losing any buffered bytes.
+    The in-memory catalog is left as-is but must not be trusted; recover
+    from the log with {!recover}. *)
+let crash db =
+  match db.wal with
+  | None -> ()
+  | Some wal ->
+    Wal.crash wal;
+    db.wal <- None
+
 (** [with_txn db f] — serializable transaction over the database. *)
 let with_txn db f = Txn.with_txn db.txns f

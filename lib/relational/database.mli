@@ -81,5 +81,10 @@ val recover : ?durability:Wal.durability -> string -> t
 
 val close : t -> unit
 
+val crash : t -> unit
+(** Abandon the database as a SIGKILL would: the WAL fd is closed without
+    flushing (buffered bytes are lost).  For fault-injection tests; recover
+    from the log with {!recover}. *)
+
 val with_txn : t -> (Txn.t -> 'a) -> 'a
 (** Serializable transaction over the database. *)

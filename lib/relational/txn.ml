@@ -136,22 +136,49 @@ let rollback_to t (sp : savepoint) =
 
 let commit t =
   check_active t;
+  (* before the state flips: an injected raise here leaves the transaction
+     Active, so [with_txn]'s exception path rolls it back and releases the
+     manager mutex *)
+  Fault.point "txn.commit";
   t.state <- Committed;
   let wait =
     if t.undo = [] then fun () -> ()
     else begin
       let redo = List.rev t.undo in
-      try
-        let lsn, wait =
+      let lsn, wait =
+        match
           match t.mgr.on_commit with
           | Some hook -> hook redo
           | None -> (0, fun () -> ())
-        in
+        with
+        | result -> result
+        | exception e ->
+          (* The durability hook failed before acknowledging anything:
+             nothing effective reached the log (a torn tail is truncated
+             on recovery), so undo the in-memory changes too — the caller
+             sees a clean abort, not a memory/disk split.  The lock must
+             not leak either way. *)
+          List.iter
+            (fun op ->
+              match op with
+              | Ins (table, row_id, _) -> ignore (Table.delete table row_id)
+              | Del (table, old) -> ignore (Table.insert table old)
+              | Upd (table, row_id, old, _) ->
+                ignore (Table.update table row_id old))
+            t.undo;
+          t.state <- Aborted;
+          Mutex.unlock t.mgr.mutex;
+          raise e
+      in
+      match
         List.iter (fun f -> f redo) t.mgr.observers;
-        List.iter (fun f -> f ~lsn redo) t.mgr.lsn_observers;
-        wait
-      with e ->
-        (* the durability hook failed: the lock must not leak *)
+        List.iter (fun f -> f ~lsn redo) t.mgr.lsn_observers
+      with
+      | () -> wait
+      | exception e ->
+        (* an observer failed AFTER the commit reached the log: the
+           transaction stays committed (recovery would replay it); only
+           release the lock and surface the error *)
         Mutex.unlock t.mgr.mutex;
         raise e
     end
@@ -177,10 +204,20 @@ let rollback t =
     re-raises. *)
 let with_txn mgr f =
   let txn = begin_ mgr in
+  let cleanup () =
+    (* [commit] can raise with the transaction still Active (e.g. an
+       injected pre-commit fault): roll back so the manager mutex is
+       released and the changes are undone.  Committed/Aborted states
+       already released the lock themselves. *)
+    match txn.state with Active -> rollback txn | Committed | Aborted -> ()
+  in
   match f txn with
-  | result ->
-    commit txn;
-    result
+  | result -> (
+    match commit txn with
+    | () -> result
+    | exception e ->
+      cleanup ();
+      raise e)
   | exception e ->
-    (match txn.state with Active -> rollback txn | Committed | Aborted -> ());
+    cleanup ();
     raise e

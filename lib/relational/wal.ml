@@ -275,10 +275,12 @@ let channel t =
 
 (* flush and/or fsync under [mu]; fsync failures become Wal_error *)
 let do_flush t =
+  Fault.point "wal.flush";
   flush (channel t);
   t.flushes <- t.flushes + 1
 
 let do_fsync t =
+  Fault.point "wal.fsync";
   let oc = channel t in
   (try Unix.fsync (Unix.descr_of_out_channel oc)
    with Unix.Unix_error (e, _, _) ->
@@ -522,11 +524,27 @@ let note_appended t records =
 let write_records t records =
   (* [mu] held by caller *)
   let oc = channel t in
+  let buf = Buffer.create 256 in
   List.iter
     (fun r ->
-      output_string oc (encode_record r);
-      output_char oc '\n')
-    records
+      Buffer.add_string buf (encode_record r);
+      Buffer.add_char buf '\n')
+    records;
+  let payload = Buffer.contents buf in
+  match Fault.cut "wal.append" ~len:(String.length payload) with
+  | None -> output_string oc payload
+  | Some n ->
+    (* a write torn at byte [n]: the prefix reaches the file (flushed past
+       the channel buffer so the torn bytes really land), the rest never
+       does.  The handle is poisoned exactly as a real torn write poisons
+       a log — recover by reopening the path after [truncate_torn_tail]. *)
+    output_string oc (String.sub payload 0 n);
+    (try flush oc with Sys_error _ -> ());
+    raise
+      (Fault.Injected
+         ( "wal.append",
+           Printf.sprintf "write torn at byte %d/%d" n (String.length payload)
+         ))
 
 let append t records =
   Mutex.lock t.mu;
@@ -578,6 +596,11 @@ let wait_flushed t gen =
     concurrent commits coalesce into one group flush. *)
 let durable_append_commit t ~txn_id records =
   Mutex.lock t.mu;
+  (match Fault.point "wal.commit" with
+  | () -> ()
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e);
   raise_sticky t;
   match
     write_records t records;
@@ -615,6 +638,11 @@ let durable_append_commit t ~txn_id records =
     Mutex.unlock t.mu;
     (lsn, fun () -> wait_flushed t gen)
   | exception e ->
+    (* the append may have left a torn line at the tail.  Recovery
+       truncates a torn *tail*, but a later append would bury the tear
+       mid-file and corrupt the log — so poison it: every subsequent
+       commit re-raises this error instead of appending. *)
+    t.flusher_error <- Some e;
     Mutex.unlock t.mu;
     raise e
 
@@ -659,6 +687,23 @@ let with_batch t f =
         Mutex.unlock t.mu;
         raise e)
     f
+
+(** [crash t] simulates the process dying with the log open: the fd is
+    closed {i without} flushing, so bytes still buffered in the channel
+    never reach the file — exactly what SIGKILL does to them.  The handle
+    is unusable afterwards; recover by reopening the path. *)
+let crash t =
+  Mutex.lock t.mu;
+  (match t.oc with
+  | None -> ()
+  | Some oc ->
+    (try Unix.close (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
+    t.oc <- None);
+  Mutex.unlock t.mu;
+  (* the flusher's final drain now fails against the closed fd and parks
+     in [flusher_error] instead of rescuing the buffered bytes *)
+  stop_flusher t
 
 let close t =
   stop_flusher t;

@@ -157,6 +157,13 @@ val with_batch : t -> (unit -> 'a) -> 'a
     so a batch costs one flush (+ one fsync in the fsync modes) total.
     Scopes do not nest. *)
 
+val crash : t -> unit
+(** Simulate the process dying with the log open: close the fd {i without}
+    flushing, so bytes still buffered in the channel never reach the file
+    — exactly what SIGKILL does to them.  The handle is unusable
+    afterwards; recover by reopening the path.  For fault-injection
+    tests. *)
+
 val close : t -> unit
 (** Stops the flusher (draining pending commits), flushes, fsyncs in the
     fsync modes, and closes the file. *)

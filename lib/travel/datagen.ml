@@ -92,46 +92,74 @@ let populate (sys : Youtopia.System.t) ~seed ~n_flights ~n_hotels
   let flights = Database.find_table db "Flights" in
   let seats = Database.find_table db "Seats" in
   let hotels = Database.find_table db "Hotels" in
-  for i = 0 to n_flights - 1 do
-    let fno = 100 + i in
-    (* round-robin cities so every destination has flights *)
-    let dest = cities.(i mod Array.length cities) in
-    let day = 1 + Random.State.int rng 30 in
-    let price = 100. +. Random.State.float rng 500. in
-    ignore
-      (Table.insert flights
-         [|
-           Value.Int fno;
-           Value.Str "NYC";
-           Value.Str dest;
-           Value.Int day;
-           Value.Float price;
-           Value.Int seats_per_flight;
-         |]);
-    for seat = 1 to seats_per_flight do
-      ignore
-        (Table.insert seats [| Value.Int fno; Value.Int seat; Value.Int 0 |])
-    done
-  done;
-  for i = 0 to n_hotels - 1 do
-    let hid = 1 + i in
-    let city = cities.(i mod Array.length cities) in
-    let day = 1 + Random.State.int rng 30 in
-    let price = 50. +. Random.State.float rng 250. in
-    ignore
-      (Table.insert hotels
-         [|
-           Value.Int hid;
-           Value.Str city;
-           Value.Int day;
-           Value.Float price;
-           Value.Int 20;
-         |])
-  done
+  (* one transaction for the whole dataset: with a WAL attached the seed
+     data becomes a single logged batch, so a travel system is recoverable
+     from its log (raw [Table.insert] would bypass the WAL entirely) *)
+  Database.with_txn db (fun txn ->
+      for i = 0 to n_flights - 1 do
+        let fno = 100 + i in
+        (* round-robin cities so every destination has flights *)
+        let dest = cities.(i mod Array.length cities) in
+        let day = 1 + Random.State.int rng 30 in
+        let price = 100. +. Random.State.float rng 500. in
+        ignore
+          (Txn.insert txn flights
+             [|
+               Value.Int fno;
+               Value.Str "NYC";
+               Value.Str dest;
+               Value.Int day;
+               Value.Float price;
+               Value.Int seats_per_flight;
+             |]);
+        for seat = 1 to seats_per_flight do
+          ignore
+            (Txn.insert txn seats
+               [| Value.Int fno; Value.Int seat; Value.Int 0 |])
+        done
+      done;
+      for i = 0 to n_hotels - 1 do
+        let hid = 1 + i in
+        let city = cities.(i mod Array.length cities) in
+        let day = 1 + Random.State.int rng 30 in
+        let price = 50. +. Random.State.float rng 250. in
+        ignore
+          (Txn.insert txn hotels
+             [|
+               Value.Int hid;
+               Value.Str city;
+               Value.Int day;
+               Value.Float price;
+               Value.Int 20;
+             |])
+      done)
 
-(** [make_system ~seed ~n_flights ~n_hotels ()] — a ready travel system. *)
-let make_system ?config ~seed ~n_flights ~n_hotels ?seats_per_flight () =
-  let sys = Youtopia.System.create ?config () in
+(** [make_system ~seed ~n_flights ~n_hotels ()] — a ready travel system.
+    With [wal_path], the schema and seed data are logged so the system can
+    be rebuilt by {!recover_system}. *)
+let make_system ?config ?wal_path ?durability ~seed ~n_flights ~n_hotels
+    ?seats_per_flight () =
+  let sys = Youtopia.System.create ?config ?wal_path ?durability () in
   setup sys;
   populate sys ~seed ~n_flights ~n_hotels ?seats_per_flight ();
+  sys
+
+(** The travel answer relations, as {!Youtopia.System.recover} needs them:
+    answer relations have no SQL DDL, so recovery must be told which
+    replayed tables to re-adopt. *)
+let answer_relation_names = [ "FlightRes"; "HotelRes"; "SeatRes" ]
+
+(** [recover_system ~wal_path ()] rebuilds a travel system from its WAL
+    (and checkpoints), re-adopting the answer relations and re-creating
+    the secondary indexes — indexes are not logged. *)
+let recover_system ?config ?durability ~wal_path () =
+  let sys =
+    Youtopia.System.recover ?config ?durability ~wal_path
+      ~answer_relations:answer_relation_names ()
+  in
+  let db = Youtopia.System.database sys in
+  let flights = Database.find_table db "Flights" in
+  let hotels = Database.find_table db "Hotels" in
+  ignore (Table.create_index flights "flights_by_dest" [| 2 |]);
+  ignore (Table.create_index hotels "hotels_by_city" [| 1 |]);
   sys

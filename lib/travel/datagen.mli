@@ -39,10 +39,30 @@ val populate :
 
 val make_system :
   ?config:Core.Coordinator.config ->
+  ?wal_path:string ->
+  ?durability:Wal.durability ->
   seed:int ->
   n_flights:int ->
   n_hotels:int ->
   ?seats_per_flight:int ->
   unit ->
   Youtopia.System.t
-(** A ready travel system: [setup] + [populate]. *)
+(** A ready travel system: [setup] + [populate].  With [wal_path] the
+    schema and seed data are logged ([populate] runs as one transaction),
+    so the system can be rebuilt by {!recover_system}. *)
+
+val answer_relation_names : string list
+(** The travel answer relations ([FlightRes], [HotelRes], [SeatRes]) —
+    what {!Youtopia.System.recover} must re-adopt, since answer relations
+    have no SQL DDL. *)
+
+val recover_system :
+  ?config:Core.Coordinator.config ->
+  ?durability:Wal.durability ->
+  wal_path:string ->
+  unit ->
+  Youtopia.System.t
+(** Rebuild a travel system from its WAL and checkpoints: recovery plus
+    answer-relation re-adoption and secondary-index re-creation (indexes
+    are not logged).  Pending entangled queries are not durable — owners
+    re-submit after a crash. *)

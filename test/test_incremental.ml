@@ -292,8 +292,8 @@ let test_rwlock_writer_excludes () =
         Net.Rwlock.read_unlock lock)
       ()
   in
-  Thread.delay 0.05;
-  Alcotest.(check bool) "reader blocked while writer holds" false !reader_in;
+  Test_util.assert_quiet "reader blocked while writer holds" (fun () ->
+      not !reader_in);
   Net.Rwlock.write_unlock lock;
   Thread.join reader;
   Alcotest.(check bool) "reader entered after release" true !reader_in;

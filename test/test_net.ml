@@ -659,14 +659,19 @@ let test_poll_partial_frame_nonblocking () =
           try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
           let half = (4 + n) / 2 in
+          let seen = ref 0 in
+          let drain () =
+            seen := !seen + List.length (Net.Client.poll_notifications c)
+          in
           ignore (Unix.write fd frame 0 half);
-          Thread.delay 0.05;
-          check int "half a frame yields nothing" 0
-            (List.length (Net.Client.poll_notifications c));
+          Test_util.assert_quiet "half a frame yields nothing" (fun () ->
+              drain ();
+              !seen = 0);
           ignore (Unix.write fd frame half (4 + n - half));
-          Thread.delay 0.05;
-          check int "completed frame delivered" 1
-            (List.length (Net.Client.poll_notifications c))))
+          Test_util.wait_until "completed frame delivered" (fun () ->
+              drain ();
+              !seen >= 1);
+          check int "exactly one notification" 1 !seen))
 
 let suite =
   [

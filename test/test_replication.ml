@@ -10,17 +10,7 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 
 let await ?(timeout = 15.) what pred =
-  let deadline = Unix.gettimeofday () +. timeout in
-  let rec go () =
-    if pred () then ()
-    else if Unix.gettimeofday () > deadline then
-      Alcotest.failf "timed out waiting for %s" what
-    else begin
-      Thread.delay 0.02;
-      go ()
-    end
-  in
-  go ()
+  Test_util.wait_until ~timeout ~interval:0.02 what pred
 
 let with_tmp_dir f =
   let dir =

@@ -1,0 +1,35 @@
+(* Shared timing helpers: bounded condition polling instead of fixed
+   sleeps.  A fixed [Thread.delay d] is both flaky (too short on a loaded
+   machine) and slow (too long everywhere else); polling a predicate
+   under a deadline is neither. *)
+
+(** [wait_until what pred] polls [pred] every [interval] seconds until it
+    holds, failing the test after [timeout] seconds. *)
+let wait_until ?(timeout = 10.) ?(interval = 0.005) what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out after %gs waiting for %s" timeout what
+    else begin
+      Thread.delay interval;
+      go ()
+    end
+  in
+  go ()
+
+(** [assert_quiet what pred] — the negative form: [pred] must stay true
+    for the whole [for_]-second window (checked every [interval]).  Use
+    for "nothing must arrive yet" assertions, where an early violation
+    should fail immediately instead of racing a single end-of-sleep
+    check. *)
+let assert_quiet ?(for_ = 0.05) ?(interval = 0.005) what pred =
+  let deadline = Unix.gettimeofday () +. for_ in
+  let rec go () =
+    if not (pred ()) then Alcotest.failf "%s violated during quiet window" what
+    else if Unix.gettimeofday () < deadline then begin
+      Thread.delay interval;
+      go ()
+    end
+  in
+  go ()

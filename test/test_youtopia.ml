@@ -8,6 +8,7 @@ let () =
       "query", Test_query.suite;
       "storage", Test_storage.suite;
       "wal-torn", Test_wal_torn.suite;
+      "fault", Test_fault.suite;
       "checkpoint", Test_checkpoint.suite;
       "group-commit", Test_group_commit.suite;
       "stats", Test_stats.suite;

@@ -8,6 +8,11 @@
 # the restart.  Run from the repo root after `dune build`:
 #
 #   bash tools/replication_smoke.sh
+#
+# Ports are dynamic: every server binds --port 0 and we parse the port it
+# actually got from its log, so parallel runs (CI, a busy dev box) never
+# collide.  Every child is tracked and killed on exit, whatever the path
+# out — success, failure, or an interrupt.
 set -u
 
 SERVER=_build/default/bin/youtopia_server.exe
@@ -18,14 +23,41 @@ CLIENT=_build/default/bin/youtopia_client.exe
 }
 
 TMP=$(mktemp -d)
-PPORT=$((21000 + RANDOM % 20000))
-RPORT=$((PPORT + 1))
-PPID_FILE="$TMP/primary.pid"
-trap 'kill $(cat "$PPID_FILE" 2>/dev/null) "$RPID" 2>/dev/null; rm -rf "$TMP"' EXIT
+PIDS=()
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
 
 fail() {
   echo "SMOKE FAIL: $*" >&2
   exit 1
+}
+
+# start_server LOG ARGS... — launch a server, remember its pid in PIDS,
+# and wait for it to report the port it bound.  Sets SERVER_PID/SERVER_PORT.
+start_server() {
+  local log=$1
+  shift
+  "$SERVER" "$@" > "$log" 2>&1 &
+  SERVER_PID=$!
+  PIDS+=("$SERVER_PID")
+  SERVER_PORT=
+  for _ in $(seq 1 100); do
+    SERVER_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log" | head -n 1)
+    [ -n "$SERVER_PORT" ] && return 0
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      cat "$log" >&2
+      fail "server died during startup"
+    fi
+    sleep 0.1
+  done
+  cat "$log" >&2
+  fail "server never reported its port"
 }
 
 sql() { # sql PORT "statement..." — run statements through the client
@@ -53,14 +85,12 @@ wait_rows() { # wait_rows PORT N — poll until Kv holds N rows
   fail "port $1 never reached $2 rows"
 }
 
-start_primary() {
-  "$SERVER" --port "$PPORT" --wal "$TMP/primary.wal" &
-  echo $! > "$PPID_FILE"
-}
-
-echo "== start primary on :$PPORT"
-start_primary
+echo "== start primary (dynamic port)"
+start_server "$TMP/primary1.log" --port 0 --wal "$TMP/primary.wal"
+PRIMARY_PID=$SERVER_PID
+PPORT=$SERVER_PORT
 wait_port "$PPORT"
+echo "   primary on :$PPORT"
 
 echo "== seed 20 rows"
 sql "$PPORT" "CREATE TABLE Kv (k INT PRIMARY KEY, v TEXT)" > /dev/null
@@ -68,12 +98,13 @@ for k in $(seq 0 19); do
   sql "$PPORT" "INSERT INTO Kv VALUES ($k, 'v$k')" > /dev/null
 done
 
-echo "== start replica on :$RPORT"
-"$SERVER" --port "$RPORT" --replica-of "127.0.0.1:$PPORT" --replica-id smoke &
-RPID=$!
+echo "== start replica (dynamic port)"
+start_server "$TMP/replica.log" --port 0 --replica-of "127.0.0.1:$PPORT" \
+  --replica-id smoke
+RPORT=$SERVER_PORT
 wait_port "$RPORT"
 wait_rows "$RPORT" 20
-echo "   replica bootstrapped with 20 rows"
+echo "   replica on :$RPORT bootstrapped with 20 rows"
 
 echo "== replica rejects writes with a redirect"
 out=$(sql "$RPORT" "INSERT INTO Kv VALUES (999, 'nope')")
@@ -87,9 +118,12 @@ echo "$out" | grep -q "routing reads across 1 replica" || fail "client did not r
 echo "$out" | grep -q "\b20\b" || fail "routed read returned wrong count: $out"
 
 echo "== restart primary mid-stream, then write 10 more rows"
-kill "$(cat "$PPID_FILE")"
-wait "$(cat "$PPID_FILE")" 2>/dev/null
-start_primary
+kill "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null
+# the replica is tailing the address it bootstrapped from, so the
+# restarted primary must come back on the SAME port (just freed; the
+# server listens with SO_REUSEADDR)
+start_server "$TMP/primary2.log" --port "$PPORT" --wal "$TMP/primary.wal"
 wait_port "$PPORT"
 for k in $(seq 20 29); do
   sql "$PPORT" "INSERT INTO Kv VALUES ($k, 'v$k')" > /dev/null
