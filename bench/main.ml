@@ -1169,6 +1169,219 @@ let e_repl { fast; seed } =
   record ~experiment:"REPL" ~metric:"recovery_ckpt_ms" (t_ckpt *. 1e3);
   record ~experiment:"REPL" ~metric:"recovery_speedup" (t_full /. t_ckpt)
 
+(* ------------------------------------------------------------------ *)
+(* CONN — connection scalability: poll-based event loops vs
+   thread-per-connection, at the same fd limit.  Phase 1 parks a wall of
+   idle connections (each held open after a completed HELLO); phase 2
+   runs active submitters through the wall and measures exact p99 submit
+   latency.  The thread model's ceiling is configured ([max_conns]): two
+   OS threads per connection stop being operable long before the fd
+   limit does.  The event target is derived from RLIMIT_NOFILE — each
+   loopback connection costs this process two fds (client + server end)
+   — minus a reserve for the WAL, listeners and wakeup pipes. *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let proc_status () =
+  (* (VmRSS kB, Threads) of this process; (0, 0) off-Linux *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0, 0
+  | ic ->
+    let rss = ref 0 and threads = ref 0 in
+    (try
+       while true do
+         let line =
+           String.map
+             (fun c -> if c = '\t' then ' ' else c)
+             (input_line ic)
+         in
+         let num () =
+           match
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           with
+           | _ :: v :: _ -> int_of_string_opt v |> Option.value ~default:0
+           | _ -> 0
+         in
+         if has_prefix "VmRSS:" line then rss := num ()
+         else if has_prefix "Threads:" line then threads := num ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !rss, !threads
+
+let nofile_limit () =
+  (* soft RLIMIT_NOFILE via /proc/self/limits; 1024 when unreadable *)
+  match open_in "/proc/self/limits" with
+  | exception Sys_error _ -> 1024
+  | ic ->
+    let limit = ref 1024 in
+    (try
+       while true do
+         let line = input_line ic in
+         if has_prefix "Max open files" line then
+           match
+             String.split_on_char ' '
+               (String.map (fun c -> if c = '\t' then ' ' else c) line)
+             |> List.filter (fun s -> s <> "")
+           with
+           | "Max" :: "open" :: "files" :: soft :: _ ->
+             limit := int_of_string_opt soft |> Option.value ~default:1024
+           | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !limit
+
+let e_conn { fast; seed } =
+  header
+    "CONN — idle-connection capacity + active p99, event loops vs \
+     thread-per-connection";
+  let nofile = nofile_limit () in
+  let submitters = if fast then 128 else 1000 in
+  let per_submitter = 10 in
+  let thread_ceiling = if fast then 1024 else 2048 in
+  let hello_frame user =
+    Net.Wire.encode_request
+      (Net.Wire.Hello { version = Net.Wire.protocol_version; user })
+  in
+  let open_idle port user =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      Net.Wire.write_frame fd (hello_frame user);
+      Net.Wire.decode_response_kind (Net.Wire.read_frame_kind fd)
+    with
+    | Net.Wire.Welcome _ -> Some fd
+    | _ | (exception _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+  in
+  let run_model ~label ~conn_model ~event_loops ~max_conns ~idle_target =
+    let sys = fresh_travel ~seed ~n_flights:32 () in
+    let config =
+      {
+        Net.Server.default_config with
+        Net.Server.port = 0;
+        conn_model;
+        event_loops;
+        max_conns;
+      }
+    in
+    let rss0, th0 = proc_status () in
+    let server = Net.Server.start ~config sys in
+    let port = Net.Server.port server in
+    (* phase 1: the idle wall *)
+    let idle = ref [] in
+    let held = ref 0 in
+    (try
+       for i = 1 to idle_target do
+         match open_idle port (Printf.sprintf "%s-idle%d" label i) with
+         | Some fd ->
+           idle := fd :: !idle;
+           incr held
+         | None -> raise Exit
+       done
+     with Exit -> ());
+    let rss1, th1 = proc_status () in
+    (* the server must still answer promptly at full capacity *)
+    let probe = Net.Client.connect ~port ~user:(label ^ "-probe") () in
+    if Net.Client.ping ~payload:"up" probe <> "up" then
+      failwith "CONN: server unresponsive at capacity";
+    (* phase 2: active submitters through the wall *)
+    let lats = Array.make submitters [] in
+    let workers =
+      Array.init submitters (fun w ->
+          Thread.create
+            (fun () ->
+              let c =
+                Net.Client.connect ~port
+                  ~user:(Printf.sprintf "%s-sub%d" label w)
+                  ()
+              in
+              let acc = ref [] in
+              for i = 1 to per_submitter do
+                let fno = 300_000 + (w * 100) + i in
+                let s = Unix.gettimeofday () in
+                ignore
+                  (Net.Client.submit c
+                     (Printf.sprintf
+                        "INSERT INTO Flights VALUES (%d, 'Lima', 'Atlantis', \
+                         %d, 42.0, 4)"
+                        fno (i mod 30)));
+                acc := (Unix.gettimeofday () -. s) :: !acc
+              done;
+              Net.Client.close c;
+              lats.(w) <- !acc)
+            ())
+    in
+    Array.iter Thread.join workers;
+    Net.Client.close probe;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      !idle;
+    Net.Server.stop server;
+    let latencies =
+      Array.of_list (Array.fold_left (fun acc l -> l @ acc) [] lats)
+    in
+    Array.sort compare latencies;
+    let p99 = percentile latencies 0.99 *. 1e6 in
+    let p50 = percentile latencies 0.50 *. 1e6 in
+    (!held, p50, p99, max 0 (rss1 - rss0), max 0 (th1 - th0))
+  in
+  let event_target =
+    max 256 (min 12_000 (((nofile - 768) / 2) - submitters))
+  in
+  let thread_target = max 64 (thread_ceiling - submitters - 4) in
+  say
+    "fd limit %d; %d active submitters x %d INSERTs; idle targets: event %d, \
+     threads %d (ceiling %d — two OS threads per connection)"
+    nofile submitters per_submitter event_target thread_target thread_ceiling;
+  say "%10s %12s %10s %10s %12s %12s" "model" "idle conns" "p50(us)"
+    "p99(us)" "rss(kB)" "threads";
+  let report label (held, p50, p99, rss, th) =
+    say "%10s %12d %10.1f %10.1f %12d %12d" label held p50 p99 rss th;
+    record ~experiment:"CONN" ~metric:(label ^ "_idle_conns")
+      (float_of_int held);
+    record ~experiment:"CONN" ~metric:(label ^ "_p50_us") p50;
+    record ~experiment:"CONN" ~metric:(label ^ "_p99_us") p99;
+    record ~experiment:"CONN" ~metric:(label ^ "_rss_kb") (float_of_int rss);
+    record ~experiment:"CONN" ~metric:(label ^ "_threads") (float_of_int th)
+  in
+  let ((th_held, _, th_p99, _, _) as threads_row) =
+    run_model ~label:"threads" ~conn_model:Net.Server.Threads ~event_loops:1
+      ~max_conns:thread_ceiling ~idle_target:thread_target
+  in
+  report "threads" threads_row;
+  (* matched load: the event core holding the *thread model's* wall — the
+     apples-to-apples latency ablation.  The capacity row below holds a
+     ~10x bigger wall, where poll(2)'s O(n) kernel scan (~250ns/fd, so
+     ~2.4ms per wait at 10k fds) dominates the latency floor: that row
+     measures what latency costs at a capacity the thread model cannot
+     reach at all. *)
+  let ((_, _, evm_p99, _, _) as event_matched_row) =
+    run_model ~label:"event_matched" ~conn_model:Net.Server.Event
+      ~event_loops:2 ~max_conns:0 ~idle_target:th_held
+  in
+  report "event_matched" event_matched_row;
+  let ((ev_held, _, _, _, _) as event_row) =
+    run_model ~label:"event" ~conn_model:Net.Server.Event ~event_loops:2
+      ~max_conns:0 ~idle_target:event_target
+  in
+  report "event" event_row;
+  let capacity_speedup = float_of_int ev_held /. float_of_int th_held in
+  let p99_speedup = th_p99 /. evm_p99 in
+  record ~experiment:"CONN" ~metric:"conn_capacity_speedup" capacity_speedup;
+  record ~experiment:"CONN" ~metric:"conn_p99_speedup" p99_speedup;
+  say
+    "  event vs threads: %.2fx the held connections at the same fd limit, \
+     %.2fx the p99 at matched load"
+    capacity_speedup p99_speedup;
+  say "  (the thread model burns two OS threads per connection; the event";
+  say "   core multiplexes its wall on %d poll loops and a batch drainer)" 2
+
 let experiments =
   [
     "E1", ("Figure 1 mutual match (bechamel)", fun (_ : opts) -> e1_fig1 ());
@@ -1183,6 +1396,7 @@ let experiments =
     "BATCH", ("write batching x durability over loopback TCP", e_batch);
     "REPL", ("read replicas + checkpointed recovery", e_repl);
     "NET", ("travel workload over loopback TCP", e_net);
+    "CONN", ("connection scalability: event loops vs thread-per-conn", e_conn);
     "MICRO", ("engine primitive microbenchmarks", fun (_ : opts) -> e_micro ());
   ]
 

@@ -12,7 +12,8 @@
    are flushed before connections close. *)
 
 let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
-    ~max_batch ~max_delay_us ~no_batch ~replica_of ~replica_id ~verbose =
+    ~max_batch ~max_delay_us ~no_batch ~replica_of ~replica_id ~conn_model
+    ~event_loops ~max_conns ~verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.Src.set_level Net.Server.log_src (Some Logs.Debug);
@@ -87,6 +88,18 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
          ^ "' (expected never|flush|fsync|group|group(N,USus))");
         exit 2)
   in
+  let conn_model =
+    match conn_model with
+    | "event" -> Net.Server.Event
+    | "threads" -> Net.Server.Threads
+    | s ->
+      prerr_endline ("unknown --conn-model '" ^ s ^ "' (expected event|threads)");
+      exit 2
+  in
+  if event_loops < 1 then begin
+    prerr_endline "--event-loops must be at least 1";
+    exit 2
+  end;
   let config =
     {
       Net.Server.default_config with
@@ -100,6 +113,9 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
       batch_writes = not no_batch;
       replica_of;
       replica_id;
+      conn_model;
+      event_loops;
+      max_conns;
     }
   in
   let server = Net.Server.start ~config sys in
@@ -218,6 +234,29 @@ let replica_id_opt =
     & info [ "replica-id" ] ~docv:"NAME"
         ~doc:"Name announced to the primary in the replica handshake.")
 
+let conn_model_opt =
+  Arg.(
+    value & opt string "event"
+    & info [ "conn-model" ] ~docv:"MODEL"
+        ~doc:
+          "Connection model: $(b,event) (poll-based event loops multiplexing \
+           non-blocking sockets, the default) or $(b,threads) \
+           (reader + writer thread per connection, the ablation baseline).")
+
+let event_loops_opt =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.event_loops
+    & info [ "event-loops" ] ~docv:"N"
+        ~doc:"Event-loop worker threads under the event model.")
+
+let max_conns_opt =
+  Arg.(
+    value
+    & opt int Net.Server.default_config.Net.Server.max_conns
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Refuse accepts beyond $(docv) live connections (0 = unlimited).")
+
 let verbose_flag =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log connection events.")
 
@@ -228,12 +267,14 @@ let cmd =
     Term.(
       const
         (fun host port travel seed wal read_timeout max_frame durability
-             max_batch max_delay_us no_batch replica_of replica_id verbose ->
+             max_batch max_delay_us no_batch replica_of replica_id conn_model
+             event_loops max_conns verbose ->
           run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame
             ~durability ~max_batch ~max_delay_us ~no_batch ~replica_of
-            ~replica_id ~verbose)
+            ~replica_id ~conn_model ~event_loops ~max_conns ~verbose)
       $ host_opt $ port_opt $ travel_flag $ seed_opt $ wal_opt $ read_timeout_opt
       $ max_frame_opt $ durability_opt $ max_batch_opt $ max_delay_us_opt
-      $ no_batch_flag $ replica_of_opt $ replica_id_opt $ verbose_flag)
+      $ no_batch_flag $ replica_of_opt $ replica_id_opt $ conn_model_opt
+      $ event_loops_opt $ max_conns_opt $ verbose_flag)
 
 let () = exit (Cmd.eval' cmd)

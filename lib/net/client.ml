@@ -26,9 +26,9 @@
 exception Server_error of string
 (** The server answered with an ERROR frame. *)
 
-(** One framed connection: fd + read-ahead buffer (a partially delivered
-    frame waits in [l_pending] until the rest arrives). *)
-type link = { l_fd : Unix.file_descr; mutable l_pending : string }
+(** One framed connection: fd + incremental decoder (a partially delivered
+    frame waits in the decoder until the rest arrives). *)
+type link = { l_fd : Unix.file_descr; l_dec : Wire.Decoder.t }
 
 type replica_slot = {
   r_host : string;
@@ -61,7 +61,7 @@ let transient = function
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let dial ~host ~port =
+let dial ~max_frame ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
   | () -> ()
@@ -69,11 +69,11 @@ let dial ~host ~port =
     close_fd fd;
     raise e);
   Unix.setsockopt fd Unix.TCP_NODELAY true;
-  { l_fd = fd; l_pending = "" }
+  { l_fd = fd; l_dec = Wire.Decoder.create ~max_frame () }
 
 (** Dial + HELLO; returns the link and the server's banner. *)
 let open_link ~max_frame ~user ~host ~port =
-  let link = dial ~host ~port in
+  let link = dial ~max_frame ~host ~port in
   match
     Wire.write_frame ~max_frame link.l_fd
       (Wire.encode_request (Wire.Hello { version = Wire.protocol_version; user }));
@@ -118,27 +118,11 @@ let connect ?(host = "127.0.0.1") ?(port = 7077)
 
 (* ---------------- response pump ---------------- *)
 
-(** Extract one complete frame from the link's read-ahead buffer. *)
-let take_frame t link =
-  let s = link.l_pending in
-  let len = String.length s in
-  if len < 4 then None
-  else begin
-    let n = Int32.to_int (String.get_int32_be s 0) in
-    if n < 0 || n > t.max_frame then
-      raise
-        (Wire.Protocol_error
-           (Printf.sprintf "inbound frame of %d bytes exceeds limit %d" n
-              t.max_frame));
-    if len < 4 + n then None
-    else begin
-      link.l_pending <- String.sub s (4 + n) (len - 4 - n);
-      Some (String.sub s 4 n)
-    end
-  end
+(** Extract one complete frame from the link's decoder. *)
+let take_frame link = Wire.Decoder.next link.l_dec
 
-(** One [read] into the buffer — blocking unless the fd is known
-    readable, in which case it returns whatever is available. *)
+(** One [read] into the decoder — blocking unless the fd is known
+    readable, in which case it feeds whatever is available. *)
 let fill link =
   let buf = Bytes.create 8192 in
   let got =
@@ -146,21 +130,21 @@ let fill link =
     with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
   in
   if got = 0 then raise Wire.Closed;
-  link.l_pending <- link.l_pending ^ Bytes.sub_string buf 0 got
+  Wire.Decoder.feed link.l_dec buf 0 got
 
-let rec read_buffered_frame t link =
-  match take_frame t link with
-  | Some payload -> payload
+let rec read_buffered_frame link =
+  match take_frame link with
+  | Some frame -> frame
   | None ->
     fill link;
-    read_buffered_frame t link
+    read_buffered_frame link
 
-let read_response t link = Wire.decode_response (read_buffered_frame t link)
+let read_response link = Wire.decode_response_kind (read_buffered_frame link)
 
 (** Block until the response correlated with [id] arrives on [link],
     stashing any pushes encountered on the way. *)
 let rec await t link id =
-  match read_response t link with
+  match read_response link with
   | Wire.Push n ->
     Queue.push n t.pushes;
     await t link id
@@ -349,9 +333,9 @@ let poll_notifications t =
     | _ -> false
   in
   let rec slurp () =
-    match take_frame t link with
-    | Some payload -> (
-      match Wire.decode_response payload with
+    match take_frame link with
+    | Some frame -> (
+      match Wire.decode_response_kind frame with
       | Wire.Push n ->
         Queue.push n t.pushes;
         slurp ()
@@ -372,9 +356,9 @@ let wait_notification ?(timeout = -1.) t =
     let link = t.primary in
     let deadline = if timeout < 0. then None else Some (Unix.gettimeofday () +. timeout) in
     let rec wait () =
-      match take_frame t link with
-      | Some payload -> (
-        match Wire.decode_response payload with
+      match take_frame link with
+      | Some frame -> (
+        match Wire.decode_response_kind frame with
         | Wire.Push n -> Some n
         | _ -> raise (Wire.Protocol_error "unsolicited non-push response"))
       | None ->

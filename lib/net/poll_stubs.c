@@ -1,0 +1,73 @@
+/* poll(2) binding for the event-driven server core.
+ *
+ * Kept deliberately tiny: the OCaml side owns the fd/event arrays and the
+ * readiness bit vocabulary (1 = readable, 2 = writable, 4 = error); this
+ * stub only translates to and from struct pollfd.  POLLHUP is folded into
+ * "readable" so the loop discovers EOF through its normal read path, and
+ * POLLNVAL is folded into "error" so a stale fd gets torn down instead of
+ * spinning.
+ */
+
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#define YT_READABLE 1
+#define YT_WRITABLE 2
+#define YT_ERROR 4
+
+CAMLprim value youtopia_poll_wait(value v_fds, value v_events,
+                                  value v_revents, value v_nfds,
+                                  value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_nfds, v_timeout_ms);
+  int nfds = Int_val(v_nfds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int i, rc;
+
+  if (nfds < 0 || nfds > Wosize_val(v_fds) || nfds > Wosize_val(v_events)
+      || nfds > Wosize_val(v_revents))
+    caml_invalid_argument("Netpoll.poll_wait: bad nfds");
+
+  pfds = malloc(sizeof(struct pollfd) * (nfds > 0 ? nfds : 1));
+  if (pfds == NULL) caml_raise_out_of_memory();
+
+  for (i = 0; i < nfds; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = 0;
+    if (ev & YT_READABLE) pfds[i].events |= POLLIN;
+    if (ev & YT_WRITABLE) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)nfds, timeout);
+  caml_acquire_runtime_system();
+
+  if (rc < 0) {
+    int e = errno;
+    free(pfds);
+    if (e == EINTR) CAMLreturn(Val_int(0));
+    caml_failwith("Netpoll.poll_wait: poll failed");
+  }
+
+  for (i = 0; i < nfds; i++) {
+    int re = pfds[i].revents;
+    int out = 0;
+    if (re & (POLLIN | POLLHUP)) out |= YT_READABLE;
+    if (re & POLLOUT) out |= YT_WRITABLE;
+    if (re & (POLLERR | POLLNVAL)) out |= YT_ERROR;
+    Store_field(v_revents, i, Val_int(out));
+  }
+
+  free(pfds);
+  CAMLreturn(Val_int(rc));
+}

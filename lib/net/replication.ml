@@ -314,7 +314,7 @@ module Replica = struct
                replica_id = t.replica_id;
                last_lsn = t.applied_lsn;
              });
-        (match Wire.decode_response (Wire.read_frame ~max_frame fd) with
+        (match Wire.decode_response_kind (Wire.read_frame_kind ~max_frame fd) with
         | Wire.Welcome _ -> ()
         | Wire.Error { message; _ } -> failwith ("primary rejected replica: " ^ message)
         | _ -> failwith "unexpected handshake response");
@@ -357,7 +357,7 @@ module Replica = struct
           end
         in
         let rec loop () =
-          (match Wire.decode_response (Wire.read_frame ~max_frame fd) with
+          (match Wire.decode_response_kind (Wire.read_frame_kind ~max_frame fd) with
           | Wire.Snapshot_chunk { lsn; seq = _; last; data } ->
             let buf =
               match !snap with

@@ -1,34 +1,53 @@
-(** Multi-threaded TCP server exposing one shared {!Youtopia.System.t}.
+(** TCP server exposing one shared {!Youtopia.System.t}.
 
-    Thread model: one accept thread; per connection, one {b reader} thread
-    (frames in, dispatch) and one {b writer} thread draining a
-    per-connection outbound queue.  Engine work runs under a
-    writer-preferring {!Rwlock}: scripts made only of read-only plain SQL
-    (SELECT without INTO ANSWER, EXPLAIN, SHOW …) and read-only admin
-    probes share the engine, while anything that can mutate — DML, DDL,
-    entangled submissions (match + joint atomic fulfilment), cancels — is
-    exclusive, so the coordination path still never interleaves with other
-    statements.  SQL is parsed {i outside} the lock.  Slow clients never
-    hold the engine: the reader computes a response under the engine lock,
-    enqueues it, and the writer thread owns the socket send.
+    Two connection models share one dispatch/executor core:
 
-    Push delivery: each connection's handshake creates a session for the
-    connection's user and installs a {!Youtopia.Session.set_listener}
-    hand-off, so the coordinator's notification — raised inside some other
-    connection's fulfilment, under the engine lock — is enqueued on the
-    owner's outbound queue immediately and hits the wire as a [PUSH] frame
-    without any polling. *)
+    {b Event model} (default): one accept thread plus [config.event_loops]
+    event-loop workers, each multiplexing its share of {e non-blocking}
+    sockets via {!Netpoll} (a [poll(2)] stub, with a sharded-[select]
+    fallback).  Reads go through the incremental {!Wire.Decoder} so a
+    partial frame never blocks a loop; complete frames dispatch inline on
+    the loop thread.  Outbound frames queue per connection (bounded by
+    [max_outq] — a slow consumer is dropped, never buffered without limit)
+    and are flushed by the owning loop under [POLLOUT]; a self-pipe wakeup
+    lets any thread (the batch drainer's response fan-out, a coordination
+    push raised inside another connection's fulfilment) hand frames to the
+    owning loop without blocking.  Backpressure: a connection with
+    [max_in_flight] batched writes outstanding loses [POLLIN] interest
+    until responses drain.  Idle enforcement is loop-side ([read_timeout]
+    deadlines swept by the loop) and {e exempts} connections whose user
+    owns a parked pending query — a long coordination wait must not race
+    the idle timer — as well as replica links.
+
+    {b Thread model} ([conn_model = Threads], the ablation baseline): per
+    connection, one reader thread (decoder-fed frames in, dispatch) and one
+    writer thread draining the outbound queue; [SO_RCVTIMEO] provides the
+    idle wakeup, with the same parked-query exemption.
+
+    Engine work runs under a writer-preferring {!Rwlock}: read-only scripts
+    and admin probes share the engine; anything that can mutate is
+    exclusive, via the {b batching executor} (one lock acquisition, one WAL
+    group flush, one coordinator poke per batch; responses fan out after
+    release).  SQL is parsed {i outside} the lock.  Pushes are handed off
+    from the coordinator's fulfilment path straight onto the owning
+    connection's outbound queue via {!Youtopia.Session.set_listener}.
+
+    Connections negotiated at protocol ≥ 2 receive bulky payloads
+    (replication chunks, large results) as raw-bytes frames
+    ({!Wire.encode_response_raw}). *)
 
 let log_src = Logs.Src.create "youtopia.net" ~doc:"Youtopia network server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type conn_model = Event | Threads
 
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
   backlog : int;
   max_frame : int;
-  read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  read_timeout : float;  (** seconds a connection may sit idle; 0 = forever *)
   max_outq : int;
       (** frames a connection may have queued outbound before it is
           dropped as a slow consumer *)
@@ -53,6 +72,12 @@ type config = {
           a redirect naming it, and an upstream loop bootstraps from a
           streamed snapshot then tails the primary's WAL *)
   replica_id : string;  (** name announced in the replica handshake *)
+  conn_model : conn_model;
+  event_loops : int;  (** event-loop workers ([Event] model) *)
+  max_in_flight : int;
+      (** batched writes one connection may have outstanding before the
+          loop drops its read interest (event-model backpressure) *)
+  max_conns : int;  (** refuse accepts beyond this many live conns; 0 = ∞ *)
 }
 
 let default_config =
@@ -72,17 +97,42 @@ let default_config =
     durability = None;
     replica_of = None;
     replica_id = "replica";
+    conn_model = Event;
+    event_loops = 1;
+    max_in_flight = 64;
+    max_conns = 0;
   }
+
+(** What the handshake made of a connection: an ordinary client session,
+    or a replica's upstream link. *)
+type peer =
+  | Client_peer of Youtopia.Session.t
+  | Replica_peer of Replication.Hub.sink
+
+(** Which flusher owns a connection's socket writes. *)
+type home = Home_threads | Home_loop of int
 
 type conn = {
   conn_id : int;
   fd : Unix.file_descr;
-  outq : string Queue.t;
+  outq : (bool * string) Queue.t;  (** (raw, payload) awaiting the wire *)
   out_mu : Mutex.t;
   out_cond : Condition.t;
   mutable closing : bool;
-  mutable reader : Thread.t option;
-  mutable writer : Thread.t option;
+  mutable raw : bool;  (** negotiated protocol ≥ 2: bulky frames go raw *)
+  mutable in_flight : int;  (** batched writes outstanding; under [out_mu] *)
+  home : home;
+  dec : Wire.Decoder.t;
+  mutable peer : peer option;
+  mutable last_activity : float;
+  mutable close_after_flush : bool;
+      (** loop-owned: drain [outq], then tear down *)
+  (* loop-private partial-write state: the staged frame being written *)
+  mutable wbuf : Bytes.t;
+  mutable woff : int;
+  mutable wlen : int;
+  mutable reader : Thread.t option;  (** thread model only *)
+  mutable writer : Thread.t option;  (** thread model only *)
 }
 
 (** One writer request parked in the batch queue: everything the drainer
@@ -93,6 +143,26 @@ type write_req = {
   wr_id : int;
   wr_stmts : Sql.Ast.statement list;  (** parsed outside the engine lock *)
   wr_t0 : float;  (** arrival time, for end-to-end submit latency *)
+}
+
+(** One event-loop worker.  [lp_conns] is touched only by the loop thread;
+    [lp_mu] guards the [lp_incoming] hand-off queue.  The self-pipe plus
+    [lp_waked] coalesces wakeups: whoever flips the flag writes the byte,
+    everyone else piggybacks. *)
+type loop = {
+  lp_index : int;
+  lp_wake_r : Unix.file_descr;
+  lp_wake_w : Unix.file_descr;
+  lp_waked : bool Atomic.t;
+  lp_mu : Mutex.t;
+  lp_incoming : conn Queue.t;
+  lp_conns : (int, conn) Hashtbl.t;
+  (* reusable poll arrays, resized as the fd population grows *)
+  mutable lp_fds : Unix.file_descr array;
+  mutable lp_events : int array;
+  mutable lp_revents : int array;
+  mutable lp_slots : conn option array;
+  mutable lp_thread : Thread.t option;
 }
 
 type t = {
@@ -113,6 +183,13 @@ type t = {
   batch_cond : Condition.t;  (* work arrived (or shutdown) *)
   batch_space : Condition.t;  (* queue has room again *)
   mutable drainer : Thread.t option;
+  (* event core *)
+  netpoll : Netpoll.engine;
+  loops : loop array;  (** empty under the thread model *)
+  mutable next_loop : int;  (** round-robin adoption cursor *)
+  mutable loops_running : bool;
+      (** loops outlive [running] so the drainer's final fan-out still
+          reaches the wire; {!stop} clears this after joining the drainer *)
   (* replication *)
   hub : Replication.Hub.t option;
       (** primary side: committed batches fan out to replica sinks;
@@ -168,12 +245,30 @@ let read_only_stmt : Sql.Ast.statement -> bool = Sql.Ast.read_only
 
 (* ---------------- outbound queue ---------------- *)
 
-(** Enqueue for the writer thread, bounded by [config.max_outq]: a peer
-    that stops reading while frames keep arriving (the writer blocked in
-    [write], the queue growing) is dropped rather than buffered without
-    limit.  The fd shutdown kicks both the blocked writer and the
-    reader's pending read, so normal teardown runs. *)
-let enqueue t conn payload =
+let wake_byte = Bytes.make 1 '!'
+
+(** Wake a loop out of its poll wait.  The atomic flag coalesces storms of
+    wakeups into one pipe byte; the loop clears the flag {e before}
+    draining the pipe, so a write racing the drain just causes one spare
+    (harmless) iteration rather than a lost wakeup.  Never blocks: the
+    write end is non-blocking and a full pipe already guarantees a pending
+    wakeup. *)
+let wake lp =
+  if not (Atomic.exchange lp.lp_waked true) then
+    try ignore (Unix.write lp.lp_wake_w wake_byte 0 1)
+    with Unix.Unix_error _ -> ()
+
+let wake_home t conn =
+  match conn.home with
+  | Home_threads -> ()
+  | Home_loop i -> if i < Array.length t.loops then wake t.loops.(i)
+
+(** Enqueue one (raw, payload) frame for the connection's flusher, bounded
+    by [config.max_outq]: a peer that stops reading while frames keep
+    arriving is dropped rather than buffered without limit.  The fd
+    shutdown kicks a blocked thread-model writer and surfaces as an error
+    readiness bit to an event loop, so normal teardown runs either way. *)
+let enqueue t conn item =
   Mutex.lock conn.out_mu;
   let overflow =
     if conn.closing then false
@@ -184,7 +279,7 @@ let enqueue t conn payload =
       true
     end
     else begin
-      Queue.push payload conn.outq;
+      Queue.push item conn.outq;
       Condition.signal conn.out_cond;
       false
     end
@@ -196,11 +291,19 @@ let enqueue t conn payload =
         f "conn %d: slow consumer, %d frames queued; dropping" conn.conn_id
           t.config.max_outq);
     try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
-  end
+  end;
+  wake_home t conn
 
-let send t conn response = enqueue t conn (Wire.encode_response response)
+(** Encode and enqueue: bulky responses go raw when the connection
+    negotiated protocol ≥ 2, the escaped text codec otherwise. *)
+let send t conn response =
+  match if conn.raw then Wire.encode_response_raw response else None with
+  | Some payload ->
+    Server_stats.on_raw_frame_out t.stats;
+    enqueue t conn (true, payload)
+  | None -> enqueue t conn (false, Wire.encode_response response)
 
-(** Writer thread body: drain the queue to the socket; exit once the
+(** Thread-model writer body: drain the queue to the socket; exit once the
     connection is closing {i and} the queue is empty, so queued frames
     (final errors, goodbye-time pushes) still reach the peer. *)
 let writer_loop t conn =
@@ -217,8 +320,8 @@ let writer_loop t conn =
     Mutex.unlock conn.out_mu;
     match item with
     | None -> () (* closing and drained *)
-    | Some payload ->
-      (match Wire.write_frame ~max_frame:t.config.max_frame conn.fd payload with
+    | Some (raw, payload) ->
+      (match Wire.write_frame ~max_frame:t.config.max_frame ~raw conn.fd payload with
       | () ->
         Server_stats.on_frame_out t.stats ~bytes:(String.length payload + 4);
         next ()
@@ -345,8 +448,16 @@ let execute_batch t batch =
   Fault.point "server.batch.fanout";
   List.iter
     (fun (wr, response, _) ->
-      send t wr.wr_conn response;
-      Server_stats.on_submit t.stats ~latency:(now -. wr.wr_t0))
+      (* release the in-flight slot before the response hits the queue, so
+         the owning loop's next interest build can restore POLLIN *)
+      Mutex.lock wr.wr_conn.out_mu;
+      wr.wr_conn.in_flight <- max 0 (wr.wr_conn.in_flight - 1);
+      Mutex.unlock wr.wr_conn.out_mu;
+      (* count before send: once the response is queued the loop can
+         flush it, and a client observing its answer must also observe
+         the submit counted *)
+      Server_stats.on_submit t.stats ~latency:(now -. wr.wr_t0);
+      send t wr.wr_conn response)
     results;
   (* replicas ride the same fan-out discipline as client responses *)
   hub_flush t
@@ -417,9 +528,11 @@ let drainer_loop t =
   loop ();
   Mutex.unlock t.batch_mu
 
-(** Reader-side enqueue with backpressure: a full batch queue blocks this
-    connection's reader (its own client sees latency, not an error) until
-    the drainer makes room. *)
+(** Reader-side enqueue with backpressure: a full batch queue blocks the
+    enqueuing thread — a thread-model reader, or (global backpressure) a
+    whole event loop — until the drainer makes room.  On success the
+    connection's in-flight count grows; the drainer's fan-out releases
+    it. *)
 let enqueue_write t wr =
   Mutex.lock t.batch_mu;
   while t.running && Queue.length t.batchq >= t.config.max_batchq do
@@ -433,11 +546,14 @@ let enqueue_write t wr =
   else begin
     Queue.push wr t.batchq;
     Condition.signal t.batch_cond;
-    Mutex.unlock t.batch_mu
+    Mutex.unlock t.batch_mu;
+    Mutex.lock wr.wr_conn.out_mu;
+    wr.wr_conn.in_flight <- wr.wr_conn.in_flight + 1;
+    Mutex.unlock wr.wr_conn.out_mu
   end
 
-(** Submit dispatch.  Parsing happens on the reader thread, outside any
-    lock.  Read-only scripts run inline under the shared lock.  Writes
+(** Submit dispatch.  Parsing happens on the dispatching thread, outside
+    any lock.  Read-only scripts run inline under the shared lock.  Writes
     either enqueue for the batching drainer (responses sent by the
     drainer) or — with [batch_writes] off — run inline under the
     exclusive lock, poking the coordinator themselves after DML so both
@@ -447,17 +563,17 @@ let handle_submit t conn session ~id ~sql =
   match Relational.Errors.guard (fun () -> Sql.Parser.parse_script sql) with
   | Error kind ->
     Server_stats.on_error t.stats;
+    Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
     send t conn
-      (Wire.Error { id; message = Relational.Errors.kind_to_string kind });
-    Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+      (Wire.Error { id; message = Relational.Errors.kind_to_string kind })
   | Ok stmts ->
     if (not (List.for_all read_only_stmt stmts)) && is_replica t then begin
       (* read replica: anything that could mutate goes to the primary *)
       let host, port = Option.get t.config.replica_of in
       Server_stats.on_readonly_rejected t.stats;
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
       send t conn
-        (Wire.Error { id; message = Wire.readonly_redirect ~host ~port });
-      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+        (Wire.Error { id; message = Wire.readonly_redirect ~host ~port })
     end
     else if List.for_all read_only_stmt stmts then begin
       let response =
@@ -473,8 +589,8 @@ let handle_submit t conn session ~id ~sql =
           Server_stats.on_error t.stats;
           Wire.Error { id; message = Printexc.to_string exn }
       in
-      send t conn response;
-      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
+      send t conn response
     end
     else if t.config.batch_writes then
       enqueue_write t
@@ -488,9 +604,9 @@ let handle_submit t conn session ~id ~sql =
             if dml > 0 then ignore (Youtopia.System.poke t.sys);
             response)
       in
+      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0);
       send t conn response;
-      hub_flush t;
-      Server_stats.on_submit t.stats ~latency:(Unix.gettimeofday () -. t0)
+      hub_flush t
     end
 
 let handle_cancel t ~id ~query_id =
@@ -596,15 +712,9 @@ let handle_admin t ~id ~what =
     Server_stats.on_error t.stats;
     Wire.Error { id; message = "unknown admin probe: " ^ other }
 
-(* ---------------- connection lifecycle ---------------- *)
+(* ---------------- handshake and dispatch (both models) ---------------- *)
 
 exception Goodbye
-
-(** What the handshake made of this connection: an ordinary client session,
-    or a replica's upstream link. *)
-type peer =
-  | Client_peer of Youtopia.Session.t
-  | Replica_peer of Replication.Hub.sink
 
 (** Send a replica its bootstrap stream.  The sink is already registered,
     so every batch committed from here on reaches it live; the replica's
@@ -656,95 +766,191 @@ let bootstrap_replica t conn ~last_lsn =
     end
 
 (** Handshake: the first frame must be a HELLO (client) or RHELLO (replica
-    upstream link) speaking our protocol version; the reply is WELCOME (or
-    ERROR, then the connection drops). *)
-let handshake t conn =
-  let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
-  Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+    upstream link) carrying a version in the window {!Wire.negotiate}
+    accepts; the reply is WELCOME echoing the negotiated version (or
+    ERROR, then the connection drops).  A peer at version ≥ 2 gets bulky
+    payloads as raw-bytes frames from here on. *)
+let handshake_of_request t conn req =
   let version_error version =
     raise
       (Wire.Protocol_error
          (Printf.sprintf "unsupported protocol version %d (server speaks %d)"
             version Wire.protocol_version))
   in
-  match Wire.decode_request payload with
-  | Wire.Hello { version; user } when version = Wire.protocol_version ->
-    let session = Youtopia.System.session t.sys user in
-    Youtopia.Session.set_listener session
-      (Some
-         (fun n ->
-           Server_stats.on_push t.stats;
-           send t conn (Wire.Push n)));
-    send t conn
-      (Wire.Welcome { version = Wire.protocol_version; banner = t.config.banner });
-    Client_peer session
-  | Wire.Hello { version; _ } -> version_error version
-  | Wire.Replica_hello { version; replica_id; last_lsn }
-    when version = Wire.protocol_version -> (
-    match t.hub with
-    | None ->
-      raise
-        (Wire.Protocol_error
-           "this server does not ship WAL (no WAL attached, or replica mode)")
-    | Some hub ->
-      (* register before cutting the bootstrap so no batch falls between
-         the snapshot/suffix and the live stream *)
-      let sink =
-        Replication.Hub.register hub ~replica_id
-          ~send:(fun r -> send t conn r)
-      in
-      Server_stats.on_replica_connect t.stats;
-      (match
-         send t conn
-           (Wire.Welcome
-              { version = Wire.protocol_version; banner = t.config.banner });
-         bootstrap_replica t conn ~last_lsn
-       with
-      | () -> ()
-      | exception e ->
-        Replication.Hub.unregister hub sink;
-        Server_stats.on_replica_disconnect t.stats;
-        raise e);
-      Replica_peer sink)
-  | Wire.Replica_hello { version; _ } -> version_error version
+  match req with
+  | Wire.Hello { version; user } -> (
+    match Wire.negotiate version with
+    | None -> version_error version
+    | Some v ->
+      conn.raw <- v >= 2;
+      let session = Youtopia.System.session t.sys user in
+      Youtopia.Session.set_listener session
+        (Some
+           (fun n ->
+             Server_stats.on_push t.stats;
+             send t conn (Wire.Push n)));
+      send t conn (Wire.Welcome { version = v; banner = t.config.banner });
+      Client_peer session)
+  | Wire.Replica_hello { version; replica_id; last_lsn } -> (
+    match Wire.negotiate version with
+    | None -> version_error version
+    | Some v -> (
+      conn.raw <- v >= 2;
+      match t.hub with
+      | None ->
+        raise
+          (Wire.Protocol_error
+             "this server does not ship WAL (no WAL attached, or replica mode)")
+      | Some hub ->
+        (* register before cutting the bootstrap so no batch falls between
+           the snapshot/suffix and the live stream *)
+        let sink =
+          Replication.Hub.register hub ~replica_id
+            ~send:(fun r -> send t conn r)
+        in
+        Server_stats.on_replica_connect t.stats;
+        (match
+           send t conn (Wire.Welcome { version = v; banner = t.config.banner });
+           bootstrap_replica t conn ~last_lsn
+         with
+        | () -> ()
+        | exception e ->
+          Replication.Hub.unregister hub sink;
+          Server_stats.on_replica_disconnect t.stats;
+          raise e);
+        Replica_peer sink))
   | _ -> raise (Wire.Protocol_error "expected HELLO as the first frame")
 
+(** Dispatch one decoded (text) frame on a connection, handshaking it
+    first if no peer is established yet.  Raises {!Goodbye} on BYE,
+    {!Wire.Protocol_error} on anything malformed. *)
+let dispatch_frame t conn payload =
+  let req = Wire.decode_request payload in
+  match conn.peer with
+  | None -> conn.peer <- Some (handshake_of_request t conn req)
+  | Some (Client_peer s) -> (
+    match req with
+    | Wire.Hello _ | Wire.Replica_hello _ ->
+      raise (Wire.Protocol_error "duplicate HELLO")
+    | Wire.Repl_ack _ ->
+      raise (Wire.Protocol_error "RACK on a client connection")
+    | Wire.Submit { id; sql } -> handle_submit t conn s ~id ~sql
+    | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
+    | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
+    | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
+    | Wire.Bye -> raise Goodbye)
+  | Some (Replica_peer sink) -> (
+    (* a replica link only ever sends acknowledgements *)
+    match req with
+    | Wire.Repl_ack { lsn } -> Replication.Hub.ack sink ~lsn
+    | Wire.Bye -> raise Goodbye
+    | _ -> raise (Wire.Protocol_error "unexpected frame on a replica link"))
+
+(** A connection exempt from idle teardown: replica links (server-push,
+    legitimately quiet inbound), and clients whose user owns a parked
+    pending query — the whole point of coordination is that such a client
+    may wait arbitrarily long for a partner. *)
+let idle_exempt t conn =
+  match conn.peer with
+  | Some (Replica_peer _) -> true
+  | Some (Client_peer s) -> (
+    let user = Youtopia.Session.user s in
+    try
+      with_engine_read t (fun () ->
+          List.exists
+            (fun q -> q.Core.Equery.owner = user)
+            (Core.Pending.to_list
+               (Core.Coordinator.pending (Youtopia.System.coordinator t.sys))))
+    with _ -> false)
+  | None -> false
+
+(** Detach whatever the handshake attached: client session + push
+    listener, or replica sink. *)
+let detach_peer t conn =
+  match conn.peer with
+  | Some (Client_peer s) ->
+    conn.peer <- None;
+    Youtopia.Session.set_listener s None;
+    Youtopia.System.close_session t.sys s
+  | Some (Replica_peer sink) ->
+    conn.peer <- None;
+    (match t.hub with
+    | Some hub -> Replication.Hub.unregister hub sink
+    | None -> ());
+    Server_stats.on_replica_disconnect t.stats
+  | None -> ()
+
+(* ---------------- thread model ---------------- *)
+
+(** Blocking read of the next complete text frame through the connection's
+    decoder.  [SO_RCVTIMEO] surfaces idle as EAGAIN/ETIMEDOUT: an exempt
+    connection just retries (its partial bytes wait safely in the
+    decoder), anyone else propagates the timeout to the reader's error
+    arm.  Mirrors the [wire.recv] / [wire.recv.drop] failpoints of
+    {!Wire.read_frame} per complete frame. *)
+let read_frame_conn t conn scratch =
+  let rec next_frame () =
+    match Wire.Decoder.next conn.dec with
+    | Some f -> f
+    | None ->
+      let n =
+        try Unix.read conn.fd scratch 0 (Bytes.length scratch)
+        with
+        | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+          as e ->
+          if idle_exempt t conn then -1
+          else begin
+            Server_stats.on_idle_timeout t.stats;
+            raise e
+          end
+      in
+      if n = 0 then raise Wire.Closed;
+      if n > 0 then begin
+        conn.last_activity <- Unix.gettimeofday ();
+        Wire.Decoder.feed conn.dec scratch 0 n
+      end;
+      next_frame ()
+  in
+  let rec frame () =
+    let kind, payload = next_frame () in
+    (try Fault.point "wire.recv" with Fault.Injected _ -> raise Wire.Closed);
+    if (try Fault.skip "wire.recv.drop" with Fault.Injected _ -> raise Wire.Closed)
+    then frame ()
+    else
+      match kind with
+      | Wire.Text -> payload
+      | Wire.Raw ->
+        raise
+          (Wire.Protocol_error
+             "unexpected raw frame (connection did not negotiate them)")
+  in
+  frame ()
+
+(** Thread-model teardown: detach the session/sink, drain the writer,
+    close the socket. *)
+let thread_teardown t conn =
+  detach_peer t conn;
+  Mutex.lock conn.out_mu;
+  conn.closing <- true;
+  Condition.signal conn.out_cond;
+  Mutex.unlock conn.out_mu;
+  (match conn.writer with Some th -> Thread.join th | None -> ());
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mu;
+  Hashtbl.remove t.conns conn.conn_id;
+  Mutex.unlock t.conns_mu;
+  Server_stats.on_disconnect t.stats;
+  Log.debug (fun f -> f "conn %d: closed" conn.conn_id)
+
 let reader_loop t conn =
-  let peer = ref None in
+  let scratch = Bytes.create 65536 in
   (try
-     let p = handshake t conn in
-     peer := Some p;
-     match p with
-     | Client_peer s ->
-       let rec loop () =
-         let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
-         Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
-         (match Wire.decode_request payload with
-         | Wire.Hello _ | Wire.Replica_hello _ ->
-           raise (Wire.Protocol_error "duplicate HELLO")
-         | Wire.Repl_ack _ ->
-           raise (Wire.Protocol_error "RACK on a client connection")
-         | Wire.Submit { id; sql } -> handle_submit t conn s ~id ~sql
-         | Wire.Cancel { id; query_id } -> send t conn (handle_cancel t ~id ~query_id)
-         | Wire.Admin { id; what } -> send t conn (handle_admin t ~id ~what)
-         | Wire.Ping { id; payload } -> send t conn (Wire.Pong { id; payload })
-         | Wire.Bye -> raise Goodbye);
-         loop ()
-       in
-       loop ()
-     | Replica_peer sink ->
-       (* a replica link only ever sends acknowledgements *)
-       let rec loop () =
-         let payload = Wire.read_frame ~max_frame:t.config.max_frame conn.fd in
-         Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
-         (match Wire.decode_request payload with
-         | Wire.Repl_ack { lsn } -> Replication.Hub.ack sink ~lsn
-         | Wire.Bye -> raise Goodbye
-         | _ ->
-           raise (Wire.Protocol_error "unexpected frame on a replica link"));
-         loop ()
-       in
-       loop ()
+     while true do
+       let payload = read_frame_conn t conn scratch in
+       Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+       dispatch_frame t conn payload
+     done
    with
   | Wire.Closed | Goodbye -> ()
   | Wire.Protocol_error m ->
@@ -762,33 +968,9 @@ let reader_loop t conn =
     Log.debug (fun f ->
         f "conn %d: reader failed: %s" conn.conn_id (Printexc.to_string exn));
     send t conn (Wire.Error { id = 0; message = Printexc.to_string exn }));
-  (* teardown: detach the session/sink, drain the writer, close the socket *)
-  (match !peer with
-  | Some (Client_peer s) ->
-    Youtopia.Session.set_listener s None;
-    Youtopia.System.close_session t.sys s
-  | Some (Replica_peer sink) ->
-    (match t.hub with
-    | Some hub -> Replication.Hub.unregister hub sink
-    | None -> ());
-    Server_stats.on_replica_disconnect t.stats
-  | None -> ());
-  Mutex.lock conn.out_mu;
-  conn.closing <- true;
-  Condition.signal conn.out_cond;
-  Mutex.unlock conn.out_mu;
-  (match conn.writer with Some th -> Thread.join th | None -> ());
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  Mutex.lock t.conns_mu;
-  Hashtbl.remove t.conns conn.conn_id;
-  Mutex.unlock t.conns_mu;
-  Server_stats.on_disconnect t.stats;
-  Log.debug (fun f -> f "conn %d: closed" conn.conn_id)
+  thread_teardown t conn
 
-let spawn_connection t fd =
-  Unix.setsockopt fd Unix.TCP_NODELAY true;
-  if t.config.read_timeout > 0. then
-    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout;
+let make_conn t ~fd ~home =
   Mutex.lock t.conns_mu;
   let conn_id = t.next_conn_id in
   t.next_conn_id <- conn_id + 1;
@@ -800,6 +982,16 @@ let spawn_connection t fd =
       out_mu = Mutex.create ();
       out_cond = Condition.create ();
       closing = false;
+      raw = false;
+      in_flight = 0;
+      home;
+      dec = Wire.Decoder.create ~max_frame:t.config.max_frame ();
+      peer = None;
+      last_activity = Unix.gettimeofday ();
+      close_after_flush = false;
+      wbuf = Bytes.create 0;
+      woff = 0;
+      wlen = 0;
       reader = None;
       writer = None;
     }
@@ -807,14 +999,462 @@ let spawn_connection t fd =
   Hashtbl.replace t.conns conn_id conn;
   Mutex.unlock t.conns_mu;
   Server_stats.on_connect t.stats;
+  conn
+
+let spawn_connection t fd =
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  if t.config.read_timeout > 0. then
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout;
+  let conn = make_conn t ~fd ~home:Home_threads in
   conn.writer <- Some (Thread.create (fun () -> writer_loop t conn) ());
   conn.reader <- Some (Thread.create (fun () -> reader_loop t conn) ());
-  Log.debug (fun f -> f "conn %d: accepted" conn_id)
+  Log.debug (fun f -> f "conn %d: accepted" conn.conn_id)
+
+(* ---------------- event model ---------------- *)
+
+(** Event-model teardown, loop thread only. *)
+let teardown_conn t lp conn =
+  Hashtbl.remove lp.lp_conns conn.conn_id;
+  detach_peer t conn;
+  Mutex.lock conn.out_mu;
+  conn.closing <- true;
+  Queue.clear conn.outq;
+  Mutex.unlock conn.out_mu;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mu;
+  Hashtbl.remove t.conns conn.conn_id;
+  Mutex.unlock t.conns_mu;
+  Server_stats.on_disconnect t.stats;
+  Log.debug (fun f -> f "conn %d: closed" conn.conn_id)
+
+(* A failpoint on a loop seam: [Error] condemns the one connection under
+   the seam (the loop itself must survive), [Delay] stalls the loop,
+   [Kill] crashes the process. *)
+let loop_point name =
+  try
+    Fault.point name;
+    true
+  with Fault.Injected _ -> false
+
+(** Flush the connection's staged frame + queue as far as the socket
+    allows.  Staging applies the same [wire.send] / [wire.send.drop]
+    failpoint semantics as {!Wire.write_frame}. *)
+let event_flush t conn =
+  if not (loop_point "server.loop.writable") then `Dead
+  else begin
+    let rec step () =
+      if conn.woff < conn.wlen then begin
+        match Unix.write conn.fd conn.wbuf conn.woff (conn.wlen - conn.woff) with
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          `Blocked
+        | exception Unix.Unix_error _ -> `Dead
+        | 0 -> `Dead
+        | k ->
+          conn.woff <- conn.woff + k;
+          if conn.woff >= conn.wlen then begin
+            Server_stats.on_frame_out t.stats ~bytes:conn.wlen;
+            conn.woff <- 0;
+            conn.wlen <- 0
+          end;
+          step ()
+      end
+      else begin
+        Mutex.lock conn.out_mu;
+        let item =
+          if Queue.is_empty conn.outq then None else Some (Queue.pop conn.outq)
+        in
+        Mutex.unlock conn.out_mu;
+        match item with
+        | None -> `Flushed
+        | Some (raw, payload) ->
+          if String.length payload > t.config.max_frame then begin
+            Server_stats.on_error t.stats;
+            Log.err (fun f ->
+                f "conn %d: outbound frame of %d bytes exceeds limit %d"
+                  conn.conn_id (String.length payload) t.config.max_frame);
+            `Dead
+          end
+          else begin
+            match
+              try `Skip (Fault.skip "wire.send.drop")
+              with Fault.Injected _ -> `Dead
+            with
+            | `Dead -> `Dead
+            | `Skip true -> step () (* frame silently swallowed *)
+            | `Skip false -> (
+              let frame = Wire.frame_bytes ~raw payload in
+              match
+                try `Cut (Fault.cut "wire.send" ~len:(Bytes.length frame))
+                with Fault.Injected _ -> `Dead
+              with
+              | `Dead -> `Dead
+              | `Cut (Some k) ->
+                (* the wire gets only the first [k] bytes, then the
+                   connection dies holding a truncated frame *)
+                (try ignore (Unix.write conn.fd frame 0 k)
+                 with Unix.Unix_error _ -> ());
+                `Dead
+              | `Cut None ->
+                conn.wbuf <- frame;
+                conn.woff <- 0;
+                conn.wlen <- Bytes.length frame;
+                step ())
+          end
+      end
+    in
+    match step () with `Dead -> `Dead | `Blocked | `Flushed -> `Ok
+  end
+
+(** Drain every complete frame the decoder holds, dispatching inline.
+    Errors condemn the connection but let queued output (the error
+    response included) flush first. *)
+let drain_decoder t conn =
+  let proto_error m =
+    Server_stats.on_error t.stats;
+    Log.debug (fun f -> f "conn %d: protocol error: %s" conn.conn_id m);
+    send t conn (Wire.Error { id = 0; message = m });
+    conn.close_after_flush <- true;
+    `Ok
+  in
+  let rec go () =
+    if conn.close_after_flush || conn.closing then `Ok
+    else begin
+      match
+        try `F (Wire.Decoder.next conn.dec)
+        with Wire.Protocol_error m -> `Err m
+      with
+      | `Err m -> proto_error m
+      | `F None -> `Ok
+      | `F (Some (kind, payload)) -> (
+        Server_stats.on_frame_in t.stats ~bytes:(String.length payload + 4);
+        if not (loop_point "server.decoder") then `Dead
+        else if
+          (* mirror Wire.read_frame's failpoints per complete frame *)
+          not (loop_point "wire.recv")
+        then `Dead
+        else begin
+          match
+            try `Skip (Fault.skip "wire.recv.drop")
+            with Fault.Injected _ -> `Dead
+          with
+          | `Dead -> `Dead
+          | `Skip true -> go () (* frame silently dropped *)
+          | `Skip false ->
+            if kind = Wire.Raw then
+              proto_error
+                "unexpected raw frame (connection did not negotiate them)"
+            else begin
+              match dispatch_frame t conn payload with
+              | () -> go ()
+              | exception Goodbye ->
+                conn.close_after_flush <- true;
+                `Ok
+              | exception Wire.Protocol_error m -> proto_error m
+              | exception Unix.Unix_error _ -> `Dead
+              | exception exn ->
+                Server_stats.on_error t.stats;
+                Log.debug (fun f ->
+                    f "conn %d: dispatch failed: %s" conn.conn_id
+                      (Printexc.to_string exn));
+                send t conn
+                  (Wire.Error { id = 0; message = Printexc.to_string exn });
+                conn.close_after_flush <- true;
+                `Ok
+            end
+        end)
+    end
+  in
+  go ()
+
+(** One readable event: pull whatever the socket has into the decoder and
+    dispatch the complete frames.  EOF switches the connection to
+    drain-then-close so queued responses still reach a half-closed peer. *)
+let event_read t conn scratch =
+  if not (loop_point "server.loop.readable") then `Dead
+  else begin
+    match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      `Ok
+    | exception Unix.Unix_error _ -> `Dead
+    | 0 ->
+      conn.close_after_flush <- true;
+      `Ok
+    | n ->
+      conn.last_activity <- Unix.gettimeofday ();
+      Wire.Decoder.feed conn.dec scratch 0 n;
+      drain_decoder t conn
+  end
+
+let ensure_loop_capacity lp n =
+  if Array.length lp.lp_fds < n then begin
+    let cap = ref (max 64 (Array.length lp.lp_fds)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    lp.lp_fds <- Array.make !cap lp.lp_wake_r;
+    lp.lp_events <- Array.make !cap 0;
+    lp.lp_revents <- Array.make !cap 0;
+    lp.lp_slots <- Array.make !cap None
+  end
+
+(** The loop thread: adopt handed-off connections, compute per-connection
+    interest (read unless backpressured or draining-to-close, write when
+    output is pending), wait, then service readiness — wake pipe first,
+    then each ready connection.  On exit (server stop) remaining output is
+    flushed best-effort over briefly-blocking sockets so in-flight
+    responses reach their clients. *)
+let loop_run t lp =
+  let scratch = Bytes.create 65536 in
+  let wake_buf = Bytes.create 256 in
+  let sweep_period =
+    if t.config.read_timeout > 0. then
+      Float.min 0.25 (Float.max 0.01 (t.config.read_timeout /. 4.))
+    else 0.
+  in
+  (* never block unboundedly: a bounded tick is cheap insurance against
+     any wakeup path the flag/pipe protocol fails to cover *)
+  let timeout_ms =
+    if sweep_period > 0. then max 10 (int_of_float (sweep_period *. 1000.))
+    else 250
+  in
+  let last_sweep = ref (Unix.gettimeofday ()) in
+  let adopt () =
+    Mutex.lock lp.lp_mu;
+    while not (Queue.is_empty lp.lp_incoming) do
+      let c = Queue.pop lp.lp_incoming in
+      Hashtbl.replace lp.lp_conns c.conn_id c
+    done;
+    Mutex.unlock lp.lp_mu
+  in
+  while t.loops_running do
+    match
+      adopt ();
+      (* interest build; connections already condemned tear down here *)
+      ensure_loop_capacity lp (Hashtbl.length lp.lp_conns + 1);
+      lp.lp_fds.(0) <- lp.lp_wake_r;
+      lp.lp_events.(0) <- Netpoll.readable;
+      lp.lp_slots.(0) <- None;
+      let n = ref 1 in
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          (* racy reads by design: wbuf offsets are loop-owned, and the
+             queue length / in-flight count / closing flag are word-size
+             fields whose stale values cost at most one iteration — the
+             producer's wake-pipe byte forces that iteration.  Locking
+             out_mu here would mean ~2 lock pairs per connection per
+             iteration: the dominant cost at a 10k-connection wall. *)
+          let pending_out = c.wlen > c.woff || Queue.length c.outq > 0 in
+          let infl = c.in_flight in
+          let closing = c.closing in
+          (* opportunistic flush: a socket is writable almost always, so
+             pushing freshly-queued output here — instead of registering
+             POLLOUT and paying a whole poll round-trip first — halves
+             the response path.  EAGAIN falls back to POLLOUT below. *)
+          let dead = ref false in
+          let pending_out =
+            if pending_out && not closing then begin
+              (match event_flush t c with
+              | `Dead -> dead := true
+              | `Ok -> ());
+              c.wlen > c.woff || Queue.length c.outq > 0
+            end
+            else pending_out
+          in
+          if closing || !dead then doomed := c :: !doomed
+          else if c.close_after_flush && not pending_out then
+            doomed := c :: !doomed
+          else begin
+            let ev = ref 0 in
+            if (not c.close_after_flush) && infl < t.config.max_in_flight
+            then ev := Netpoll.readable;
+            if pending_out then ev := !ev lor Netpoll.writable;
+            lp.lp_fds.(!n) <- c.fd;
+            lp.lp_events.(!n) <- !ev;
+            lp.lp_slots.(!n) <- Some c;
+            incr n
+          end)
+        lp.lp_conns;
+      List.iter (teardown_conn t lp) !doomed;
+      Server_stats.on_loop_iteration t.stats ~fds:!n;
+      (match
+         Netpoll.wait t.netpoll ~fds:lp.lp_fds ~events:lp.lp_events
+           ~revents:lp.lp_revents ~nfds:!n ~timeout_ms
+       with
+      | _ -> ()
+      | exception Failure m ->
+        Array.fill lp.lp_revents 0 !n 0;
+        Log.err (fun f -> f "loop %d: %s" lp.lp_index m);
+        Thread.delay 0.01);
+      (* wake pipe first: drain, THEN clear the flag.  A waker racing the
+         drain sees the flag still set and skips its byte — but its
+         enqueue happened before our clear, so the next interest rebuild
+         observes it.  Clearing before draining would eat that racer's
+         byte while leaving the flag set, silencing every later wake. *)
+      if lp.lp_revents.(0) land Netpoll.readable <> 0 then begin
+        (try
+           while Unix.read lp.lp_wake_r wake_buf 0 (Bytes.length wake_buf) > 0 do
+             ()
+           done
+         with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+        Atomic.set lp.lp_waked false;
+        Server_stats.on_loop_wakeup t.stats;
+        if not (loop_point "server.loop.wakeup") then
+          Server_stats.on_error t.stats
+      end;
+      for i = 1 to !n - 1 do
+        (match lp.lp_slots.(i) with
+        | None -> ()
+        | Some c ->
+          let re = lp.lp_revents.(i) in
+          if re <> 0 && not c.closing then begin
+            let dead = ref false in
+            if re land Netpoll.error <> 0 then dead := true
+            else begin
+              if
+                re land Netpoll.writable <> 0
+                && lp.lp_events.(i) land Netpoll.writable <> 0
+              then begin
+                match event_flush t c with
+                | `Dead -> dead := true
+                | `Ok -> ()
+              end;
+              if
+                (not !dead)
+                && re land Netpoll.readable <> 0
+                && lp.lp_events.(i) land Netpoll.readable <> 0
+              then begin
+                match event_read t c scratch with
+                | `Dead -> dead := true
+                | `Ok -> ()
+              end
+            end;
+            if !dead then teardown_conn t lp c
+          end);
+        lp.lp_slots.(i) <- None
+      done;
+      (* loop-side idle sweep, replacing per-fd SO_RCVTIMEO *)
+      if sweep_period > 0. then begin
+        let now = Unix.gettimeofday () in
+        if now -. !last_sweep >= sweep_period then begin
+          last_sweep := now;
+          let timed_out =
+            Hashtbl.fold
+              (fun _ c acc ->
+                if
+                  (not c.closing)
+                  && (not c.close_after_flush)
+                  && now -. c.last_activity > t.config.read_timeout
+                then c :: acc
+                else acc)
+              lp.lp_conns []
+          in
+          List.iter
+            (fun c ->
+              (* the exemption check takes the engine read lock, so it
+                 only runs for connections already past their deadline *)
+              if not (idle_exempt t c) then begin
+                Server_stats.on_idle_timeout t.stats;
+                Log.debug (fun f -> f "conn %d: read timeout" c.conn_id);
+                send t c
+                  (Wire.Error { id = 0; message = "read timeout; closing" });
+                c.close_after_flush <- true
+              end)
+            timed_out
+        end
+      end
+    with
+    | () -> ()
+    | exception exn ->
+      (* a loop must never die: it owns every one of its connections *)
+      Server_stats.on_error t.stats;
+      Log.err (fun f ->
+          f "loop %d: iteration failed: %s" lp.lp_index
+            (Printexc.to_string exn));
+      Thread.delay 0.01
+  done;
+  (* exit: adopt stragglers, flush remaining output over briefly-blocking
+     sockets (responses the drainer fanned out during shutdown), then tear
+     every connection down *)
+  adopt ();
+  Hashtbl.iter
+    (fun _ c ->
+      try
+        Unix.clear_nonblock c.fd;
+        Unix.setsockopt_float c.fd Unix.SO_SNDTIMEO 0.5;
+        if c.woff < c.wlen then
+          ignore (Unix.write c.fd c.wbuf c.woff (c.wlen - c.woff));
+        let rec drain () =
+          Mutex.lock c.out_mu;
+          let item =
+            if Queue.is_empty c.outq then None else Some (Queue.pop c.outq)
+          in
+          Mutex.unlock c.out_mu;
+          match item with
+          | Some (raw, payload) ->
+            Wire.write_frame ~max_frame:t.config.max_frame ~raw c.fd payload;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      with _ -> ())
+    lp.lp_conns;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) lp.lp_conns [] in
+  List.iter (teardown_conn t lp) cs
+
+(** Hand a fresh socket to the least-recently-used loop. *)
+let adopt_event_conn t fd =
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  Unix.set_nonblock fd;
+  let lp = t.loops.(t.next_loop mod Array.length t.loops) in
+  t.next_loop <- t.next_loop + 1;
+  let conn = make_conn t ~fd ~home:(Home_loop lp.lp_index) in
+  Mutex.lock lp.lp_mu;
+  Queue.push conn lp.lp_incoming;
+  let backlog = Queue.length lp.lp_incoming in
+  Mutex.unlock lp.lp_mu;
+  Server_stats.on_loop_adopt t.stats ~backlog;
+  wake lp;
+  Log.debug (fun f -> f "conn %d: accepted (loop %d)" conn.conn_id lp.lp_index)
+
+(* ---------------- accept ---------------- *)
+
+let active_conns t =
+  Mutex.lock t.conns_mu;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mu;
+  n
 
 let accept_loop t =
   while t.running do
     match Unix.accept t.listen_fd with
-    | fd, _addr -> spawn_connection t fd
+    | fd, _addr ->
+      if
+        not
+          (try
+             Fault.point "server.accept";
+             true
+           with Fault.Injected _ -> false)
+      then begin
+        Server_stats.on_error t.stats;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else if t.config.max_conns > 0 && active_conns t >= t.config.max_conns
+      then begin
+        Server_stats.on_conn_refused t.stats;
+        Log.warn (fun f ->
+            f "refusing connection: %d live (max_conns=%d)" (active_conns t)
+              t.config.max_conns);
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        match t.config.conn_model with
+        | Threads -> spawn_connection t fd
+        | Event -> adopt_event_conn t fd
+      end
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
       ->
       () (* listen socket closed during shutdown, or a racy abort *)
@@ -857,6 +1497,30 @@ let start ?(config = default_config) sys =
       Some hub
     | _ -> None
   in
+  let netpoll = Netpoll.choose () in
+  let loops =
+    match config.conn_model with
+    | Threads -> [||]
+    | Event ->
+      Array.init (max 1 config.event_loops) (fun i ->
+          let r, w = Unix.pipe () in
+          Unix.set_nonblock r;
+          Unix.set_nonblock w;
+          {
+            lp_index = i;
+            lp_wake_r = r;
+            lp_wake_w = w;
+            lp_waked = Atomic.make false;
+            lp_mu = Mutex.create ();
+            lp_incoming = Queue.create ();
+            lp_conns = Hashtbl.create 256;
+            lp_fds = Array.make 64 r;
+            lp_events = Array.make 64 0;
+            lp_revents = Array.make 64 0;
+            lp_slots = Array.make 64 None;
+            lp_thread = None;
+          })
+  in
   let t =
     {
       sys;
@@ -875,10 +1539,15 @@ let start ?(config = default_config) sys =
       batch_cond = Condition.create ();
       batch_space = Condition.create ();
       drainer = None;
+      netpoll;
+      loops;
+      next_loop = 0;
+      loops_running = true;
       hub;
       replica = None;
     }
   in
+  Server_stats.set_loops t.stats (Array.length loops);
   (match config.durability with
   | Some d ->
     Relational.Database.set_durability (Youtopia.System.database sys) d
@@ -919,17 +1588,27 @@ let start ?(config = default_config) sys =
   | None -> ());
   if config.batch_writes then
     t.drainer <- Some (Thread.create (fun () -> drainer_loop t) ());
+  Array.iter
+    (fun lp -> lp.lp_thread <- Some (Thread.create (fun () -> loop_run t lp) ()))
+    t.loops;
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   Log.info (fun f ->
-      f "listening on %s:%d%s" config.host bound_port
+      f "listening on %s:%d%s%s" config.host bound_port
+        (match config.conn_model with
+        | Event ->
+          Printf.sprintf " (event core: %d loop(s), %s)" (Array.length t.loops)
+            (Netpoll.engine_name netpoll)
+        | Threads -> " (thread-per-connection)")
         (match config.replica_of with
         | Some (h, p) -> Printf.sprintf " (read replica of %s:%d)" h p
         | None -> ""));
   t
 
-(** Graceful shutdown: stop accepting, nudge every connection's reader off
-    its blocking read, and join all threads.  Queued responses are still
-    flushed by each writer before its socket closes. *)
+(** Graceful shutdown: stop accepting, drain the batch queue so accepted
+    writes still answer, then retire the connection owners — event loops
+    flush remaining output before closing their sockets; thread-model
+    readers are kicked off their blocking reads and their writers drain.
+    Idempotent. *)
 let stop t =
   if t.running then begin
     t.running <- false;
@@ -948,15 +1627,26 @@ let stop t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (* drain the batch queue before tearing connections down: already
+    (* drain the batch queue before retiring connection owners: already
        accepted write requests still execute and their responses reach the
-       per-connection writers while those are alive (new enqueues are
-       refused once [running] is false) *)
+       outbound queues while a flusher is alive to send them (new
+       enqueues are refused once [running] is false) *)
     (match t.drainer with
     | Some th ->
       Thread.join th;
       t.drainer <- None
     | None -> ());
+    (* event loops: only now may they exit — their final pass flushes
+       everything the drainer just fanned out *)
+    t.loops_running <- false;
+    Array.iter wake t.loops;
+    Array.iter
+      (fun lp ->
+        (match lp.lp_thread with Some th -> Thread.join th | None -> ());
+        (try Unix.close lp.lp_wake_r with Unix.Unix_error _ -> ());
+        (try Unix.close lp.lp_wake_w with Unix.Unix_error _ -> ()))
+      t.loops;
+    (* thread model: kick readers off their blocking reads and join *)
     let conns =
       Mutex.lock t.conns_mu;
       let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in

@@ -1,30 +1,51 @@
-(** Multi-threaded TCP server exposing one shared {!Youtopia.System.t}.
+(** TCP server exposing one shared {!Youtopia.System.t}.
 
-    One accept thread; per connection, a reader thread (frames in,
-    dispatch) and a writer thread draining a per-connection outbound
-    queue.  Engine work runs under a writer-preferring {!Rwlock}:
-    read-only scripts and admin probes share the engine.  Writes go
-    through a {b batching executor}: writer requests enqueue into a
-    bounded batch queue and a single drainer thread takes the exclusive
-    lock once per batch, executes every request with per-request error
-    isolation, emits one WAL group flush ({!Relational.Wal.with_batch})
-    and one coordinator poke for the whole batch, then fans responses out
-    — amortising lock acquisition, log flush/fsync and coordination
-    re-evaluation across concurrent writers.  [batch_writes = false]
-    restores the per-request exclusive baseline (each write takes the
-    lock, syncs and pokes alone).  Pushes are handed off from the
-    coordinator's fulfilment path straight onto the owning connection's
-    outbound queue via {!Youtopia.Session.set_listener}, so clients
-    receive coordination answers without polling. *)
+    Two connection models ([config.conn_model]) share one dispatch and
+    batching core.  The default {b event model} runs one accept thread
+    plus [event_loops] workers, each multiplexing its share of
+    non-blocking sockets via {!Netpoll} ([poll(2)] stub, sharded-[select]
+    fallback): reads feed the incremental {!Wire.Decoder}, complete frames
+    dispatch inline on the loop, outbound frames queue per connection
+    (bounded by [max_outq]) and flush under [POLLOUT], and a self-pipe
+    wakeup hands drainer fan-outs and coordination pushes back to the
+    owning loop.  A connection with [max_in_flight] batched writes
+    outstanding loses read interest until responses drain (backpressure).
+    Idle deadlines are swept loop-side and exempt connections whose user
+    owns a parked pending query, plus replica links.  The {b thread model}
+    ([Threads], the ablation baseline) keeps a reader + writer thread per
+    connection with [SO_RCVTIMEO] idle wakeups and the same exemption.
+
+    Engine work runs under a writer-preferring {!Rwlock}: read-only
+    scripts and admin probes share the engine.  Writes go through a
+    {b batching executor}: writer requests enqueue into a bounded batch
+    queue and a single drainer thread takes the exclusive lock once per
+    batch, executes every request with per-request error isolation, emits
+    one WAL group flush ({!Relational.Wal.with_batch}) and one coordinator
+    poke for the whole batch, then fans responses out — amortising lock
+    acquisition, log flush/fsync and coordination re-evaluation across
+    concurrent writers.  [batch_writes = false] restores the per-request
+    exclusive baseline.  Pushes are handed off from the coordinator's
+    fulfilment path straight onto the owning connection's outbound queue
+    via {!Youtopia.Session.set_listener}, so clients receive coordination
+    answers without polling.
+
+    Connections negotiated at protocol ≥ 2 receive bulky payloads
+    (replication chunks, large result sets) as raw-bytes frames. *)
 
 val log_src : Logs.src
+
+type conn_model =
+  | Event  (** poll-based event loops multiplexing non-blocking sockets *)
+  | Threads  (** reader + writer thread per connection (ablation baseline) *)
 
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; read it back with {!port} *)
   backlog : int;
   max_frame : int;  (** frames beyond this are rejected, both directions *)
-  read_timeout : float;  (** seconds a reader waits for a frame; 0 = forever *)
+  read_timeout : float;
+      (** seconds a connection may sit idle before teardown; 0 = forever.
+          Connections whose user owns a parked pending query are exempt *)
   max_outq : int;
       (** frames a connection may have queued outbound before it is
           dropped as a slow consumer (a peer that stops reading) *)
@@ -42,7 +63,7 @@ type config = {
           batch is the accumulation window for the next *)
   max_batchq : int;
       (** bound on queued write requests; a full queue blocks the
-          enqueuing connection's reader (backpressure, not an error) *)
+          enqueuing thread (backpressure, not an error) *)
   durability : Relational.Wal.durability option;
       (** applied to the system's WAL at {!start}; [None] leaves the
           database's current mode untouched *)
@@ -53,12 +74,21 @@ type config = {
           ({!Wire.readonly_redirect}), and a background loop bootstraps
           from a streamed snapshot then tails the primary's WAL *)
   replica_id : string;  (** name announced in the replica handshake *)
+  conn_model : conn_model;
+  event_loops : int;
+      (** event-loop workers under the [Event] model (default 1) *)
+  max_in_flight : int;
+      (** batched writes one connection may have outstanding before the
+          owning loop drops its read interest (event-model backpressure) *)
+  max_conns : int;
+      (** refuse accepts beyond this many live connections; 0 = unlimited *)
 }
 
 val default_config : config
 (** 127.0.0.1:7077, 1 MiB frames, no read timeout, 1024-frame outbound
     queues; batching on (32 requests / 1000 µs window / 256-deep queue),
-    durability untouched; not a replica. *)
+    durability untouched; not a replica.  Event model, 1 loop, 64 writes
+    in flight per connection, unlimited connections. *)
 
 type t
 

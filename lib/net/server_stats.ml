@@ -75,6 +75,16 @@ type t = {
   mutable repl_reconnects : int;
   mutable readonly_rejections : int;
       (** writes a read-only replica redirected to the primary *)
+  (* event-loop core *)
+  mutable loops : int;  (** event loops running (0 = thread model) *)
+  mutable loop_iterations : int;  (** poll/select wait cycles across loops *)
+  mutable loop_wakeups : int;  (** self-pipe wakeups drained *)
+  mutable loop_fds_max : int;  (** most fds one loop has multiplexed *)
+  mutable loop_adopt_backlog_max : int;
+      (** deepest incoming-connection queue observed at adoption *)
+  mutable raw_frames_out : int;  (** frames sent on the raw-bytes path *)
+  mutable idle_timeouts : int;  (** connections torn down by idle sweep *)
+  mutable conns_refused : int;  (** accepts refused at [max_conns] *)
 }
 
 (** Immutable copy for rendering/reporting. *)
@@ -118,6 +128,14 @@ type snapshot = {
   repl_snapshots_loaded : int;
   repl_reconnects : int;
   readonly_rejections : int;
+  loops : int;
+  loop_iterations : int;
+  loop_wakeups : int;
+  loop_fds_max : int;
+  loop_adopt_backlog_max : int;
+  raw_frames_out : int;
+  idle_timeouts : int;
+  conns_refused : int;
 }
 
 let create () =
@@ -159,6 +177,14 @@ let create () =
     repl_snapshots_loaded = 0;
     repl_reconnects = 0;
     readonly_rejections = 0;
+    loops = 0;
+    loop_iterations = 0;
+    loop_wakeups = 0;
+    loop_fds_max = 0;
+    loop_adopt_backlog_max = 0;
+    raw_frames_out = 0;
+    idle_timeouts = 0;
+    conns_refused = 0;
   }
 
 let locked t f =
@@ -259,6 +285,32 @@ let on_repl_reconnect t =
 let on_readonly_rejected t =
   locked t (fun () -> t.readonly_rejections <- t.readonly_rejections + 1)
 
+(* -- event-loop core -- *)
+
+let set_loops t n = locked t (fun () -> t.loops <- n)
+
+(** One wait cycle of loop [_loop] currently multiplexing [fds] fds
+    (including its wakeup pipe). *)
+let on_loop_iteration t ~fds =
+  locked t (fun () ->
+      t.loop_iterations <- t.loop_iterations + 1;
+      t.loop_fds_max <- max t.loop_fds_max fds)
+
+let on_loop_wakeup t = locked t (fun () -> t.loop_wakeups <- t.loop_wakeups + 1)
+
+let on_loop_adopt t ~backlog =
+  locked t (fun () ->
+      t.loop_adopt_backlog_max <- max t.loop_adopt_backlog_max backlog)
+
+let on_raw_frame_out t =
+  locked t (fun () -> t.raw_frames_out <- t.raw_frames_out + 1)
+
+let on_idle_timeout t =
+  locked t (fun () -> t.idle_timeouts <- t.idle_timeouts + 1)
+
+let on_conn_refused t =
+  locked t (fun () -> t.conns_refused <- t.conns_refused + 1)
+
 (* percentile from the log histogram: upper bound of the bucket where the
    cumulative count crosses p; the overflow bucket reports [max_s] *)
 let hist_percentile hist ~total ~max_s p =
@@ -328,6 +380,14 @@ let snapshot t : snapshot =
         repl_snapshots_loaded = t.repl_snapshots_loaded;
         repl_reconnects = t.repl_reconnects;
         readonly_rejections = t.readonly_rejections;
+        loops = t.loops;
+        loop_iterations = t.loop_iterations;
+        loop_wakeups = t.loop_wakeups;
+        loop_fds_max = t.loop_fds_max;
+        loop_adopt_backlog_max = t.loop_adopt_backlog_max;
+        raw_frames_out = t.raw_frames_out;
+        idle_timeouts = t.idle_timeouts;
+        conns_refused = t.conns_refused;
       })
 
 (* "≤bound:count" pairs for the non-empty buckets, e.g. "le8:3,le16:12" *)
@@ -396,4 +456,12 @@ let render t =
       Printf.sprintf "repl_snapshots_loaded=%d" s.repl_snapshots_loaded;
       Printf.sprintf "repl_reconnects=%d" s.repl_reconnects;
       Printf.sprintf "readonly_rejections=%d" s.readonly_rejections;
+      Printf.sprintf "loops=%d" s.loops;
+      Printf.sprintf "loop_iterations=%d" s.loop_iterations;
+      Printf.sprintf "loop_wakeups=%d" s.loop_wakeups;
+      Printf.sprintf "loop_fds_max=%d" s.loop_fds_max;
+      Printf.sprintf "loop_adopt_backlog_max=%d" s.loop_adopt_backlog_max;
+      Printf.sprintf "raw_frames_out=%d" s.raw_frames_out;
+      Printf.sprintf "idle_timeouts=%d" s.idle_timeouts;
+      Printf.sprintf "conns_refused=%d" s.conns_refused;
     ]

@@ -49,6 +49,15 @@ type snapshot = {
   repl_reconnects : int;
   readonly_rejections : int;
       (** writes this read-only replica redirected to the primary *)
+  loops : int;  (** event loops running (0 = thread model) *)
+  loop_iterations : int;  (** poll/select wait cycles across loops *)
+  loop_wakeups : int;  (** self-pipe wakeups drained *)
+  loop_fds_max : int;  (** most fds one loop has multiplexed *)
+  loop_adopt_backlog_max : int;
+      (** deepest incoming-connection queue observed at adoption *)
+  raw_frames_out : int;  (** frames sent on the raw-bytes path *)
+  idle_timeouts : int;  (** connections torn down by the idle sweep *)
+  conns_refused : int;  (** accepts refused at [max_conns] *)
 }
 
 val create : unit -> t
@@ -89,6 +98,19 @@ val on_repl_apply :
 val on_repl_snapshot : t -> lsn:int -> unit
 val on_repl_reconnect : t -> unit
 val on_readonly_rejected : t -> unit
+
+val set_loops : t -> int -> unit
+(** Number of event loops this server runs (0 under the thread model). *)
+
+val on_loop_iteration : t -> fds:int -> unit
+(** One wait cycle of a loop currently multiplexing [fds] fds (including
+    its wakeup pipe). *)
+
+val on_loop_wakeup : t -> unit
+val on_loop_adopt : t -> backlog:int -> unit
+val on_raw_frame_out : t -> unit
+val on_idle_timeout : t -> unit
+val on_conn_refused : t -> unit
 
 val snapshot : t -> snapshot
 

@@ -27,12 +27,39 @@
     [WREC] (committed WAL batches) frames from the primary, answered only
     by [RACK] acknowledgements.  Snapshot and batch payloads are chunked
     ({!repl_chunk_bytes}) so a large database or transaction never exceeds
-    the frame limit. *)
+    the frame limit.
+
+    {b Raw-bytes frames} (protocol version 2): the top bit of the length
+    word marks a frame whose payload is a one-line text header followed by
+    [\n] and unescaped bytes — bulky payloads (replication chunks, large
+    result sets) skip the percent-escape round-trip entirely.  The
+    capability is negotiated at HELLO/RHELLO: a peer announcing version ≥ 2
+    receives raw frames, a version-1 peer receives the escaped text
+    encoding, so old clients keep working against a new server. *)
 
 open Relational
 
-let protocol_version = 1
+let protocol_version = 2
+let min_protocol_version = 1
+
+(** [negotiate client_version] — the version the connection will speak, or
+    [None] when the server does not know it.  The server answers WELCOME
+    with the negotiated version; raw-bytes frames require ≥ 2. *)
+let negotiate client_version =
+  if client_version >= min_protocol_version && client_version <= protocol_version
+  then Some client_version
+  else None
+
 let default_max_frame = 1 lsl 20 (* 1 MiB *)
+
+(** Framing kind: [Text] payloads are the escaped [|]-joined messages
+    below; [Raw] payloads are a header line plus unescaped bytes. *)
+type kind = Text | Raw
+
+(* Raw frames are marked by the top bit of the 32-bit length word; the
+   remaining 31 bits are the payload length, so nothing changes for
+   version-1 peers (their lengths are far below 2^31). *)
+let raw_bit = 0x80000000l
 
 exception Closed
 (** Peer closed the connection (EOF mid-frame or before one). *)
@@ -280,6 +307,61 @@ let decode_response s =
       }
   | _ -> fail "bad response: %s" s
 
+(* ---------------- raw-bytes codec (protocol ≥ 2) ---------------- *)
+
+(* A raw payload is [header '\n' body]: the header is a [|]-joined field
+   line naming the message and its small scalar fields, the body is the
+   bulk bytes verbatim.  Only the bulky responses have a raw form — the
+   encoder returns [None] for everything else and the caller falls back to
+   the text codec. *)
+
+(** [Sql_result] bodies at least this big go raw on a negotiated
+    connection; smaller results gain nothing from skipping the escape. *)
+let raw_result_threshold = 4096
+
+let encode_response_raw = function
+  | Wal_recs { lsn; sent_at_us; last; records } ->
+    Some
+      (Printf.sprintf "WREC|%d|%d|%d\n%s" lsn sent_at_us (Bool.to_int last)
+         records)
+  | Snapshot_chunk { lsn; seq; last; data } ->
+    Some (Printf.sprintf "SNAP|%d|%d|%d\n%s" lsn seq (Bool.to_int last) data)
+  | Result { id; body = Sql_result s }
+    when String.length s >= raw_result_threshold ->
+    Some (Printf.sprintf "RESULT|%d\n%s" id s)
+  | _ -> None
+
+let decode_response_raw s =
+  match String.index_opt s '\n' with
+  | None -> fail "raw frame without a header line"
+  | Some i -> (
+    let header = String.sub s 0 i in
+    let body = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.split_on_char '|' header with
+    | [ "WREC"; lsn; sent_at; last ] ->
+      Wal_recs
+        {
+          lsn = int_field "lsn" lsn;
+          sent_at_us = int_field "sent_at" sent_at;
+          last = int_field "last" last <> 0;
+          records = body;
+        }
+    | [ "SNAP"; lsn; seq; last ] ->
+      Snapshot_chunk
+        {
+          lsn = int_field "lsn" lsn;
+          seq = int_field "seq" seq;
+          last = int_field "last" last <> 0;
+          data = body;
+        }
+    | [ "RESULT"; id ] ->
+      Result { id = int_field "request id" id; body = Sql_result body }
+    | _ -> fail "bad raw frame header: %s" header)
+
+let decode_response_kind = function
+  | Text, payload -> decode_response payload
+  | Raw, payload -> decode_response_raw payload
+
 (* ---------------- framing ---------------- *)
 
 let really_write fd bytes =
@@ -320,15 +402,25 @@ let really_read fd n =
    — a reset, not a new exception — so every caller exercises its real
    disconnect path. *)
 
-let write_frame ?(max_frame = default_max_frame) fd payload =
+(** Header + payload as one contiguous buffer, raw bit applied — shared by
+    the blocking {!write_frame} and the event loop's staged writes. *)
+let frame_bytes ?(raw = false) payload =
+  let n = String.length payload in
+  let frame = Bytes.create (4 + n) in
+  let word =
+    if raw then Int32.logor raw_bit (Int32.of_int n) else Int32.of_int n
+  in
+  Bytes.set_int32_be frame 0 word;
+  Bytes.blit_string payload 0 frame 4 n;
+  frame
+
+let write_frame ?(max_frame = default_max_frame) ?(raw = false) fd payload =
   let n = String.length payload in
   if n > max_frame then fail "outbound frame of %d bytes exceeds limit %d" n max_frame;
   if (try Fault.skip "wire.send.drop" with Fault.Injected _ -> raise Closed)
   then ()
   else begin
-    let frame = Bytes.create (4 + n) in
-    Bytes.set_int32_be frame 0 (Int32.of_int n);
-    Bytes.blit_string payload 0 frame 4 n;
+    let frame = frame_bytes ~raw payload in
     match
       try Fault.cut "wire.send" ~len:(4 + n)
       with Fault.Injected _ -> raise Closed
@@ -341,13 +433,93 @@ let write_frame ?(max_frame = default_max_frame) fd payload =
       raise Closed
   end
 
-let rec read_frame ?(max_frame = default_max_frame) fd =
+let rec read_frame_kind ?(max_frame = default_max_frame) fd =
   (try Fault.point "wire.recv" with Fault.Injected _ -> raise Closed);
   let header = really_read fd 4 in
-  let n = Int32.to_int (Bytes.get_int32_be header 0) in
+  let word = Bytes.get_int32_be header 0 in
+  let raw = Int32.logand word raw_bit <> 0l in
+  let n = Int32.to_int (Int32.logand word (Int32.lognot raw_bit)) in
   if n < 0 || n > max_frame then
     fail "inbound frame of %d bytes exceeds limit %d" n max_frame;
   let payload = Bytes.to_string (really_read fd n) in
   if (try Fault.skip "wire.recv.drop" with Fault.Injected _ -> raise Closed)
-  then read_frame ~max_frame fd
-  else payload
+  then read_frame_kind ~max_frame fd
+  else ((if raw then Raw else Text), payload)
+
+let read_frame ?max_frame fd =
+  match read_frame_kind ?max_frame fd with
+  | Text, payload -> payload
+  | Raw, _ -> fail "unexpected raw frame (connection did not negotiate them)"
+
+(* ---------------- incremental decoder ---------------- *)
+
+(** Incremental frame decoder: feed whatever bytes a socket produced,
+    extract the complete frames.  This is the read path of the event-loop
+    server, the thread-model reader {i and} the client — partial frames
+    wait in the buffer and never block anyone.  The buffer is compacted
+    lazily: consumed bytes are reclaimed when the next feed needs room, and
+    the whole buffer resets to empty whenever it drains. *)
+module Decoder = struct
+  type t = {
+    max_frame : int;
+    mutable buf : Bytes.t;  (** live bytes in [pos, len) *)
+    mutable pos : int;
+    mutable len : int;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Bytes.create 512; pos = 0; len = 0 }
+
+  let buffered t = t.len - t.pos
+
+  let ensure_space t extra =
+    if t.len + extra > Bytes.length t.buf then begin
+      let live = buffered t in
+      if t.pos > 0 then begin
+        Bytes.blit t.buf t.pos t.buf 0 live;
+        t.pos <- 0;
+        t.len <- live
+      end;
+      if t.len + extra > Bytes.length t.buf then begin
+        let cap = ref (max 512 (Bytes.length t.buf)) in
+        while t.len + extra > !cap do
+          cap := !cap * 2
+        done;
+        let grown = Bytes.create !cap in
+        Bytes.blit t.buf 0 grown 0 t.len;
+        t.buf <- grown
+      end
+    end
+
+  let feed t src off len =
+    if off < 0 || len < 0 || off + len > Bytes.length src then
+      invalid_arg "Wire.Decoder.feed";
+    ensure_space t len;
+    Bytes.blit src off t.buf t.len len;
+    t.len <- t.len + len
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  (** The next complete frame, or [None] until more bytes arrive.  Raises
+      {!Protocol_error} as soon as a header announces an oversized frame —
+      no need to wait for a payload that will never be accepted. *)
+  let next t =
+    if buffered t < 4 then None
+    else begin
+      let word = Bytes.get_int32_be t.buf t.pos in
+      let raw = Int32.logand word raw_bit <> 0l in
+      let n = Int32.to_int (Int32.logand word (Int32.lognot raw_bit)) in
+      if n < 0 || n > t.max_frame then
+        fail "inbound frame of %d bytes exceeds limit %d" n t.max_frame;
+      if buffered t < 4 + n then None
+      else begin
+        let payload = Bytes.sub_string t.buf (t.pos + 4) n in
+        t.pos <- t.pos + 4 + n;
+        if buffered t = 0 then begin
+          t.pos <- 0;
+          t.len <- 0
+        end;
+        Some ((if raw then Raw else Text), payload)
+      end
+    end
+end

@@ -218,8 +218,8 @@ let test_plain_sql_over_wire () =
           check string_t "ping after error" "still-here"
             (Net.Client.ping ~payload:"still-here" c)))
 
-let test_e2e_coordination_with_push () =
-  with_server (fun server port ->
+(* shared across both connection models *)
+let e2e_coordination server port =
       let alice = Net.Client.connect ~port ~user:"alice" () in
       let bob = Net.Client.connect ~port ~user:"bob" () in
       Fun.protect
@@ -266,7 +266,18 @@ let test_e2e_coordination_with_push () =
           check int "two submits" 2 s.Net.Server_stats.submits;
           check int "two pushes" 2 s.Net.Server_stats.pushes;
           check bool "bytes flowed" true
-            (s.Net.Server_stats.bytes_in > 0 && s.Net.Server_stats.bytes_out > 0)))
+            (s.Net.Server_stats.bytes_in > 0 && s.Net.Server_stats.bytes_out > 0))
+
+let test_e2e_coordination_with_push () = with_server e2e_coordination
+
+let test_e2e_coordination_threads () =
+  let config =
+    { Net.Server.default_config with
+      Net.Server.port = 0;
+      conn_model = Net.Server.Threads;
+    }
+  in
+  with_server ~config e2e_coordination
 
 let test_cancel_over_wire () =
   with_server (fun _server port ->
@@ -673,6 +684,363 @@ let test_poll_partial_frame_nonblocking () =
               !seen >= 1);
           check int "exactly one notification" 1 !seen))
 
+(* ---------------- incremental decoder ---------------- *)
+
+(* a mixed stream of text and raw frames, reassembled identically no
+   matter where the byte stream is split *)
+let decoder_frames =
+  [
+    (Net.Wire.Text, "SUBMIT|1|hello");
+    (Net.Wire.Raw, "RESULT|9\nraw \x00 body | with % bytes");
+    (Net.Wire.Text, "");
+    (Net.Wire.Raw, String.make 300 '\xab');
+    (Net.Wire.Text, "PING|2|done");
+  ]
+
+let decoder_stream =
+  String.concat ""
+    (List.map
+       (fun (k, p) ->
+         Bytes.to_string (Net.Wire.frame_bytes ~raw:(k = Net.Wire.Raw) p))
+       decoder_frames)
+
+let rec decoder_collect dec acc =
+  match Net.Wire.Decoder.next dec with
+  | Some f -> decoder_collect dec (f :: acc)
+  | None -> List.rev acc
+
+let test_decoder_every_split () =
+  let len = String.length decoder_stream in
+  for split = 0 to len do
+    let dec = Net.Wire.Decoder.create () in
+    Net.Wire.Decoder.feed_string dec (String.sub decoder_stream 0 split);
+    let early = decoder_collect dec [] in
+    check bool
+      (Printf.sprintf "no phantom frames at split %d" split)
+      true
+      (List.length early <= List.length decoder_frames);
+    Net.Wire.Decoder.feed_string dec
+      (String.sub decoder_stream split (len - split));
+    let got = early @ decoder_collect dec [] in
+    check bool (Printf.sprintf "all frames at split %d" split) true
+      (got = decoder_frames)
+  done;
+  (* byte-at-a-time: the pathological split everywhere at once *)
+  let dec = Net.Wire.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Net.Wire.Decoder.feed_string dec (String.make 1 c);
+      got := !got @ decoder_collect dec [])
+    decoder_stream;
+  check bool "byte-at-a-time reassembly" true (!got = decoder_frames);
+  check int "nothing left over" 0 (Net.Wire.Decoder.buffered dec)
+
+let test_decoder_oversize_rejected () =
+  (* the limit fires on the header alone — no need to ship the payload *)
+  let dec = Net.Wire.Decoder.create ~max_frame:50 () in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 100l;
+  Net.Wire.Decoder.feed dec hdr 0 4;
+  match Net.Wire.Decoder.next dec with
+  | _ -> Alcotest.fail "oversized frame must be rejected"
+  | exception Net.Wire.Protocol_error _ -> ()
+
+(* ---------------- raw-bytes codec ---------------- *)
+
+let test_raw_codec_roundtrip () =
+  let big =
+    String.make (Net.Wire.raw_result_threshold + 5) 'x' ^ "|%;\n\x00tail"
+  in
+  List.iter
+    (fun (name, r) ->
+      match Net.Wire.encode_response_raw r with
+      | None -> Alcotest.failf "%s should have a raw form" name
+      | Some p ->
+        check bool (name ^ " round-trips") true
+          (Net.Wire.decode_response_raw p = r))
+    [
+      ( "wal",
+        Net.Wire.Wal_recs
+          {
+            lsn = 7;
+            sent_at_us = 123456;
+            last = true;
+            records = "INSERT|t|1|a%7C;\nCOMMIT|7";
+          } );
+      ( "snap",
+        Net.Wire.Snapshot_chunk
+          { lsn = 9; seq = 2; last = false; data = "line1\nline2|%" } );
+      "result", Net.Wire.Result { id = 3; body = Net.Wire.Sql_result big };
+    ];
+  List.iter
+    (fun (name, r) ->
+      check bool (name ^ " stays text") true
+        (Net.Wire.encode_response_raw r = None))
+    [
+      "small-result", Net.Wire.Result { id = 1; body = Net.Wire.Sql_result "small" };
+      "push", Net.Wire.Push nasty_notification;
+      "error", Net.Wire.Error { id = 1; message = "m" };
+    ]
+
+(* ---------------- raw negotiation e2e ---------------- *)
+
+let raw_hello ?(version = Net.Wire.protocol_version) fd user =
+  Net.Wire.write_frame fd
+    (Net.Wire.encode_request (Net.Wire.Hello { version; user }));
+  match Net.Wire.decode_response_kind (Net.Wire.read_frame_kind fd) with
+  | Net.Wire.Welcome { version = v; _ } -> v
+  | _ -> Alcotest.fail "expected WELCOME"
+
+let raw_submit fd id sql =
+  Net.Wire.write_frame fd (Net.Wire.encode_request (Net.Wire.Submit { id; sql }))
+
+let test_hello_v2_raw_result () =
+  with_server (fun _server port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+          check int "negotiated v2" 2 (raw_hello fd "rawr");
+          let expect_text_result id =
+            match Net.Wire.decode_response_kind (Net.Wire.read_frame_kind fd) with
+            | Net.Wire.Result { id = id'; _ } when id' = id -> ()
+            | _ -> Alcotest.fail "expected RESULT"
+          in
+          raw_submit fd 1 "CREATE TABLE Big (t TEXT)";
+          expect_text_result 1;
+          let big = String.make 6000 'x' in
+          raw_submit fd 2 (Printf.sprintf "INSERT INTO Big VALUES ('%s')" big);
+          expect_text_result 2;
+          raw_submit fd 3 "SELECT t FROM Big";
+          match Net.Wire.read_frame_kind fd with
+          | Net.Wire.Raw, payload -> (
+            match Net.Wire.decode_response_kind (Net.Wire.Raw, payload) with
+            | Net.Wire.Result { id = 3; body = Net.Wire.Sql_result s } ->
+              check bool "raw payload intact" true
+                (Astring.String.is_infix ~affix:big s)
+            | _ -> Alcotest.fail "raw frame should decode to the SELECT result")
+          | Net.Wire.Text, _ ->
+            Alcotest.fail "big result should ride the raw path"))
+
+let test_hello_v1_text_fallback () =
+  with_server (fun _server port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+          check int "negotiated v1" 1 (raw_hello ~version:1 fd "legacy");
+          let submit_expect id sql =
+            raw_submit fd id sql;
+            (* read_frame rejects raw frames, so a successful read proves
+               everything fell back to text on this v1 connection *)
+            match Net.Wire.decode_response (Net.Wire.read_frame fd) with
+            | Net.Wire.Result { id = id'; body } when id' = id -> body
+            | _ -> Alcotest.fail "expected RESULT"
+          in
+          ignore (submit_expect 1 "CREATE TABLE Big (t TEXT)");
+          let big = String.make 6000 'y' in
+          ignore
+            (submit_expect 2 (Printf.sprintf "INSERT INTO Big VALUES ('%s')" big));
+          match submit_expect 3 "SELECT t FROM Big" with
+          | Net.Wire.Sql_result s ->
+            check bool "text payload intact" true
+              (Astring.String.is_infix ~affix:big s)
+          | _ -> Alcotest.fail "expected a SQL result"))
+
+let test_client_raw_result () =
+  with_server (fun _server port ->
+      let c = Net.Client.connect ~port ~user:"bulk" () in
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c)
+        (fun () ->
+          ignore (Net.Client.submit c "CREATE TABLE Big (t TEXT)");
+          let big = String.make 8000 'z' in
+          ignore
+            (Net.Client.submit c
+               (Printf.sprintf "INSERT INTO Big VALUES ('%s')" big));
+          match Net.Client.submit c "SELECT t FROM Big" with
+          | Net.Wire.Sql_result s ->
+            check bool "client decodes the raw result" true
+              (Astring.String.is_infix ~affix:big s)
+          | _ -> Alcotest.fail "expected a SQL result"))
+
+(* ---------------- event core ---------------- *)
+
+(* frames dribbled a byte at a time must reassemble across many poll
+   iterations without starving other connections or mis-framing *)
+let test_slow_loris_survives () =
+  with_server (fun _server port ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+          let dribble payload =
+            let frame = Net.Wire.frame_bytes payload in
+            for i = 0 to Bytes.length frame - 1 do
+              ignore (Unix.write fd frame i 1);
+              if i mod 5 = 0 then Thread.delay 0.001
+            done
+          in
+          dribble
+            (Net.Wire.encode_request
+               (Net.Wire.Hello
+                  { version = Net.Wire.protocol_version; user = "loris" }));
+          (match Net.Wire.decode_response_kind (Net.Wire.read_frame_kind fd) with
+          | Net.Wire.Welcome _ -> ()
+          | _ -> Alcotest.fail "expected WELCOME");
+          dribble
+            (Net.Wire.encode_request (Net.Wire.Ping { id = 1; payload = "drip" }));
+          match Net.Wire.decode_response_kind (Net.Wire.read_frame_kind fd) with
+          | Net.Wire.Pong { id = 1; payload } ->
+            check string_t "dribbled ping answered" "drip" payload
+          | _ -> Alcotest.fail "expected PONG"))
+
+let test_multi_loop_clients () =
+  let config =
+    { Net.Server.default_config with Net.Server.port = 0; event_loops = 2 }
+  in
+  with_server ~config (fun server port ->
+      let c0 = Net.Client.connect ~port ~user:"ddl" () in
+      ignore (Net.Client.submit c0 "CREATE TABLE Hits (id INT)");
+      let worker w =
+        let c = Net.Client.connect ~port ~user:(Printf.sprintf "m%d" w) () in
+        Fun.protect
+          ~finally:(fun () -> Net.Client.close c)
+          (fun () ->
+            for i = 0 to 4 do
+              ignore
+                (Net.Client.submit c
+                   (Printf.sprintf "INSERT INTO Hits VALUES (%d)" ((w * 10) + i)))
+            done;
+            check string_t "pinged" "ok" (Net.Client.ping ~payload:"ok" c))
+      in
+      let ts = List.init 8 (fun w -> Thread.create worker w) in
+      List.iter Thread.join ts;
+      Fun.protect
+        ~finally:(fun () -> Net.Client.close c0)
+        (fun () ->
+          (match Net.Client.submit c0 "SELECT COUNT(*) FROM Hits" with
+          | Net.Wire.Sql_result s ->
+            check bool "all inserts landed" true
+              (Astring.String.is_infix ~affix:"40" s)
+          | _ -> Alcotest.fail "count should be a SQL result");
+          let s = Net.Server_stats.snapshot (Net.Server.stats server) in
+          check int "two loops" 2 s.Net.Server_stats.loops;
+          check bool "loops iterated" true (s.Net.Server_stats.loop_iterations > 0)))
+
+let test_select_fallback_engine () =
+  Unix.putenv "YOUTOPIA_NETPOLL" "select";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "YOUTOPIA_NETPOLL" "poll")
+    (fun () ->
+      with_server (fun _server port ->
+          let c = Net.Client.connect ~port ~user:"sel" () in
+          Fun.protect
+            ~finally:(fun () -> Net.Client.close c)
+            (fun () ->
+              ignore (Net.Client.submit c "CREATE TABLE S (id INT)");
+              ignore (Net.Client.submit c "INSERT INTO S VALUES (1)");
+              check string_t "select engine serves" "ok"
+                (Net.Client.ping ~payload:"ok" c))))
+
+let test_netpoll_engines_agree () =
+  List.iter
+    (fun engine ->
+      with_socketpair (fun a b ->
+          ignore (Unix.write_substring b "!" 0 1);
+          let fds = [| a |] in
+          let events = [| Net.Netpoll.readable lor Net.Netpoll.writable |] in
+          let revents = [| 0 |] in
+          let n =
+            Net.Netpoll.wait engine ~fds ~events ~revents ~nfds:1
+              ~timeout_ms:1000
+          in
+          let name = Net.Netpoll.engine_name engine in
+          check bool (name ^ " reports readiness") true (n >= 1);
+          check bool (name ^ " readable") true
+            (revents.(0) land Net.Netpoll.readable <> 0);
+          check bool (name ^ " writable") true
+            (revents.(0) land Net.Netpoll.writable <> 0)))
+    [ Net.Netpoll.Poll; Net.Netpoll.Select ]
+
+(* ---------------- idle deadlines ---------------- *)
+
+let idle_timeout_and_exemption config =
+  with_server ~config (fun server port ->
+      let alice = Net.Client.connect ~port ~user:"alice" () in
+      let idler = raw_connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close alice;
+          try Unix.close idler with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_float idler Unix.SO_RCVTIMEO 10.;
+          ignore (raw_hello idler "idler");
+          (match
+             Net.Client.submit alice
+               (Travel.Workload.pair_sql ~user:"alice" ~friend:"bob"
+                  ~dest:"Paris")
+           with
+          | Net.Wire.Registered _ -> ()
+          | _ -> Alcotest.fail "alice should park");
+          Thread.delay 1.0;
+          (* alice owns a parked pending query: exempt from the sweep *)
+          check string_t "parked owner survives idling" "still"
+            (Net.Client.ping ~payload:"still" alice);
+          (* the idler was swept: an ERROR then EOF, or straight EOF *)
+          let dead =
+            match Net.Wire.read_frame_kind idler with
+            | Net.Wire.Text, p -> (
+              match Net.Wire.decode_response p with
+              | Net.Wire.Error { message; _ } ->
+                Astring.String.is_infix ~affix:"timeout" message
+              | _ -> false)
+            | _ -> false
+            | exception (Net.Wire.Closed | Unix.Unix_error _) -> true
+          in
+          check bool "idler swept" true dead;
+          let s = Net.Server_stats.snapshot (Net.Server.stats server) in
+          check bool "idle timeout counted" true
+            (s.Net.Server_stats.idle_timeouts >= 1)))
+
+let test_idle_exemption_event () =
+  idle_timeout_and_exemption
+    { Net.Server.default_config with Net.Server.port = 0; read_timeout = 0.4 }
+
+let test_idle_exemption_threads () =
+  idle_timeout_and_exemption
+    { Net.Server.default_config with
+      Net.Server.port = 0;
+      read_timeout = 0.4;
+      conn_model = Net.Server.Threads;
+    }
+
+(* ---------------- failpoint seams ---------------- *)
+
+let test_accept_failpoint () =
+  with_server (fun _server port ->
+      Fault.disarm_all ();
+      Fault.arm "server.accept" (Fault.Error "refused");
+      Fun.protect
+        ~finally:(fun () -> Fault.disarm_all ())
+        (fun () ->
+          (match Net.Client.connect ~port ~user:"nope" () with
+          | c ->
+            Net.Client.close c;
+            Alcotest.fail "armed accept failpoint should refuse the connection"
+          | exception (Net.Wire.Closed | Unix.Unix_error _ | End_of_file) -> ());
+          Fault.disarm "server.accept";
+          let c = Net.Client.connect ~port ~user:"yes" () in
+          Fun.protect
+            ~finally:(fun () -> Net.Client.close c)
+            (fun () ->
+              check string_t "post-disarm accept works" "ok"
+                (Net.Client.ping ~payload:"ok" c))))
+
 let suite =
   [
     Alcotest.test_case "notification round-trip" `Quick test_notification_roundtrip;
@@ -708,4 +1076,28 @@ let suite =
       test_unbatched_path_equivalent;
     Alcotest.test_case "poll buffers partial frames" `Quick
       test_poll_partial_frame_nonblocking;
+    Alcotest.test_case "decoder reassembles at every split" `Quick
+      test_decoder_every_split;
+    Alcotest.test_case "decoder rejects oversize early" `Quick
+      test_decoder_oversize_rejected;
+    Alcotest.test_case "raw codec round-trips" `Quick test_raw_codec_roundtrip;
+    Alcotest.test_case "HELLO v2 gets raw results" `Quick
+      test_hello_v2_raw_result;
+    Alcotest.test_case "HELLO v1 falls back to text" `Quick
+      test_hello_v1_text_fallback;
+    Alcotest.test_case "client decodes raw results" `Quick
+      test_client_raw_result;
+    Alcotest.test_case "slow loris reassembled" `Quick test_slow_loris_survives;
+    Alcotest.test_case "two event loops share clients" `Quick
+      test_multi_loop_clients;
+    Alcotest.test_case "select fallback engine serves" `Quick
+      test_select_fallback_engine;
+    Alcotest.test_case "netpoll engines agree" `Quick test_netpoll_engines_agree;
+    Alcotest.test_case "idle sweep spares parked owners (event)" `Quick
+      test_idle_exemption_event;
+    Alcotest.test_case "idle sweep spares parked owners (threads)" `Quick
+      test_idle_exemption_threads;
+    Alcotest.test_case "accept failpoint refuses" `Quick test_accept_failpoint;
+    Alcotest.test_case "push e2e under thread model" `Quick
+      test_e2e_coordination_threads;
   ]
