@@ -55,7 +55,13 @@ CAMLprim value youtopia_poll_wait(value v_fds, value v_events,
   if (rc < 0) {
     int e = errno;
     free(pfds);
-    if (e == EINTR) CAMLreturn(Val_int(0));
+    if (e == EINTR) {
+      /* Contract: revents[0..nfds) is always (re)written on return, so the
+       * caller never re-reads the previous iteration's readiness against
+       * whatever connection now occupies each slot. */
+      for (i = 0; i < nfds; i++) Store_field(v_revents, i, Val_int(0));
+      CAMLreturn(Val_int(0));
+    }
     caml_failwith("Netpoll.poll_wait: poll failed");
   }
 

@@ -248,11 +248,11 @@ let read_only_stmt : Sql.Ast.statement -> bool = Sql.Ast.read_only
 let wake_byte = Bytes.make 1 '!'
 
 (** Wake a loop out of its poll wait.  The atomic flag coalesces storms of
-    wakeups into one pipe byte; the loop clears the flag {e before}
-    draining the pipe, so a write racing the drain just causes one spare
-    (harmless) iteration rather than a lost wakeup.  Never blocks: the
-    write end is non-blocking and a full pipe already guarantees a pending
-    wakeup. *)
+    wakeups into one pipe byte; the loop drains the pipe {e before}
+    clearing the flag, so a waker racing the drain skips its byte but is
+    still observed — its work was published before the clear, and the loop
+    rebuilds interest right after.  Never blocks: the write end is
+    non-blocking and a full pipe already guarantees a pending wakeup. *)
 let wake lp =
   if not (Atomic.exchange lp.lp_waked true) then
     try ignore (Unix.write lp.lp_wake_w wake_byte 0 1)
@@ -333,6 +333,87 @@ let writer_loop t conn =
         Mutex.unlock conn.out_mu)
   in
   next ()
+
+(* A failpoint on a loop seam: [Error] condemns the one connection under
+   the seam (the loop itself must survive), [Delay] stalls the loop,
+   [Kill] crashes the process. *)
+let loop_point name =
+  try
+    Fault.point name;
+    true
+  with Fault.Injected _ -> false
+
+(** Flush the connection's staged frame + queue as far as the socket
+    allows.  Loop-thread only (the staged wbuf/woff/wlen state is
+    loop-owned).  Staging applies the same [wire.send] / [wire.send.drop]
+    failpoint semantics as {!Wire.write_frame}. *)
+let event_flush t conn =
+  if not (loop_point "server.loop.writable") then `Dead
+  else begin
+    let rec step () =
+      if conn.woff < conn.wlen then begin
+        match Unix.write conn.fd conn.wbuf conn.woff (conn.wlen - conn.woff) with
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          `Blocked
+        | exception Unix.Unix_error _ -> `Dead
+        | 0 -> `Dead
+        | k ->
+          conn.woff <- conn.woff + k;
+          if conn.woff >= conn.wlen then begin
+            Server_stats.on_frame_out t.stats ~bytes:conn.wlen;
+            conn.woff <- 0;
+            conn.wlen <- 0
+          end;
+          step ()
+      end
+      else begin
+        Mutex.lock conn.out_mu;
+        let item =
+          if Queue.is_empty conn.outq then None else Some (Queue.pop conn.outq)
+        in
+        Mutex.unlock conn.out_mu;
+        match item with
+        | None -> `Flushed
+        | Some (raw, payload) ->
+          if String.length payload > t.config.max_frame then begin
+            Server_stats.on_error t.stats;
+            Log.err (fun f ->
+                f "conn %d: outbound frame of %d bytes exceeds limit %d"
+                  conn.conn_id (String.length payload) t.config.max_frame);
+            `Dead
+          end
+          else begin
+            match
+              try `Skip (Fault.skip "wire.send.drop")
+              with Fault.Injected _ -> `Dead
+            with
+            | `Dead -> `Dead
+            | `Skip true -> step () (* frame silently swallowed *)
+            | `Skip false -> (
+              let frame = Wire.frame_bytes ~raw payload in
+              match
+                try `Cut (Fault.cut "wire.send" ~len:(Bytes.length frame))
+                with Fault.Injected _ -> `Dead
+              with
+              | `Dead -> `Dead
+              | `Cut (Some k) ->
+                (* the wire gets only the first [k] bytes, then the
+                   connection dies holding a truncated frame *)
+                (try ignore (Unix.write conn.fd frame 0 k)
+                 with Unix.Unix_error _ -> ());
+                `Dead
+              | `Cut None ->
+                conn.wbuf <- frame;
+                conn.woff <- 0;
+                conn.wlen <- Bytes.length frame;
+                step ())
+          end
+      end
+    in
+    match step () with `Dead -> `Dead | `Blocked | `Flushed -> `Ok
+  end
 
 (* ---------------- request handling ---------------- *)
 
@@ -544,12 +625,16 @@ let enqueue_write t wr =
       (Wire.Error { id = wr.wr_id; message = "server shutting down" })
   end
   else begin
-    Queue.push wr t.batchq;
-    Condition.signal t.batch_cond;
-    Mutex.unlock t.batch_mu;
+    (* bump in_flight before the request becomes visible to the drainer:
+       the fan-out's decrement must observe the increment, or the clamp at
+       0 turns the late increment into a permanently leaked slot (and,
+       after max_in_flight leaks, a connection the loop never reads) *)
     Mutex.lock wr.wr_conn.out_mu;
     wr.wr_conn.in_flight <- wr.wr_conn.in_flight + 1;
-    Mutex.unlock wr.wr_conn.out_mu
+    Mutex.unlock wr.wr_conn.out_mu;
+    Queue.push wr t.batchq;
+    Condition.signal t.batch_cond;
+    Mutex.unlock t.batch_mu
   end
 
 (** Submit dispatch.  Parsing happens on the dispatching thread, outside
@@ -716,6 +801,78 @@ let handle_admin t ~id ~what =
 
 exception Goodbye
 
+(** Send one frame of a replica's bootstrap burst, keeping the outbound
+    queue below a high-water mark so the burst never trips {!enqueue}'s
+    slow-consumer overflow — that drop would disconnect the replica, which
+    would reconnect with the same LSN and re-trip it forever, so a
+    snapshot or catch-up larger than [max_outq] frames could never sync.
+    The burst is the server's own doing, not evidence of a slow consumer:
+    on a loop-owned connection we {e are} the loop thread (the handshake
+    dispatches inline), so flush directly, waiting for writability when
+    the socket blocks; on a thread-model connection the writer thread
+    drains concurrently, so just wait for it to make room.  A replica
+    that genuinely stops reading still gets dropped: no queue progress
+    for [stall_limit] seconds is the slow-consumer verdict. *)
+let bootstrap_send t conn response =
+  let high_water = max 1 (t.config.max_outq / 2) in
+  let stall_limit = 30. in
+  let qlen () =
+    Mutex.lock conn.out_mu;
+    let n = Queue.length conn.outq in
+    Mutex.unlock conn.out_mu;
+    n
+  in
+  let drop_stalled () =
+    Server_stats.on_error t.stats;
+    Log.warn (fun f ->
+        f "conn %d: replica not draining its bootstrap for %.0fs; dropping"
+          conn.conn_id stall_limit);
+    Mutex.lock conn.out_mu;
+    conn.closing <- true;
+    Queue.clear conn.outq;
+    Condition.signal conn.out_cond;
+    Mutex.unlock conn.out_mu;
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    raise Wire.Closed
+  in
+  (match conn.home with
+  | Home_loop _ ->
+    let rec drain ~stalled last =
+      if conn.closing then raise Wire.Closed
+      else if last >= high_water then begin
+        match event_flush t conn with
+        | `Dead ->
+          Mutex.lock conn.out_mu;
+          conn.closing <- true;
+          Mutex.unlock conn.out_mu;
+          raise Wire.Closed
+        | `Ok ->
+          let n = qlen () in
+          if n >= high_water then
+            if n < last then drain ~stalled:0. n
+            else if stalled >= stall_limit then drop_stalled ()
+            else begin
+              (try ignore (Unix.select [] [ conn.fd ] [] 0.5)
+               with Unix.Unix_error _ -> ());
+              drain ~stalled:(stalled +. 0.5) n
+            end
+      end
+    in
+    drain ~stalled:0. (qlen ())
+  | Home_threads ->
+    let rec wait ~stalled last =
+      if conn.closing then raise Wire.Closed
+      else if last >= high_water then begin
+        Thread.delay 0.002;
+        let n = qlen () in
+        if n < last then wait ~stalled:0. n
+        else if stalled >= stall_limit then drop_stalled ()
+        else wait ~stalled:(stalled +. 0.002) n
+      end
+    in
+    wait ~stalled:0. (qlen ()));
+  send t conn response
+
 (** Send a replica its bootstrap stream.  The sink is already registered,
     so every batch committed from here on reaches it live; the replica's
     strict LSN sequencing absorbs the deliberate overlap between the
@@ -743,7 +900,7 @@ let bootstrap_replica t conn ~last_lsn =
       let sent_at_us = Replication.now_us () in
       List.iter
         (fun (lsn, records) ->
-          List.iter (send t conn)
+          List.iter (bootstrap_send t conn)
             (Replication.frames_of_batch ~lsn ~sent_at_us records))
         batches;
       Log.info (fun f ->
@@ -759,7 +916,7 @@ let bootstrap_replica t conn ~last_lsn =
               Relational.Checkpoint.to_lines ~lsn (Youtopia.System.catalog t.sys)
             ))
       in
-      List.iter (send t conn) (Replication.frames_of_snapshot ~lsn lines);
+      List.iter (bootstrap_send t conn) (Replication.frames_of_snapshot ~lsn lines);
       Log.info (fun f ->
           f "conn %d: replica bootstrap snapshot at lsn %d (replica was at %d)"
             conn.conn_id lsn last_lsn)
@@ -1027,86 +1184,6 @@ let teardown_conn t lp conn =
   Server_stats.on_disconnect t.stats;
   Log.debug (fun f -> f "conn %d: closed" conn.conn_id)
 
-(* A failpoint on a loop seam: [Error] condemns the one connection under
-   the seam (the loop itself must survive), [Delay] stalls the loop,
-   [Kill] crashes the process. *)
-let loop_point name =
-  try
-    Fault.point name;
-    true
-  with Fault.Injected _ -> false
-
-(** Flush the connection's staged frame + queue as far as the socket
-    allows.  Staging applies the same [wire.send] / [wire.send.drop]
-    failpoint semantics as {!Wire.write_frame}. *)
-let event_flush t conn =
-  if not (loop_point "server.loop.writable") then `Dead
-  else begin
-    let rec step () =
-      if conn.woff < conn.wlen then begin
-        match Unix.write conn.fd conn.wbuf conn.woff (conn.wlen - conn.woff) with
-        | exception
-            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-          ->
-          `Blocked
-        | exception Unix.Unix_error _ -> `Dead
-        | 0 -> `Dead
-        | k ->
-          conn.woff <- conn.woff + k;
-          if conn.woff >= conn.wlen then begin
-            Server_stats.on_frame_out t.stats ~bytes:conn.wlen;
-            conn.woff <- 0;
-            conn.wlen <- 0
-          end;
-          step ()
-      end
-      else begin
-        Mutex.lock conn.out_mu;
-        let item =
-          if Queue.is_empty conn.outq then None else Some (Queue.pop conn.outq)
-        in
-        Mutex.unlock conn.out_mu;
-        match item with
-        | None -> `Flushed
-        | Some (raw, payload) ->
-          if String.length payload > t.config.max_frame then begin
-            Server_stats.on_error t.stats;
-            Log.err (fun f ->
-                f "conn %d: outbound frame of %d bytes exceeds limit %d"
-                  conn.conn_id (String.length payload) t.config.max_frame);
-            `Dead
-          end
-          else begin
-            match
-              try `Skip (Fault.skip "wire.send.drop")
-              with Fault.Injected _ -> `Dead
-            with
-            | `Dead -> `Dead
-            | `Skip true -> step () (* frame silently swallowed *)
-            | `Skip false -> (
-              let frame = Wire.frame_bytes ~raw payload in
-              match
-                try `Cut (Fault.cut "wire.send" ~len:(Bytes.length frame))
-                with Fault.Injected _ -> `Dead
-              with
-              | `Dead -> `Dead
-              | `Cut (Some k) ->
-                (* the wire gets only the first [k] bytes, then the
-                   connection dies holding a truncated frame *)
-                (try ignore (Unix.write conn.fd frame 0 k)
-                 with Unix.Unix_error _ -> ());
-                `Dead
-              | `Cut None ->
-                conn.wbuf <- frame;
-                conn.woff <- 0;
-                conn.wlen <- Bytes.length frame;
-                step ())
-          end
-      end
-    in
-    match step () with `Dead -> `Dead | `Blocked | `Flushed -> `Ok
-  end
-
 (** Drain every complete frame the decoder holds, dispatching inline.
     Errors condemn the connection but let queued output (the error
     response included) flush first. *)
@@ -1152,6 +1229,7 @@ let drain_decoder t conn =
                 conn.close_after_flush <- true;
                 `Ok
               | exception Wire.Protocol_error m -> proto_error m
+              | exception Wire.Closed -> `Dead
               | exception Unix.Unix_error _ -> `Dead
               | exception exn ->
                 Server_stats.on_error t.stats;

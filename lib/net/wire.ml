@@ -406,6 +406,11 @@ let really_read fd n =
     the blocking {!write_frame} and the event loop's staged writes. *)
 let frame_bytes ?(raw = false) payload =
   let n = String.length payload in
+  (* round-trip through the 31-bit field: a length that does not survive
+     the masking would silently corrupt the header word (and, if bit 31
+     were set, flip the raw marker) *)
+  if Int32.to_int (Int32.logand (Int32.of_int n) (Int32.lognot raw_bit)) <> n
+  then fail "outbound frame of %d bytes exceeds the 31-bit length field" n;
   let frame = Bytes.create (4 + n) in
   let word =
     if raw then Int32.logor raw_bit (Int32.of_int n) else Int32.of_int n

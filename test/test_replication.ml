@@ -343,6 +343,38 @@ let test_client_routes_reads_to_replicas () =
                   (Astring.String.is_infix ~affix:"two" s)
               | _ -> Alcotest.fail "expected a SQL result")))
 
+(* Regression: a bootstrap burst larger than the primary's [max_outq]
+   must not trip the slow-consumer drop.  The drop would disconnect the
+   replica mid-bootstrap; it reconnects with the same LSN, re-triggers
+   the same burst, and never syncs.  40+ WAL catch-up batches against
+   max_outq = 8 forces the interleaved-flush path in the server's
+   bootstrap send. *)
+let test_bootstrap_exceeds_outq () =
+  with_tmp_dir (fun wal_path ->
+      let psys = Youtopia.System.create ~wal_path () in
+      let config =
+        { Net.Server.default_config with Net.Server.port = 0; max_outq = 8 }
+      in
+      let pserver = Net.Server.start ~config psys in
+      let pport = Net.Server.port pserver in
+      let pc = Net.Client.connect ~port:pport ~user:"writer" () in
+      ignore (Net.Client.submit pc "CREATE TABLE Big (id INT PRIMARY KEY)");
+      for i = 1 to 40 do
+        ignore
+          (Net.Client.submit pc (Printf.sprintf "INSERT INTO Big VALUES (%d)" i))
+      done;
+      let rsys, rserver, _ = start_replica ~primary_port:pport () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close pc;
+          Net.Server.stop rserver;
+          Net.Server.stop pserver)
+        (fun () ->
+          await "catch-up larger than max_outq syncs" (fun () ->
+              replica_rows rsys "Big" = 40);
+          check int "no drop/reconnect loop" 0
+            (snap rserver).Net.Server_stats.repl_reconnects))
+
 let suite =
   [
     Alcotest.test_case "replication frames round-trip" `Quick test_frames_roundtrip;
@@ -358,6 +390,8 @@ let suite =
       test_e2e_snapshot_bootstrap_and_tail;
     Alcotest.test_case "e2e: catch-up after primary restart" `Quick
       test_e2e_catchup_after_primary_restart;
+    Alcotest.test_case "e2e: bootstrap burst larger than max_outq" `Quick
+      test_bootstrap_exceeds_outq;
     Alcotest.test_case "client routes reads to replicas" `Quick
       test_client_routes_reads_to_replicas;
   ]
