@@ -30,6 +30,10 @@ type config = {
   auto_retry : bool;  (** cascade retries after each fulfilment *)
   use_plan_cache : bool;  (** ground retries from the versioned plan cache *)
   use_dirty_poke : bool;  (** poke retries only readers of changed tables *)
+  use_tuple_poke : bool;
+      (** poke retries only the queries whose extracted equality
+          constraints a committed tuple satisfies; non-probeable changes
+          (deletes, DDL, direct mutations) widen to table-level readers *)
 }
 
 let default_config =
@@ -39,7 +43,27 @@ let default_config =
     auto_retry = true;
     use_plan_cache = true;
     use_dirty_poke = true;
+    use_tuple_poke = true;
   }
+
+(* Per-table record of committed rows since the last poke, fed by the
+   commit observer under [use_tuple_poke].  [ops] counts redo-log entries so
+   the poke can check the table's version advanced by exactly that much —
+   any other advance means a mutation bypassed the observer and the table
+   must widen to its full reader set.  Updates buffer both images: a row
+   {i leaving} an access's output can change a plan result (anti-joins,
+   aggregates) just as one entering can.  Deletes don't buffer — they set
+   [widen] (see DESIGN.md §12). *)
+type delta = {
+  mutable d_ops : int;  (** redo-log entries seen for this table *)
+  mutable d_rows : Tuple.t list;  (** row images to probe, newest first *)
+  mutable d_n_rows : int;
+  mutable d_widen : bool;  (** fall back to table-level readers *)
+}
+
+(* Past this many buffered images a table's delta costs more to probe than
+   the reader-set scan it replaces; widen instead. *)
+let max_delta_rows = 512
 
 type t = {
   db : Database.t;
@@ -52,6 +76,8 @@ type t = {
       (** last-poke [(uid, version)] snapshot per table, [use_dirty_poke] *)
   dirty : (string, unit) Hashtbl.t;
       (** tables touched since the last poke drained them *)
+  deltas : (string, delta) Hashtbl.t;
+      (** committed row images since the last poke, [use_tuple_poke] *)
   mutable next_id : int;
   mutable listeners : (Events.notification -> unit) list;
   deadlines : (int, float) Hashtbl.t;
@@ -76,6 +102,7 @@ let create ?(config = default_config) db =
       cache = (if config.use_plan_cache then Some (Plan_cache.create ()) else None);
       versions = Hashtbl.create 32;
       dirty = Hashtbl.create 32;
+      deltas = Hashtbl.create 32;
       next_id = 1;
       listeners = [];
       deadlines = Hashtbl.create 16;
@@ -83,9 +110,12 @@ let create ?(config = default_config) db =
     }
   in
   (* Eager dirty tracking: every committed transaction records the tables it
-     touched.  Direct (non-transactional) [Table] mutations are caught by
-     the version-snapshot diff at poke time instead — see [refresh_dirty]. *)
-  if config.use_dirty_poke then
+     touched — and, under [use_tuple_poke], the committed row images, so the
+     next poke can probe them against the pending store's constraint index
+     instead of waking every reader.  Direct (non-transactional) [Table]
+     mutations are caught by the version-snapshot diff at poke time instead
+     — see [refresh_dirty]. *)
+  if config.use_dirty_poke || config.use_tuple_poke then
     Txn.add_observer db.Database.txns (fun ops ->
         List.iter
           (fun op ->
@@ -94,9 +124,43 @@ let create ?(config = default_config) db =
               | Txn.Ins (tbl, _, _) | Txn.Del (tbl, _) | Txn.Upd (tbl, _, _, _)
                 -> tbl
             in
-            Hashtbl.replace t.dirty
-              (String.lowercase_ascii (Table.name table))
-              ())
+            let name = String.lowercase_ascii (Table.name table) in
+            Hashtbl.replace t.dirty name ();
+            if t.config.use_tuple_poke then begin
+              let d =
+                match Hashtbl.find_opt t.deltas name with
+                | Some d -> d
+                | None ->
+                  let d =
+                    { d_ops = 0; d_rows = []; d_n_rows = 0; d_widen = false }
+                  in
+                  Hashtbl.add t.deltas name d;
+                  d
+              in
+              d.d_ops <- d.d_ops + 1;
+              let push row =
+                if not d.d_widen then
+                  if d.d_n_rows >= max_delta_rows then begin
+                    d.d_widen <- true;
+                    d.d_rows <- []
+                  end
+                  else begin
+                    d.d_rows <- row :: d.d_rows;
+                    d.d_n_rows <- d.d_n_rows + 1
+                  end
+              in
+              match op with
+              | Txn.Ins (_, _, row) -> push row
+              | Txn.Upd (_, _, old_row, new_row) ->
+                push old_row;
+                push new_row
+              | Txn.Del (_, _) ->
+                (* a deleted row can unblock queries whose plans *exclude*
+                   it (anti-joins, NOT IN); the constraint index only says
+                   which rows a plan selects, so be conservative *)
+                d.d_widen <- true;
+                d.d_rows <- []
+            end)
           ops);
   t
 
@@ -453,17 +517,126 @@ let poke_dirty t =
   in
   List.rev (loop [])
 
+(* Like [refresh_dirty], but reports each changed table with how far its
+   version advanced since the snapshot: [Some d] when the uid is unchanged
+   and a previous snapshot existed, [None] otherwise (first sighting, drop +
+   recreate, or outright drop — all of which must widen). *)
+let refresh_changed t =
+  let changed = ref [] in
+  Catalog.iter
+    (fun table ->
+      let name = String.lowercase_ascii (Table.name table) in
+      let uid = Table.uid table and version = Table.version table in
+      match Hashtbl.find_opt t.versions name with
+      | Some (puid, pver) when (puid, pver) = (uid, version) -> ()
+      | prev ->
+        Hashtbl.replace t.versions name (uid, version);
+        let advance =
+          match prev with
+          | Some (puid, pver) when puid = uid -> Some (version - pver)
+          | _ -> None
+        in
+        changed := (name, advance) :: !changed)
+    t.db.Database.catalog;
+  let dropped =
+    Hashtbl.fold
+      (fun name _ acc ->
+        if Catalog.mem t.db.Database.catalog name then acc else name :: acc)
+      t.versions []
+  in
+  List.iter
+    (fun name ->
+      Hashtbl.remove t.versions name;
+      changed := (name, None) :: !changed)
+    dropped;
+  !changed
+
+(* Tuple-level poke: probe the committed row images against the pending
+   store's constraint index and retry only the hit set.  A changed table is
+   probeable when its buffered delta accounts for the *whole* version
+   advance ([d_ops] redo entries, one version bump each) — otherwise some
+   mutation bypassed the observer (direct [Table] calls, DDL) and the table
+   widens to its full reader set, exactly [poke_dirty]'s behaviour.  The
+   no-table ("") bucket is always retried, as in [Pending.readers]: those
+   queries wait only on partners.  Loops to fixpoint for the same reason
+   [poke_dirty] does. *)
+let poke_delta t =
+  let rec loop acc =
+    let changed = refresh_changed t in
+    if changed = [] then acc
+    else begin
+      Hashtbl.reset t.dirty;
+      let probed_ids = ref [] and n_rows = ref 0 and widened = ref [] in
+      List.iter
+        (fun (name, advance) ->
+          let delta = Hashtbl.find_opt t.deltas name in
+          Hashtbl.remove t.deltas name;
+          match delta, advance with
+          | Some d, Some adv when (not d.d_widen) && d.d_ops = adv ->
+            List.iter
+              (fun row ->
+                incr n_rows;
+                probed_ids :=
+                  List.rev_append
+                    (Pending.probe t.pending ~table:name row)
+                    !probed_ids)
+              d.d_rows
+          | _ -> widened := name :: !widened)
+        changed;
+      (* deltas for tables the catalog diff did not surface are stale
+         (e.g. the table was dropped and is handled via [widened]) —
+         [changed] consumed every live one above, so clear the rest *)
+      Hashtbl.reset t.deltas;
+      let hits = List.sort_uniq compare !probed_ids in
+      let ids =
+        List.sort_uniq compare
+          (List.rev_append hits (Pending.reader_ids t.pending !widened))
+      in
+      let targets = List.filter_map (Pending.get t.pending) ids in
+      let n_targets = List.length targets in
+      t.stats.Stats.tuple_probes <- t.stats.Stats.tuple_probes + !n_rows;
+      t.stats.Stats.tuple_hits <- t.stats.Stats.tuple_hits + List.length hits;
+      t.stats.Stats.tuple_fallbacks <-
+        t.stats.Stats.tuple_fallbacks + List.length !widened;
+      t.stats.Stats.dirty_retries <- t.stats.Stats.dirty_retries + n_targets;
+      t.stats.Stats.dirty_skipped <-
+        t.stats.Stats.dirty_skipped + (Pending.size t.pending - n_targets);
+      let acc =
+        List.fold_left
+          (fun acc (q : Equery.t) ->
+            if not (Pending.mem t.pending q.Equery.id) then acc
+            else
+              match try_match t q with
+              | None -> acc
+              | Some success ->
+                let notifications = fulfil t success in
+                cascade_rev t success.Matcher.new_tuples
+                  (List.rev_append notifications acc))
+          acc targets
+      in
+      loop acc
+    end
+  in
+  List.rev (loop [])
+
+let poke_locked t =
+  if t.config.use_tuple_poke then poke_delta t
+  else if t.config.use_dirty_poke then poke_dirty t
+  else poke_all t
+
 (** [poke t] — call after database updates that may unblock coordinations;
-    returns the notifications produced.  With [use_dirty_poke] only the
-    pending queries reading a changed table are retried; otherwise every
-    pending query is retried to a fixpoint. *)
+    returns the notifications produced.  With [use_tuple_poke] only the
+    pending queries whose extracted constraints a committed tuple satisfies
+    are retried; with [use_dirty_poke] only the pending queries reading a
+    changed table; otherwise every pending query is retried to a
+    fixpoint. *)
 let poke t =
   Mutex.lock t.mu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mu)
     (fun () ->
       t.stats.Stats.pokes <- t.stats.Stats.pokes + 1;
-      if t.config.use_dirty_poke then poke_dirty t else poke_all t)
+      poke_locked t)
 
 (** [poke_batch ~statements t] — one poke covering a whole write batch.
     The dirty set already accumulated every table the batch's transactions
@@ -482,4 +655,4 @@ let poke_batch ?(statements = 1) t =
       t.stats.Stats.batch_pokes <- t.stats.Stats.batch_pokes + 1;
       t.stats.Stats.batch_poke_stmts <-
         t.stats.Stats.batch_poke_stmts + statements;
-      if t.config.use_dirty_poke then poke_dirty t else poke_all t)
+      poke_locked t)

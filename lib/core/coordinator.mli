@@ -29,6 +29,11 @@ type config = {
       (** ground retries from the versioned {!Plan_cache}; ablation switch *)
   use_dirty_poke : bool;
       (** {!poke} retries only readers of changed tables; ablation switch *)
+  use_tuple_poke : bool;
+      (** {!poke} probes committed row images against the pending store's
+          constraint index and retries only the hit set; deletes, DDL and
+          direct [Table] mutations widen to the table-level reader set.
+          Takes precedence over [use_dirty_poke]; ablation switch *)
 }
 
 val default_config : config
@@ -76,12 +81,17 @@ val cancel : t -> int -> bool
 
 val poke : t -> Events.notification list
 (** Call after database updates that may unblock coordinations; returns the
-    notifications produced.  With [use_dirty_poke] (the default) only the
-    pending queries whose db atoms read a table changed since the last poke
-    are retried (tables touched by committed transactions are recorded
-    eagerly; direct [Table] mutations are caught by a version-snapshot diff
-    at poke time); with it off, every pending query is retried to a
-    fixpoint. *)
+    notifications produced.  With [use_tuple_poke] (the default) the
+    committed row images recorded since the last poke are probed against
+    the pending store's constraint index and only the hit set is retried —
+    changes the probe cannot account for (deletes, DDL, direct [Table]
+    mutations, a version advance the redo log doesn't explain) widen that
+    table to its full reader set.  With only [use_dirty_poke], every
+    pending query reading a changed table is retried (tables touched by
+    committed transactions are recorded eagerly; direct [Table] mutations
+    are caught by a version-snapshot diff at poke time).  With both off,
+    every pending query is retried to a fixpoint.  All three modes produce
+    identical traces (qcheck property I8). *)
 
 val poke_batch : ?statements:int -> t -> Events.notification list
 (** One poke covering a whole write batch: semantically identical to

@@ -25,9 +25,26 @@ type t = {
   c_by_const : (string * int * Value.t, Int_set.t ref) Hashtbl.t;
   c_by_var : (string * int, Int_set.t ref) Hashtbl.t;
   (* reverse index: base-table name (lowercased) → ids of pending queries
-     whose db-atom sub-plans read that table; drives the dirty-set poke *)
+     whose db-atom sub-plans read that table; drives the dirty-set poke and
+     doubles as the base bucket of the constraint index below *)
   by_table : (string, Int_set.t ref) Hashtbl.t;
+  (* constraint index over db-atom sub-plans, keyed on the base-table
+     equality predicates [Plan.constraints] extracts: per (table, column)
+     either a constant bucket (the access pins the column to that value) or
+     a variable bucket (the access leaves it free).  [probe] intersects
+     per-column buckets for a committed tuple, the same shape as the head
+     index above — candidates are looked up, not enumerated. *)
+  t_by_const : (string * int * Value.t, Int_set.t ref) Hashtbl.t;
+  t_by_var : (string * int, Int_set.t ref) Hashtbl.t;
+  (* smallest access arity ever indexed per table.  [probe] only intersects
+     positions below this: a query indexed before a table was dropped and
+     recreated with more columns has no bucket membership at the new
+     positions, and intersecting there would skip it unsoundly.  Never
+     raised on remove (monotone = conservative); bounded by the number of
+     distinct table names, not by churn. *)
+  t_arity : (string, int) Hashtbl.t;
   use_head_index : bool;
+  mutable n : int;  (** live size, maintained by add/remove *)
   mutable peak : int;
 }
 
@@ -41,11 +58,15 @@ let create ?(use_head_index = true) () =
     c_by_const = Hashtbl.create 256;
     c_by_var = Hashtbl.create 64;
     by_table = Hashtbl.create 64;
+    t_by_const = Hashtbl.create 256;
+    t_by_var = Hashtbl.create 64;
+    t_arity = Hashtbl.create 64;
     use_head_index;
+    n = 0;
     peak = 0;
   }
 
-let size t = Int_map.cardinal t.queries
+let size t = t.n
 let peak t = t.peak
 let mem t id = Int_map.mem id t.queries
 let get t id = Int_map.find_opt id t.queries
@@ -60,16 +81,45 @@ let bucket tbl k =
 
 let rel_key rel = String.lowercase_ascii rel
 
-let index_atoms atoms ~rel_tbl ~const_tbl ~var_tbl add =
+(** [Value.equal] coerces across Int/Float ([Int 2] = [Float 2.]), but the
+    index hashtables key structurally — normalise integral floats to [Int]
+    at both index and probe time so a [grp = 2.0] constraint still matches a
+    committed [Int 2]. *)
+let norm_value : Value.t -> Value.t = function
+  | Value.Float f
+    when Float.is_integer f && Float.abs f <= 2. ** 52. ->
+    Value.Int (int_of_float f)
+  | v -> v
+
+(* One operation applied uniformly across all seven differently-keyed bucket
+   tables: [add] inserts the id (creating the bucket), [remove] deletes the
+   id and drops the bucket when it empties, so churny register/fulfil
+   workloads don't grow the index tables without bound. *)
+type bucket_op = { op : 'k. ('k, Int_set.t ref) Hashtbl.t -> 'k -> unit }
+
+let add_op id = { op = (fun tbl k -> let b = bucket tbl k in b := Int_set.add id !b) }
+
+let remove_op id =
+  {
+    op =
+      (fun tbl k ->
+        match Hashtbl.find_opt tbl k with
+        | None -> ()
+        | Some b ->
+          b := Int_set.remove id !b;
+          if Int_set.is_empty !b then Hashtbl.remove tbl k);
+  }
+
+let index_atoms atoms ~rel_tbl ~const_tbl ~var_tbl { op } =
   List.iter
     (fun (h : Atom.t) ->
       let rel = rel_key h.Atom.rel in
-      add (bucket rel_tbl rel);
+      op rel_tbl rel;
       Array.iteri
         (fun i arg ->
           match arg with
-          | Term.Const v -> add (bucket const_tbl (rel, i, v))
-          | Term.Var _ -> add (bucket var_tbl (rel, i)))
+          | Term.Const v -> op const_tbl (rel, i, v)
+          | Term.Var _ -> op var_tbl (rel, i))
         h.Atom.args)
     atoms
 
@@ -80,30 +130,67 @@ let tables_read (q : Equery.t) : string list =
     q.Equery.db_atoms
   |> List.sort_uniq String.compare
 
-let index_heads t (q : Equery.t) add =
+(* Index the equality constraints of every base-table access of [q]'s
+   db-atom sub-plans.  For each access (table, arity, eqs): each column with
+   an extracted [= const] lands in a constant bucket, every other column in
+   the table's variable bucket.  The walk is deterministic, so add and
+   remove visit the same keys; duplicate visits (two accesses of one table)
+   are harmless because buckets are sets. *)
+let index_constraints t (q : Equery.t) { op } =
+  List.iter
+    (fun (d : Equery.db_atom) ->
+      List.iter
+        (fun (table, arity, eqs) ->
+          (match Hashtbl.find_opt t.t_arity table with
+          | Some a when a <= arity -> ()
+          | _ -> Hashtbl.replace t.t_arity table arity);
+          for i = 0 to arity - 1 do
+            match
+              List.filter_map (fun (j, v) -> if j = i then Some v else None) eqs
+            with
+            | [] -> op t.t_by_var (table, i)
+            | vs -> List.iter (fun v -> op t.t_by_const (table, i, norm_value v)) vs
+          done)
+        (Plan.constraints d.Equery.plan))
+    q.Equery.db_atoms
+
+let index_heads t (q : Equery.t) bop =
   index_atoms q.Equery.heads ~rel_tbl:t.by_rel ~const_tbl:t.by_const
-    ~var_tbl:t.by_var add;
+    ~var_tbl:t.by_var bop;
   index_atoms q.Equery.ans_atoms ~rel_tbl:t.c_by_rel ~const_tbl:t.c_by_const
-    ~var_tbl:t.c_by_var add;
+    ~var_tbl:t.c_by_var bop;
   (* a query reading no base table lands in the "" bucket, which [readers]
      always includes — such queries can only be unblocked by partners, so
      every dirty-set retry must consider them *)
   let names = match tables_read q with [] -> [ "" ] | names -> names in
-  List.iter (fun name -> add (bucket t.by_table name)) names
+  List.iter (fun name -> bop.op t.by_table name) names;
+  index_constraints t q bop
 
 let add t (q : Equery.t) =
   if q.Equery.id = 0 then
     Errors.internalf "pending store: query has no assigned id";
   t.queries <- Int_map.add q.Equery.id q t.queries;
-  t.peak <- max t.peak (size t);
-  index_heads t q (fun b -> b := Int_set.add q.Equery.id !b)
+  t.n <- t.n + 1;
+  t.peak <- max t.peak t.n;
+  index_heads t q (add_op q.Equery.id)
 
 let remove t id =
   match Int_map.find_opt id t.queries with
   | None -> ()
   | Some q ->
     t.queries <- Int_map.remove id t.queries;
-    index_heads t q (fun b -> b := Int_set.remove id !b)
+    t.n <- t.n - 1;
+    index_heads t q (remove_op id)
+
+(** Total number of live buckets across the id-set index tables — the churn
+    test asserts this returns to baseline after an add/remove cycle.
+    [t_arity] is excluded: it is per-table metadata bounded by the number of
+    distinct table names, not by query churn. *)
+let bucket_count t =
+  Hashtbl.length t.by_rel + Hashtbl.length t.by_const + Hashtbl.length t.by_var
+  + Hashtbl.length t.c_by_rel + Hashtbl.length t.c_by_const
+  + Hashtbl.length t.c_by_var + Hashtbl.length t.by_table
+  + Hashtbl.length t.t_by_const + Hashtbl.length t.t_by_var
 
 let iter f t = Int_map.iter (fun _ q -> f q) t.queries
 let to_list t = Int_map.fold (fun _ q acc -> q :: acc) t.queries [] |> List.rev
@@ -173,6 +260,68 @@ let readers t (names : string list) : Equery.t list =
       Int_set.empty ("" :: names)
   in
   Int_set.elements ids |> List.filter_map (fun id -> Int_map.find_opt id t.queries)
+
+(** [reader_ids t names] — like {!readers} but returns sorted ids (the ""
+    bucket included); [poke_delta] unions these with {!probe} hits before
+    resolving to queries. *)
+let reader_ids t (names : string list) : int list =
+  List.fold_left
+    (fun acc name ->
+      match Hashtbl.find_opt t.by_table (rel_key name) with
+      | Some b -> Int_set.union acc !b
+      | None -> acc)
+    Int_set.empty ("" :: names)
+  |> Int_set.elements
+
+(** [probe t ~table row] — sorted ids of pending queries with at least one
+    db-atom access of [table] whose extracted equality constraints [row]
+    satisfies: per column, the query either pins it to the row's value or
+    leaves it unconstrained.  A miss means every access of [table] in that
+    query pins some column to a different constant, so the row cannot enter
+    any of those accesses' outputs and the query's result is unchanged.
+
+    Cost: the starting candidate set is the constant bucket of a column
+    {i every} reader pins (no variable bucket) when one exists — on
+    selective workloads that is the small set of queries asking for exactly
+    this value, and the remaining columns are membership checks per
+    candidate, so the probe is sublinear in the table's reader count.  With
+    no such column it degenerates to filtering the full reader set — never
+    worse than table-level targeting.  Columns at or beyond the smallest
+    indexed arity for [table] are ignored (sound over-approximation across
+    drop/recreate with a wider schema). *)
+let probe t ~table (row : Tuple.t) : int list =
+  let table = rel_key table in
+  match Hashtbl.find_opt t.by_table table with
+  | None -> []
+  | Some base ->
+    let n_cols =
+      match Hashtbl.find_opt t.t_arity table with
+      | Some a -> min a (Array.length row)
+      | None -> 0
+    in
+    let consts =
+      Array.init n_cols (fun i ->
+          Hashtbl.find_opt t.t_by_const (table, i, norm_value row.(i)))
+    in
+    let vars =
+      Array.init n_cols (fun i -> Hashtbl.find_opt t.t_by_var (table, i))
+    in
+    (* a column with no variable bucket is pinned by every reader: its
+       constant bucket for the row's value bounds the whole result *)
+    let rec start i =
+      if i >= n_cols then !base
+      else if vars.(i) <> None then start (i + 1)
+      else match consts.(i) with None -> Int_set.empty | Some b -> !b
+    in
+    let admits id i =
+      (match consts.(i) with Some b -> Int_set.mem id !b | None -> false)
+      || match vars.(i) with Some b -> Int_set.mem id !b | None -> false
+    in
+    let ok id =
+      let rec check i = i >= n_cols || (admits id i && check (i + 1)) in
+      check 0
+    in
+    Int_set.elements (Int_set.filter ok (start 0))
 
 (** [interested t atom] — pending queries one of whose *answer constraints*
     could unify with the ground atom [atom]; the coordinator's cascade uses

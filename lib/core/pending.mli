@@ -50,4 +50,22 @@ val readers : t -> string list -> Equery.t list
     a dirty-set retry must always consider them).  The coordinator's
     dirty-set poke retries exactly these. *)
 
+val reader_ids : t -> string list -> int list
+(** Like {!readers} but returns sorted instance ids (the no-table bucket
+    always included); used by the tuple-level poke to union table-level
+    fallbacks with {!probe} hits before resolving ids to queries. *)
+
+val probe : t -> table:string -> Relational.Tuple.t -> int list
+(** [probe t ~table row] — sorted ids of pending queries reading [table]
+    whose extracted per-access equality constraints (see
+    {!Relational.Plan.constraints}) the committed [row] satisfies.  A query
+    absent from the result has every access of [table] pinned to constants
+    the row contradicts, so its result cannot be changed by that row.
+    Constraints are an over-approximation: non-indexable predicates simply
+    match everything, never narrowing below table-level semantics. *)
+
+val bucket_count : t -> int
+(** Total live buckets across the internal index hashtables (diagnostics for
+    the churn test: removing every query returns this to its baseline). *)
+
 val pp : Format.formatter -> t -> unit

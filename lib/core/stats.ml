@@ -22,6 +22,11 @@ type t = {
   mutable cache_evictions : int;  (** plan-cache entries evicted by CLOCK *)
   mutable batch_pokes : int;  (** batch-level pokes (one per write batch) *)
   mutable batch_poke_stmts : int;  (** statements covered by those pokes *)
+  mutable tuple_probes : int;  (** committed tuples probed by poke_delta *)
+  mutable tuple_hits : int;  (** pending queries woken by a tuple probe *)
+  mutable tuple_fallbacks : int;
+      (** changed tables widened to table-level readers (deletes, DDL,
+          direct mutations, delta-buffer overflow) *)
 }
 
 let create () =
@@ -46,6 +51,9 @@ let create () =
     cache_evictions = 0;
     batch_pokes = 0;
     batch_poke_stmts = 0;
+    tuple_probes = 0;
+    tuple_hits = 0;
+    tuple_fallbacks = 0;
   }
 
 let reset s =
@@ -68,7 +76,10 @@ let reset s =
   s.dirty_skipped <- 0;
   s.cache_evictions <- 0;
   s.batch_pokes <- 0;
-  s.batch_poke_stmts <- 0
+  s.batch_poke_stmts <- 0;
+  s.tuple_probes <- 0;
+  s.tuple_hits <- 0;
+  s.tuple_fallbacks <- 0
 
 let pp ppf s =
   Fmt.pf ppf
@@ -78,11 +89,27 @@ let pp ppf s =
      %d@,plan cache hits: %d@,plan cache misses: %d@,plan cache \
      invalidations: %d@,plan cache evictions: %d@,pokes: %d@,dirty \
      retries: %d@,dirty skipped: %d@,batch pokes: %d@,batch poke stmts: \
-     %d@]"
+     %d@,tuple probes: %d@,tuple hits: %d@,tuple fallbacks: %d@]"
     s.submitted s.answered s.groups_fulfilled s.rejected s.registered
     s.cancelled s.match_attempts s.search_steps s.unify_attempts s.groundings
     s.budget_exhausted s.cache_hits s.cache_misses s.cache_invalidations
     s.cache_evictions s.pokes s.dirty_retries s.dirty_skipped s.batch_pokes
-    s.batch_poke_stmts
+    s.batch_poke_stmts s.tuple_probes s.tuple_hits s.tuple_fallbacks
 
 let to_string s = Fmt.str "%a" pp s
+
+(** Machine-readable [key=value] lines for the wire listing
+    ([ADMIN|…|server]); keys are prefixed [coord_] to keep them disjoint
+    from the server's own counters. *)
+let to_kv s =
+  String.concat "\n"
+    (List.map
+       (fun (k, v) -> Printf.sprintf "coord_%s=%d" k v)
+       [
+         "pokes", s.pokes;
+         "dirty_retries", s.dirty_retries;
+         "dirty_skipped", s.dirty_skipped;
+         "tuple_probes", s.tuple_probes;
+         "tuple_hits", s.tuple_hits;
+         "tuple_fallbacks", s.tuple_fallbacks;
+       ])

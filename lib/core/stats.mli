@@ -23,9 +23,19 @@ type t = {
   mutable cache_evictions : int;  (** plan-cache entries evicted by CLOCK *)
   mutable batch_pokes : int;  (** {!Coordinator.poke_batch} calls *)
   mutable batch_poke_stmts : int;  (** statements amortised by those pokes *)
+  mutable tuple_probes : int;
+      (** committed tuples probed against the constraint index *)
+  mutable tuple_hits : int;  (** pending queries woken by a tuple probe *)
+  mutable tuple_fallbacks : int;
+      (** changed tables that widened to table-level readers (deletes, DDL,
+          direct mutations, delta-buffer overflow) *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val to_kv : t -> string
+(** Poke-related counters as [coord_key=value] lines (newline-separated)
+    for the [ADMIN|…|server] wire listing; see PROTOCOL.md. *)

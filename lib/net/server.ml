@@ -715,7 +715,13 @@ let handle_cancel t ~id ~query_id =
 let handle_admin t ~id ~what =
   (* admin probes only read engine state, so they share the engine *)
   match what with
-  | "server" -> Wire.Stats { id; body = Server_stats.render t.stats }
+  | "server" ->
+    (* coordination poke counters ride along: plain int reads, no lock *)
+    let coord_kv =
+      Core.Stats.to_kv
+        (Core.Coordinator.stats (Youtopia.System.coordinator t.sys))
+    in
+    Wire.Stats { id; body = Server_stats.render t.stats ^ "\n" ^ coord_kv }
   | "stats" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_stats t.sys) }
   | "pending" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_pending t.sys) }
   | "answers" -> Wire.Stats { id; body = with_engine_read t (fun () -> Youtopia.Admin.dump_answers t.sys) }

@@ -226,6 +226,58 @@ let tables plan =
   in
   List.sort_uniq String.compare (walk [] plan)
 
+(** [constraints t] — one entry per base-table {i access} (Scan or
+    Index_lookup) the plan contains: the table name (lowercased), the
+    access's output arity, and the equality constraints [(col, const)]
+    every row must satisfy to enter that access's output.
+
+    A constraint is collected from a top-level [Col i = Const v] conjunct
+    of a Filter that sits above the access through {i position-stable}
+    operators only (Filter/Sort/Distinct/Limit — their output schema is
+    their input schema, so column positions still name the access's
+    columns).  Index_lookup keys contribute directly.  Everything else —
+    inequalities, computed expressions, disjunctions, and any predicate
+    above a Project/Aggregate/join (whose output positions no longer name
+    the access's columns) — contributes nothing: the access is still
+    listed, just with fewer (possibly zero) constraints.
+
+    Dropping a constraint only ever {i widens}: the collected list is a
+    conjunction of necessary conditions, so a consumer that skips work for
+    rows violating a listed constraint is sound, and an access with no
+    constraints degrades to "any row of this table".  This is the contract
+    the pending store's tuple-level constraint index is built on. *)
+let constraints plan =
+  let eq_conjuncts pred =
+    List.filter_map
+      (function
+        | Expr.Binop (Expr.Eq, Expr.Col i, Expr.Const v)
+        | Expr.Binop (Expr.Eq, Expr.Const v, Expr.Col i) -> Some (i, v)
+        | _ -> None)
+      (Expr.conjuncts pred)
+  in
+  let rec walk acc eqs t =
+    match t.op with
+    | Values _ -> acc
+    | Scan { table } ->
+      (String.lowercase_ascii table, Schema.arity t.schema, eqs) :: acc
+    | Index_lookup { table; positions; key } ->
+      let eqs =
+        Array.to_list (Array.mapi (fun i p -> p, key.(i)) positions) @ eqs
+      in
+      (String.lowercase_ascii table, Schema.arity t.schema, eqs) :: acc
+    | Filter (pred, i) -> walk acc (eq_conjuncts pred @ eqs) i
+    | Sort (_, i) | Distinct i | Limit (_, i) -> walk acc eqs i
+    (* position-unstable: constraints collected above cannot be pushed
+       through, and predicates below start from scratch *)
+    | Project (_, i) | Aggregate { input = i; _ } -> walk acc [] i
+    | Nl_join { left; right; _ }
+    | Left_join { left; right; _ }
+    | Set_op { left; right; _ }
+    | Hash_join { left; right; _ }
+    | Semi_join { left; right; _ } -> walk (walk acc [] left) [] right
+  in
+  walk [] [] plan
+
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN-style pretty printing, used by the admin interface and tests. *)
 

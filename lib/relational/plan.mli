@@ -94,6 +94,18 @@ val tables : t -> string list
     A plan's result can only change when one of these tables does — the key
     set for {!Plan_cache} fingerprints and dirty-table retry targeting. *)
 
+val constraints : t -> (string * int * (int * Value.t) list) list
+(** One entry per base-table access (Scan or Index_lookup): table name
+    (lowercased), access arity, and the [(col, const)] equality constraints
+    every row must satisfy to enter that access's output — collected from
+    top-level [Col = Const] conjuncts reachable through position-stable
+    operators (Filter/Sort/Distinct/Limit) plus Index_lookup keys.
+    Non-indexable predicates (inequalities, computed expressions,
+    disjunctions, anything above a Project/Aggregate/join) contribute
+    nothing; the access is still listed with the constraints that {i could}
+    be extracted, so consumers only ever widen, never narrow.  The pending
+    store's tuple-level constraint index is keyed on these. *)
+
 (** {1 EXPLAIN} *)
 
 val agg_to_string : agg -> string

@@ -230,9 +230,12 @@ let rec outcome_digest = function
    [batch_pokes] routes every Poke through {!Coordinator.poke_batch}
    instead of {!Coordinator.poke} — the two must be indistinguishable. *)
 let run_actions ?(batch_pokes = false) ~use_plan_cache ~use_dirty_poke actions =
+  (* tuple poke pinned off: I6/I7 compare dirty-set against retry-everything;
+     the three-way grid including tuple-level targeting is I8 below *)
   let config =
     { Coordinator.default_config with
-      Coordinator.use_plan_cache; use_dirty_poke }
+      Coordinator.use_plan_cache; use_dirty_poke;
+      use_tuple_poke = false }
   in
   let db = Database.create () in
   let flights =
@@ -446,6 +449,184 @@ let prop_batched_poke_equivalence =
        QCheck.Gen.(pair monotone_action_gen (int_range 2 8)))
     (fun (actions, chunk) -> run_chunked ~chunk:1 actions = run_chunked ~chunk actions)
 
+(* I8 (tuple-targeting equivalence): the constraint-indexed tuple-level poke
+   is a pure optimization — across randomized interleavings of submissions,
+   committed inserts/updates/deletes, direct (observer-bypassing) inserts,
+   drop/recreate DDL and pokes, all three poke modes (retry-everything,
+   table-level dirty set, tuple-level probing) produce identical outcomes,
+   notifications, answer tuples and pending sets.  Both sides of a pair
+   read the same table (like I6's single Flights table), so which query
+   seeds the matcher search never depends on which side a poke retries
+   first. *)
+
+type xaction =
+  | XSubmit of int * bool * int  (* pair id, A/B side, dest index *)
+  | XGrowTxn of bool * int  (* committed insert into FA/FB → probeable *)
+  | XGrowDirect of bool * int  (* direct insert, bypasses the observer *)
+  | XUpdateTxn of bool * int * int  (* move one row's dest d1 → d2 *)
+  | XDeleteTxn of bool * int  (* committed delete → must widen *)
+  | XDdl of bool  (* drop + recreate + reseed the table *)
+  | XPoke of bool  (* route through poke_batch? *)
+
+let xtable_name side = if side then "FA" else "FB"
+
+let xaction_gen =
+  QCheck.Gen.(
+    let dest = int_bound (Array.length dests - 1) in
+    list_size (int_range 1 25)
+      (frequency
+         [
+           ( 6,
+             map3 (fun p side d -> XSubmit (p, side, d)) (int_bound 5) bool dest
+           );
+           3, map2 (fun s d -> XGrowTxn (s, d)) bool dest;
+           1, map2 (fun s d -> XGrowDirect (s, d)) bool dest;
+           2, map3 (fun s d1 d2 -> XUpdateTxn (s, d1, d2)) bool dest dest;
+           2, map2 (fun s d -> XDeleteTxn (s, d)) bool dest;
+           1, map (fun s -> XDdl s) bool;
+           3, map (fun b -> XPoke b) bool;
+         ]))
+
+let print_xactions actions =
+  String.concat "; "
+    (List.map
+       (function
+         | XSubmit (p, side, d) ->
+           Printf.sprintf "Submit(%d,%s,%s)" p (xtable_name side) dests.(d)
+         | XGrowTxn (s, d) ->
+           Printf.sprintf "GrowTxn(%s,%s)" (xtable_name s) dests.(d)
+         | XGrowDirect (s, d) ->
+           Printf.sprintf "GrowDirect(%s,%s)" (xtable_name s) dests.(d)
+         | XUpdateTxn (s, d1, d2) ->
+           Printf.sprintf "UpdateTxn(%s,%s->%s)" (xtable_name s) dests.(d1)
+             dests.(d2)
+         | XDeleteTxn (s, d) ->
+           Printf.sprintf "DeleteTxn(%s,%s)" (xtable_name s) dests.(d)
+         | XDdl s -> Printf.sprintf "Ddl(%s)" (xtable_name s)
+         | XPoke b -> if b then "PokeBatch" else "Poke")
+       actions)
+
+let run_xactions ~use_dirty_poke ~use_tuple_poke actions =
+  let config =
+    { Coordinator.default_config with
+      Coordinator.use_dirty_poke; use_tuple_poke }
+  in
+  let db = Database.create () in
+  let xschema name =
+    Schema.make ~primary_key:[ 0 ] name
+      [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ]
+  in
+  let next_fno = ref 1000 in
+  let seed_rows table =
+    List.iter
+      (fun d ->
+        if d <> "NoFlight" then begin
+          incr next_fno;
+          ignore (Table.insert table [| v_int !next_fno; v_str d |])
+        end)
+      (Array.to_list dests)
+  in
+  List.iter
+    (fun side ->
+      seed_rows (Database.create_table db (xschema (xtable_name side))))
+    [ true; false ];
+  let coord = Coordinator.create ~config db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  let cat = db.Database.catalog in
+  let table side = Database.find_table db (xtable_name side) in
+  let victim side d =
+    Table.fold
+      (fun acc row_id row ->
+        match acc with
+        | Some _ -> acc
+        | None -> if Value.as_string row.(1) = dests.(d) then Some (row_id, row) else None)
+      None (table side)
+  in
+  let trace =
+    List.map
+      (fun action ->
+        match action with
+        | XSubmit (p, side_a, d) ->
+          let me = Printf.sprintf "%s%d" (if side_a then "A" else "B") p in
+          let partner = Printf.sprintf "%s%d" (if side_a then "B" else "A") p in
+          (* both sides of pair [p] read the same table, by pair parity *)
+          let tbl = xtable_name (p mod 2 = 0) in
+          outcome_digest
+            (Coordinator.submit coord
+               (Translate.of_sql cat ~owner:me
+                  (Printf.sprintf
+                     "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT \
+                      fno FROM %s WHERE dest='%s') AND ('%s', fno) IN \
+                      ANSWER R CHOOSE 1"
+                     me tbl dests.(d) partner)))
+        | XGrowTxn (s, d) ->
+          incr next_fno;
+          let fno = !next_fno in
+          Database.with_txn db (fun txn ->
+              ignore (Txn.insert txn (table s) [| v_int fno; v_str dests.(d) |]));
+          "growtxn"
+        | XGrowDirect (s, d) ->
+          incr next_fno;
+          ignore (Table.insert (table s) [| v_int !next_fno; v_str dests.(d) |]);
+          "growdirect"
+        | XUpdateTxn (s, d1, d2) ->
+          (match victim s d1 with
+          | Some (row_id, row) ->
+            Database.with_txn db (fun txn ->
+                ignore
+                  (Txn.update txn (table s) row_id
+                     [| row.(0); v_str dests.(d2) |]))
+          | None -> ());
+          "updatetxn"
+        | XDeleteTxn (s, d) ->
+          (match victim s d with
+          | Some (row_id, _) ->
+            Database.with_txn db (fun txn ->
+                ignore (Txn.delete txn (table s) row_id))
+          | None -> ());
+          "deletetxn"
+        | XDdl s ->
+          (* drop + recreate under the same name: new uid, fresh rows — the
+             version snapshot can't explain the advance, so every mode must
+             fall back to the table's full reader set *)
+          Database.drop_table db (xtable_name s);
+          seed_rows (Database.create_table db (xschema (xtable_name s)));
+          "ddl"
+        | XPoke batch ->
+          (if batch then Coordinator.poke_batch ~statements:2 coord
+           else Coordinator.poke coord)
+          |> List.map notification_digest
+          |> List.sort compare |> String.concat "|")
+      actions
+  in
+  let final =
+    [
+      String.concat "|"
+        (List.sort compare
+           (List.map
+              (fun (n, f) -> Printf.sprintf "%s=%d" n f)
+              (answer_rows db)));
+      Coordinator.pending coord |> Pending.to_list
+      |> List.map (fun (q : Equery.t) -> string_of_int q.Equery.id)
+      |> String.concat ",";
+    ]
+  in
+  trace @ final
+
+let prop_tuple_poke_equivalence =
+  QCheck.Test.make
+    ~name:"tuple-level poke preserves outcomes (I8)" ~count:80
+    (QCheck.make ~print:print_xactions xaction_gen) (fun actions ->
+      let reference =
+        run_xactions ~use_dirty_poke:false ~use_tuple_poke:false actions
+      in
+      List.for_all
+        (fun (use_dirty_poke, use_tuple_poke) ->
+          run_xactions ~use_dirty_poke ~use_tuple_poke actions = reference)
+        [ true, false; false, true; true, true ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_pair_semantics;
@@ -454,4 +635,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_incremental_equivalence;
     QCheck_alcotest.to_alcotest prop_poke_batch_is_poke;
     QCheck_alcotest.to_alcotest prop_batched_poke_equivalence;
+    QCheck_alcotest.to_alcotest prop_tuple_poke_equivalence;
   ]

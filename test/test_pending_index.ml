@@ -1,0 +1,316 @@
+(* Unit tests for the tuple-level constraint index: Plan.constraints
+   extraction, Pending.probe under partial grounding, remove-then-poke,
+   bucket churn, and coordinator-level tuple-driven retry targeting. *)
+
+open Relational
+open Core
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let compile cat sql =
+  match Sql.Parser.parse_one sql with
+  | Sql.Ast.Select s -> Sql.Compile.compile_select cat s
+  | _ -> Alcotest.fail "expected a SELECT"
+
+(* ------------------------------------------------------------------ *)
+(* Plan.constraints extraction. *)
+
+let make_items () =
+  let db = Database.create () in
+  let items =
+    Database.create_table db
+      (Schema.make ~primary_key:[ 0 ] "Items"
+         [
+           Schema.column "id" Ctype.TInt;
+           Schema.column "grp" Ctype.TInt;
+           Schema.column "tag" Ctype.TText;
+         ])
+  in
+  for i = 0 to 7 do
+    ignore (Table.insert items [| v_int i; v_int (i mod 3); v_str "x" |])
+  done;
+  db
+
+(* All equality constraints extracted for [table], over every access,
+   sorted. *)
+let eqs_for plan table =
+  Plan.constraints plan
+  |> List.concat_map (fun (t, _, eqs) -> if t = table then eqs else [])
+  |> List.sort compare
+
+let accesses_of plan table =
+  Plan.constraints plan |> List.filter (fun (t, _, _) -> t = table)
+
+let test_extract_equality () =
+  let db = make_items () in
+  let cat = db.Database.catalog in
+  let plan = compile cat "SELECT id FROM Items WHERE grp = 5" in
+  Alcotest.(check bool)
+    "grp = 5 extracted" true
+    (List.mem (1, v_int 5) (eqs_for plan "items"));
+  let plan = compile cat "SELECT id FROM Items WHERE grp = 5 AND tag = 'x'" in
+  let eqs = eqs_for plan "items" in
+  Alcotest.(check bool)
+    "conjunction: both extracted" true
+    (List.mem (1, v_int 5) eqs && List.mem (2, v_str "x") eqs);
+  (* reversed operand order *)
+  let plan = compile cat "SELECT id FROM Items WHERE 5 = grp" in
+  Alcotest.(check bool)
+    "const = col extracted" true
+    (List.mem (1, v_int 5) (eqs_for plan "items"))
+
+let test_extract_fallbacks () =
+  let db = make_items () in
+  let cat = db.Database.catalog in
+  let no_eqs sql =
+    let plan = compile cat sql in
+    (* the access is still listed — table-level targeting keeps working —
+       but no equality constraint narrows it *)
+    Alcotest.(check bool)
+      (sql ^ ": access listed")
+      true
+      (accesses_of plan "items" <> []);
+    Alcotest.(check (list (pair int (testable Value.pp Value.equal))))
+      (sql ^ ": no constraints")
+      [] (eqs_for plan "items")
+  in
+  no_eqs "SELECT id FROM Items WHERE grp > 5";
+  no_eqs "SELECT id FROM Items WHERE grp + 1 = 5";
+  no_eqs "SELECT id FROM Items WHERE grp = 5 OR tag = 'y'";
+  no_eqs "SELECT id FROM Items"
+
+let test_extract_through_stable_ops () =
+  let db = make_items () in
+  let cat = db.Database.catalog in
+  let plan =
+    compile cat
+      "SELECT DISTINCT id FROM Items WHERE grp = 2 ORDER BY id LIMIT 3"
+  in
+  Alcotest.(check bool)
+    "survives Distinct/Sort/Limit" true
+    (List.mem (1, v_int 2) (eqs_for plan "items"))
+
+let test_extract_index_lookup () =
+  let db = make_items () in
+  let cat = db.Database.catalog in
+  (* primary-key point lookup: whether the planner picks Index_lookup or
+     Filter+Scan, the (col 0, 3) constraint must surface *)
+  let plan = compile cat "SELECT grp FROM Items WHERE id = 3" in
+  Alcotest.(check bool)
+    "pk lookup key extracted" true
+    (List.mem (0, v_int 3) (eqs_for plan "items"))
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator-level probing.  Ghost-partner pair queries park forever, so
+   the only observable activity is which ones a poke retries. *)
+
+let pair_sql ~me ~table ~dest =
+  Printf.sprintf
+    "SELECT '%s', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM %s WHERE \
+     dest='%s') AND ('ghost_%s', fno) IN ANSWER R CHOOSE 1"
+    me table dest me
+
+let make_coord ?config () =
+  let db = Database.create () in
+  let mk name =
+    let t =
+      Database.create_table db
+        (Schema.make name
+           [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+    in
+    ignore (Table.insert t [| v_int 1; v_str "Seed" |]);
+    t
+  in
+  let ta = mk "TA" and tb = mk "TB" in
+  let coord = Coordinator.create ?config db in
+  Coordinator.declare_answer_relation coord
+    (Schema.make "R"
+       [ Schema.column "name" Ctype.TText; Schema.column "fno" Ctype.TInt ]);
+  db, coord, ta, tb
+
+let submit_pending coord db ~me ~table ~dest =
+  match
+    Coordinator.submit coord
+      (Translate.of_sql db.Database.catalog ~owner:me
+         (pair_sql ~me ~table ~dest))
+  with
+  | Coordinator.Registered id -> id
+  | _ -> Alcotest.fail "query should park (ghost partner)"
+
+let test_probe_partial_grounding () =
+  let db, coord, _, _ = make_coord () in
+  let qa = submit_pending coord db ~me:"ua" ~table:"TA" ~dest:"Paris" in
+  let qb = submit_pending coord db ~me:"ub" ~table:"TA" ~dest:"Rome" in
+  let qc = submit_pending coord db ~me:"uc" ~table:"TB" ~dest:"Paris" in
+  let pending = Coordinator.pending coord in
+  (* fno is unconstrained (any value matches via the variable bucket); dest
+     discriminates *)
+  Alcotest.(check (list int))
+    "Paris row wakes only TA's Paris reader" [ qa ]
+    (Pending.probe pending ~table:"TA" [| v_int 99; v_str "Paris" |]);
+  Alcotest.(check (list int))
+    "Rome row wakes only TA's Rome reader" [ qb ]
+    (Pending.probe pending ~table:"ta" [| v_int 7; v_str "Rome" |]);
+  Alcotest.(check (list int))
+    "no constraint matches" []
+    (Pending.probe pending ~table:"TA" [| v_int 1; v_str "Oslo" |]);
+  Alcotest.(check (list int))
+    "per-table separation" [ qc ]
+    (Pending.probe pending ~table:"TB" [| v_int 1; v_str "Paris" |]);
+  Alcotest.(check (list int))
+    "unknown table" []
+    (Pending.probe pending ~table:"nope" [| v_int 1 |]);
+  (* integral floats normalise: Float 99.0 / Int 99 are SQL-equal *)
+  Alcotest.(check (list int))
+    "float row value normalised" [ qa ]
+    (Pending.probe pending ~table:"TA" [| Value.Float 99.0; v_str "Paris" |])
+
+let test_tuple_targeting () =
+  let db, coord, ta, tb = make_coord () in
+  let _qa = submit_pending coord db ~me:"ua" ~table:"TA" ~dest:"Paris" in
+  let _qb = submit_pending coord db ~me:"ub" ~table:"TA" ~dest:"Rome" in
+  let _qc = submit_pending coord db ~me:"uc" ~table:"TB" ~dest:"Paris" in
+  let stats = Coordinator.stats coord in
+  ignore (Coordinator.poke coord);
+  (* first poke: empty snapshot, every table widens, all three retried *)
+  Alcotest.(check int) "first poke retries all" 3 stats.Stats.dirty_retries;
+  let r0 = stats.Stats.dirty_retries in
+  (* a committed insert matching nobody's constraint retries nobody *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn ta [| v_int 10; v_str "Oslo" |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "miss probe retries none" r0 stats.Stats.dirty_retries;
+  Alcotest.(check int) "probe counted" 1 stats.Stats.tuple_probes;
+  (* a committed insert matching one query's constraint retries exactly it *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn ta [| v_int 11; v_str "Paris" |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "hit probe retries one" (r0 + 1) stats.Stats.dirty_retries;
+  Alcotest.(check int) "hit counted" 1 stats.Stats.tuple_hits;
+  (* a committed delete widens to the table's full reader set *)
+  let victim =
+    Table.fold
+      (fun acc id row ->
+        if Value.as_string row.(1) = "Oslo" then Some id else acc)
+      None ta
+    |> Option.get
+  in
+  let f0 = stats.Stats.tuple_fallbacks in
+  Database.with_txn db (fun txn -> ignore (Txn.delete txn ta victim));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "delete retries both TA readers" (r0 + 3)
+    stats.Stats.dirty_retries;
+  Alcotest.(check int) "delete widened" (f0 + 1) stats.Stats.tuple_fallbacks;
+  (* a direct insert bypasses the observer: version advance unexplained,
+     the table widens — even though the row matches nobody *)
+  ignore (Table.insert tb [| v_int 12; v_str "Oslo" |]);
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "direct mutation widens TB" (r0 + 4)
+    stats.Stats.dirty_retries;
+  (* a committed update probes BOTH images: old wakes the reader losing the
+     row, new wakes the reader gaining it *)
+  let paris_row =
+    Table.fold
+      (fun acc id row ->
+        if Value.as_string row.(1) = "Paris" then Some id else acc)
+      None ta
+    |> Option.get
+  in
+  let p0 = stats.Stats.tuple_probes in
+  Database.with_txn db (fun txn ->
+      ignore (Txn.update txn ta paris_row [| v_int 11; v_str "Rome" |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "update probes old and new" (p0 + 2)
+    stats.Stats.tuple_probes;
+  Alcotest.(check int) "update retries both affected readers" (r0 + 6)
+    stats.Stats.dirty_retries;
+  (* DDL: drop + recreate gets a fresh uid, the table widens *)
+  Database.drop_table db "TB";
+  let tb' =
+    Database.create_table db
+      (Schema.make "TB"
+         [ Schema.column "fno" Ctype.TInt; Schema.column "dest" Ctype.TText ])
+  in
+  ignore (Table.insert tb' [| v_int 1; v_str "Seed" |]);
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "DDL widens TB" (r0 + 7) stats.Stats.dirty_retries
+
+let test_remove_then_poke () =
+  let db, coord, ta, _ = make_coord () in
+  let qa = submit_pending coord db ~me:"ua" ~table:"TA" ~dest:"Paris" in
+  let _qb = submit_pending coord db ~me:"ub" ~table:"TA" ~dest:"Rome" in
+  ignore (Coordinator.poke coord);
+  let stats = Coordinator.stats coord in
+  let r0 = stats.Stats.dirty_retries in
+  Alcotest.(check bool) "cancel removes" true (Coordinator.cancel coord qa);
+  (* a row that matched only the cancelled query wakes nobody *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn ta [| v_int 20; v_str "Paris" |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "cancelled query not retried" r0
+    stats.Stats.dirty_retries;
+  (* the surviving query still wakes normally *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn ta [| v_int 21; v_str "Rome" |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "survivor still retried" (r0 + 1)
+    stats.Stats.dirty_retries
+
+let test_bucket_churn () =
+  let db, coord, _, _ = make_coord () in
+  let pending = Coordinator.pending coord in
+  let b0 = Pending.bucket_count pending in
+  let ids =
+    List.init 8 (fun i ->
+        submit_pending coord db
+          ~me:(Printf.sprintf "u%d" i)
+          ~table:(if i mod 2 = 0 then "TA" else "TB")
+          ~dest:(Printf.sprintf "D%d" i))
+  in
+  Alcotest.(check bool) "buckets grew" true (Pending.bucket_count pending > b0);
+  List.iter (fun id -> ignore (Coordinator.cancel coord id)) ids;
+  Alcotest.(check int) "all buckets reclaimed" b0 (Pending.bucket_count pending);
+  Alcotest.(check int) "store empty" 0 (Pending.size pending);
+  (* and the store still works after the churn *)
+  let q = submit_pending coord db ~me:"again" ~table:"TA" ~dest:"Paris" in
+  Alcotest.(check (list int))
+    "reusable after churn" [ q ]
+    (Pending.probe pending ~table:"TA" [| v_int 1; v_str "Paris" |])
+
+let test_size_counter () =
+  let db, coord, _, _ = make_coord () in
+  let pending = Coordinator.pending coord in
+  Alcotest.(check int) "empty" 0 (Pending.size pending);
+  let a = submit_pending coord db ~me:"a" ~table:"TA" ~dest:"P" in
+  let b = submit_pending coord db ~me:"b" ~table:"TB" ~dest:"Q" in
+  Alcotest.(check int) "two pending" 2 (Pending.size pending);
+  Alcotest.(check int) "peak tracks" 2 (Pending.peak pending);
+  ignore (Coordinator.cancel coord a);
+  Alcotest.(check int) "one after cancel" 1 (Pending.size pending);
+  (* double-remove is a no-op on the counter *)
+  Pending.remove pending a;
+  Alcotest.(check int) "idempotent remove" 1 (Pending.size pending);
+  ignore (Coordinator.cancel coord b);
+  Alcotest.(check int) "drained" 0 (Pending.size pending);
+  Alcotest.(check int) "peak survives" 2 (Pending.peak pending)
+
+let suite =
+  [
+    Alcotest.test_case "extract: equality conjuncts" `Quick
+      test_extract_equality;
+    Alcotest.test_case "extract: non-indexable predicates fall back" `Quick
+      test_extract_fallbacks;
+    Alcotest.test_case "extract: survives Distinct/Sort/Limit" `Quick
+      test_extract_through_stable_ops;
+    Alcotest.test_case "extract: pk point lookup" `Quick
+      test_extract_index_lookup;
+    Alcotest.test_case "probe: partial grounding + value norm" `Quick
+      test_probe_partial_grounding;
+    Alcotest.test_case "poke: tuple-driven retry targeting" `Quick
+      test_tuple_targeting;
+    Alcotest.test_case "poke: remove then poke" `Quick test_remove_then_poke;
+    Alcotest.test_case "churn: buckets reclaimed on remove" `Quick
+      test_bucket_churn;
+    Alcotest.test_case "size: O(1) counter" `Quick test_size_counter;
+  ]

@@ -20,6 +20,7 @@ let () =
       "extensions", Test_extensions.suite;
       "matcher-props", Test_matcher_props.suite;
       "incremental", Test_incremental.suite;
+      "pending-index", Test_pending_index.suite;
       "frontend", Test_frontend.suite;
       "net", Test_net.suite;
       "replication", Test_replication.suite;
