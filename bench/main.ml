@@ -164,8 +164,9 @@ let e4_pairs { fast; seed } =
       let coordinator = Youtopia.System.coordinator sys in
       let cat = Youtopia.System.catalog sys in
       let arrivals =
-        Travel.Workload.pair_arrivals ~seed:(seed + 4) ~n
-          ~dests:Travel.Datagen.cities
+        Travel.Workload.pair_arrivals
+          ~seed:(Scenarios.Scengen.derive ~seed "pair_arrivals")
+          ~n ~dests:Travel.Datagen.cities
       in
       let m = Travel.Workload.run_pairs coordinator cat arrivals in
       assert (m.Travel.Workload.fulfilled = 2 * n);
@@ -328,8 +329,9 @@ let e10_baseline { fast; seed } =
             Printf.sprintf "L%d" i, Printf.sprintf "P%d" i, "Paris")
       in
       (* baseline *)
+      let data_seed = Scenarios.Scengen.derive ~seed "e10.data" in
       let sys_b =
-        Travel.Datagen.make_system ~seed:(seed + 8) ~n_flights:16 ~n_hotels:4
+        Travel.Datagen.make_system ~seed:data_seed ~n_flights:16 ~n_hotels:4
           ~seats_per_flight:seats ()
       in
       let elapsed_b, result =
@@ -343,7 +345,7 @@ let e10_baseline { fast; seed } =
       let social = Travel.Social.create () in
       List.iter (fun (a, b, _) -> Travel.Social.befriend social a b) specs;
       let app =
-        Travel.App.create ~social ~seed:(seed + 8) ~n_flights:16 ~n_hotels:4 ()
+        Travel.App.create ~social ~seed:data_seed ~n_flights:16 ~n_hotels:4 ()
       in
       (* shrink seats to match *)
       let db = Youtopia.System.database (Travel.App.system app) in
@@ -438,7 +440,9 @@ let e_net { fast; seed } =
   say "server on 127.0.0.1:%d; %d pairs across %d client connections" port n
     n_workers;
   let arrivals =
-    Travel.Workload.pair_arrivals ~seed:(seed + 4) ~n ~dests:Travel.Datagen.cities
+    Travel.Workload.pair_arrivals
+      ~seed:(Scenarios.Scengen.derive ~seed "pair_arrivals")
+      ~n ~dests:Travel.Datagen.cities
   in
   let shares = Array.make n_workers [] in
   List.iteri
@@ -908,25 +912,6 @@ let e_inc ({ fast; _ } as opts) =
    tuple-vs-table ratio is CI-gateable even on a noisy 1-core box — plus
    wall-clock ns/poke and end-to-end fulfilment latency. *)
 
-(* Zipf(s) over {0..n-1} via inverse-CDF binary search; the CDF is
-   precomputed once, sampling is O(log n). *)
-let zipf_sampler ~state ~n ~s =
-  let cdf = Array.make n 0.0 in
-  let acc = ref 0.0 in
-  for i = 0 to n - 1 do
-    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
-    cdf.(i) <- !acc
-  done;
-  let total = !acc in
-  fun () ->
-    let u = Random.State.float state total in
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if cdf.(mid) >= u then hi := mid else lo := mid + 1
-    done;
-    !lo
-
 type match_mode = M_noindex | M_table | M_tuple
 
 let match_mode_slug = function
@@ -974,8 +959,11 @@ let match_variant ~fast ~seed ~mode =
     (Schema.make "Res"
        [ Schema.column "name" Ctype.TText; Schema.column "x" Ctype.TInt ]);
   let cat = db.Database.catalog in
-  let rng = Random.State.make [| seed; 801 |] in
-  let zipf = zipf_sampler ~state:rng ~n:n_consts ~s:0.7 in
+  let gen =
+    Scenarios.Scengen.create ~seed ~label:"match.zipf" ~users:n_consts
+      ~skew:0.7 ()
+  in
+  let zipf () = Scenarios.Scengen.user gen in
   for i = 1 to n_pending do
     let g = i mod n_tables in
     let c = zipf () in
@@ -1090,6 +1078,243 @@ let e_match { fast; seed } =
          %.0fx"
       vs_table vs_none
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SCEN — the scenario subsystem under load.  Part 1: k-way group
+   formation with >=100k parked members (each waiting on ghost partners)
+   spread over Zipf-popular (dest, day) buckets; commits are bursty
+   under-capacity ride insertions into Zipf-drawn buckets, so tuple-level
+   probing retries only the mutated bucket's members while the table-level
+   dirty set retries every parked member on every commit.  Retry counts
+   are deterministic given the seed, so the per-k tuple-vs-table ratios
+   are the CI-gated metrics; clique-close latency at full load is the
+   informational headline.  Part 2: a lock-lease soak driven by the shared
+   generator (Zipf owners, bursty arrivals, weighted op mix) whose
+   pass/fail is the I-L1/I-L2 invariant audit. *)
+
+let scen_days = 30
+
+(* rank -> (dest, day): 6 x 30 = 180 buckets, Zipf-popular by rank *)
+let scen_bucket gen =
+  let n_dests = Array.length Scenarios.Groups.dests in
+  let rank = Scenarios.Scengen.user gen in
+  Scenarios.Groups.dests.(rank mod n_dests), 1 + (rank / n_dests)
+
+(* One group-formation variant: park the population, drive bursty
+   commits, measure.  Returns (ns/poke, retries/commit, close-lat us,
+   pending size). *)
+let scen_group_variant ~fast ~seed ~k ~tuple =
+  let n_pending = if fast then 100_000 else 200_000 in
+  let burst = 8 in
+  (* the table-level dirty set retries all of [n_pending] per commit, so a
+     few commits are plenty to verify the flat line *)
+  let n_commits = if tuple then (if fast then 12 else 24) else 4 in
+  let n_dests = Array.length Scenarios.Groups.dests in
+  let config =
+    {
+      Core.Coordinator.default_config with
+      Core.Coordinator.use_dirty_poke = true;
+      use_tuple_poke = tuple;
+    }
+  in
+  let sys =
+    (* capacity k-1: real rides exist in every bucket but none can seat the
+       whole clique, so parked members stay parked through the measurement *)
+    Scenarios.Groups.make_system ~config
+      ~seed:(Scenarios.Scengen.derive ~seed "scen.rides")
+      ~n_rides:(n_dests * scen_days)
+      ~capacity:(k - 1) ()
+  in
+  let coord = Youtopia.System.coordinator sys in
+  let cat = Youtopia.System.catalog sys in
+  let db = Youtopia.System.database sys in
+  let rides = Database.find_table db "Rides" in
+  (* same label for the tuple and table variants at one k: identical parked
+     populations and commit targets, so the ratio compares like with like *)
+  let gen =
+    Scenarios.Scengen.create ~seed
+      ~label:(Printf.sprintf "scen.buckets.k%d" k)
+      ~users:(n_dests * scen_days) ~skew:0.9 ()
+  in
+  for i = 1 to n_pending do
+    let dest, day = scen_bucket gen in
+    let me = Printf.sprintf "p%d_%d" k i in
+    let others =
+      List.init (k - 1) (fun j -> Printf.sprintf "ghost%d_%d_%d" k i j)
+    in
+    let sql = Scenarios.Groups.member_sql ~me ~others ~day ~dest ~k () in
+    match Core.Coordinator.submit coord (Core.Translate.of_sql cat ~owner:me sql) with
+    | Core.Coordinator.Registered _ -> ()
+    | _ -> failwith "SCEN: member should park (ghost partners never arrive)"
+  done;
+  (* prime: the first poke retries everything in every mode (empty version
+     snapshot) — keep it out of the measured region *)
+  ignore (Core.Coordinator.poke coord);
+  let stats = Core.Coordinator.stats coord in
+  let r0 = stats.Core.Stats.dirty_retries in
+  let next_rid = ref 1_000_000 in
+  let elapsed, () =
+    time_once (fun () ->
+        for _ = 1 to n_commits do
+          (* one bursty localized commit: [burst] zero-seat rides into one
+             Zipf-drawn bucket — nothing fulfils, but the bucket's parked
+             members must be re-checked *)
+          let dest, day = scen_bucket gen in
+          Database.with_txn db (fun txn ->
+              for _ = 1 to burst do
+                incr next_rid;
+                ignore
+                  (Txn.insert txn rides
+                     [|
+                       Value.Int !next_rid; Value.Str dest; Value.Int day;
+                       Value.Int 0;
+                     |])
+              done);
+          ignore (Core.Coordinator.poke coord)
+        done)
+  in
+  let retries_per_commit =
+    float_of_int (stats.Core.Stats.dirty_retries - r0)
+    /. float_of_int n_commits
+  in
+  (* clique-close latency at full load: a fresh k-seat ride in a bucket no
+     parked member watches, then the whole clique — the k-th submission
+     pays the close *)
+  let close_us =
+    let probes = 3 in
+    let total = ref 0.0 in
+    for p = 1 to probes do
+      let dest = Scenarios.Groups.dests.(0) in
+      let day = scen_days + 10 + p in
+      incr next_rid;
+      Database.with_txn db (fun txn ->
+          ignore
+            (Txn.insert txn rides
+               [|
+                 Value.Int !next_rid; Value.Str dest; Value.Int day;
+                 Value.Int k;
+               |]));
+      let members = List.init k (fun j -> Printf.sprintf "probe%d_%d_%d" k p j) in
+      let submit me =
+        let others = List.filter (fun o -> o <> me) members in
+        Core.Coordinator.submit coord
+          (Core.Translate.of_sql cat ~owner:me
+             (Scenarios.Groups.member_sql ~me ~others ~day ~dest ~k ()))
+      in
+      let rec go = function
+        | [] -> failwith "SCEN: empty probe group"
+        | [ last ] ->
+          let dt, outcome = time_once (fun () -> submit last) in
+          (match outcome with
+          | Core.Coordinator.Answered _ -> ()
+          | _ -> failwith "SCEN: probe clique should close");
+          dt
+        | m :: rest ->
+          (match submit m with
+          | Core.Coordinator.Registered _ -> ()
+          | _ -> failwith "SCEN: early probe member should park");
+          go rest
+      in
+      total := !total +. go members
+    done;
+    !total /. float_of_int probes *. 1e6
+  in
+  ( elapsed *. 1e9 /. float_of_int n_commits,
+    retries_per_commit,
+    close_us,
+    n_pending )
+
+let e_scen { fast; seed } =
+  header
+    "SCEN — scenario subsystem: k-way group formation at 100k+ pending; \
+     lock-lease soak";
+  (* -------- part 1: k-way formation, tuple vs table retry targeting ---- *)
+  (* the table-level dirty set retries every parked member per commit
+     regardless of k, so one measured run (at k = 2) is the shared
+     denominator for every ratio *)
+  let _, table_retries, _, np = scen_group_variant ~fast ~seed ~k:2 ~tuple:false in
+  say
+    "table-level dirty set, k=2: %.0f retries/commit over %d parked members"
+    table_retries np;
+  if int_of_float table_retries <> np then
+    failwith "SCEN: table-level dirty set should retry every parked member";
+  record ~experiment:"SCEN" ~metric:"table_retries_per_commit" table_retries;
+  say "%6s %10s %14s %18s %16s %10s" "k" "pending" "ns/poke"
+    "tuple retr/commit" "close lat(us)" "vs table";
+  List.iter
+    (fun k ->
+      let ns, retries, close_us, np =
+        scen_group_variant ~fast ~seed ~k ~tuple:true
+      in
+      let speedup = table_retries /. retries in
+      say "%6d %10d %14.0f %18.1f %16.1f %9.0fx" k np ns retries close_us
+        speedup;
+      let m metric v = record ~experiment:"SCEN" ~metric v in
+      m (Printf.sprintf "k%d_tuple_ns_per_poke" k) ns;
+      m (Printf.sprintf "k%d_tuple_retries_per_commit" k) retries;
+      m (Printf.sprintf "k%d_close_latency_us" k) close_us;
+      (* retry counts are deterministic given the seed: gateable in CI *)
+      m (Printf.sprintf "k%d_tuple_vs_table_retry_speedup" k) speedup)
+    [ 2; 3; 5; 8 ];
+  say "(tuple-level probing pays per mutated (dest, day) bucket, not per";
+  say " parked member — and the clique close stays flat as k grows because";
+  say " the k-th member's search touches only its own group's partners)";
+  (* -------- part 2: lock-lease soak under the shared generator -------- *)
+  let n_locks = 64 in
+  let app = Scenarios.Locks.create ~n_locks () in
+  let gen =
+    Scenarios.Scengen.create ~seed ~label:"scen.locks" ~users:400 ()
+  in
+  let n_ops = if fast then 2_000 else 10_000 in
+  let tick = ref 0 in
+  let granted = ref 0 and waited = ref 0 and reclaimed = ref 0 in
+  let one_op () =
+    incr tick;
+    let name =
+      Scenarios.Locks.lock_name (Scenarios.Scengen.uniform gen n_locks)
+    in
+    let ttl () = 5 + Scenarios.Scengen.uniform gen 40 in
+    match
+      Scenarios.Scengen.pick gen
+        [ 50, `Acquire; 25, `Release; 15, `Renew; 10, `Sweep ]
+    with
+    | `Acquire -> (
+      let owner = Scenarios.Scengen.user_name gen in
+      match Scenarios.Locks.acquire app ~owner ~name ~now:!tick ~ttl:(ttl ()) with
+      | Scenarios.Locks.Granted _ -> incr granted
+      | Scenarios.Locks.Waiting _ -> incr waited
+      | Scenarios.Locks.Refused r -> failwith ("SCEN: acquire refused: " ^ r))
+    | `Release -> (
+      match Scenarios.Locks.holder app ~name with
+      | Some (owner, _, _) -> ignore (Scenarios.Locks.release app ~owner ~name)
+      | None -> ())
+    | `Renew -> (
+      match Scenarios.Locks.holder app ~name with
+      | Some (owner, _, _) ->
+        ignore (Scenarios.Locks.renew app ~owner ~name ~now:!tick ~ttl:(ttl ()))
+      | None -> ())
+    | `Sweep -> reclaimed := !reclaimed + Scenarios.Locks.sweep app ~now:!tick ()
+  in
+  let elapsed, () =
+    time_once (fun () ->
+        List.iter
+          (fun b -> for _ = 1 to b do one_op () done)
+          (Scenarios.Scengen.bursts gen ~n:n_ops ()))
+  in
+  (match Scenarios.Locks.audit (Scenarios.Locks.system app) with
+  | [] -> ()
+  | errs ->
+    List.iter (fun e -> say "  AUDIT VIOLATION: %s" e) errs;
+    failwith "SCEN: lock-lease invariants violated");
+  let op_us = elapsed /. float_of_int n_ops *. 1e6 in
+  say
+    "lock-lease soak: %d ops over %d locks (%d grants, %d waits, %d \
+     reclaims) at %.1f us/op; I-L1/I-L2 invariants clean"
+    n_ops n_locks !granted !waited !reclaimed op_us;
+  record ~experiment:"SCEN" ~metric:"locks_ops" (float_of_int n_ops);
+  record ~experiment:"SCEN" ~metric:"locks_grants" (float_of_int !granted);
+  record ~experiment:"SCEN" ~metric:"locks_reclaims" (float_of_int !reclaimed);
+  record ~experiment:"SCEN" ~metric:"locks_op_us" op_us
 
 (* ------------------------------------------------------------------ *)
 (* REPL — checkpoint + WAL-shipping replication.  Part 1: 8 point-read
@@ -1234,7 +1459,7 @@ let e_repl { fast; seed } =
         (fun () ->
           if not with_writer then () else
           let c = Net.Client.connect ~port:pport ~user:"writer" () in
-          let rng = Random.State.make [| seed; 77 |] in
+          let rng = Scenarios.Scengen.stream ~seed "repl.writer" in
           while not (Atomic.get stop_writer) do
             let k = Random.State.int rng n_rows in
             ignore
@@ -1266,7 +1491,10 @@ let e_repl { fast; seed } =
                          ~user:(Printf.sprintf "reader%d" w)
                          ()
                      in
-                     let rng = Random.State.make [| seed; w |] in
+                     let rng =
+                       Scenarios.Scengen.stream ~seed
+                         (Printf.sprintf "repl.reader%d" w)
+                     in
                      (* engine-bound reads: an aggregate scan, so serving
                         them is real work a replica can take off the
                         primary (point lookups are RTT-bound and show
@@ -1332,7 +1560,7 @@ let e_repl { fast; seed } =
     Database.with_txn db (fun txn ->
         ignore (Txn.insert txn t [| Value.Int i; Value.Int 0 |]))
   done;
-  let rng = Random.State.make [| seed; 13 |] in
+  let rng = Scenarios.Scengen.stream ~seed "repl.updates" in
   for u = 1 to n_updates do
     let k = Random.State.int rng n_base in
     Database.with_txn db (fun txn ->
@@ -1587,6 +1815,7 @@ let experiments =
     "E13", ("cascade chain depth", e13_cascade);
     "INC", ("incremental matching + concurrent read path", e_inc);
     "MATCH", ("retry targeting at 100k-1M pending queries", e_match);
+    "SCEN", ("scenario subsystem: k-way formation + lock-lease soak", e_scen);
     "BATCH", ("write batching x durability over loopback TCP", e_batch);
     "REPL", ("read replicas + checkpointed recovery", e_repl);
     "NET", ("travel workload over loopback TCP", e_net);
@@ -1594,7 +1823,14 @@ let experiments =
     "MICRO", ("engine primitive microbenchmarks", fun (_ : opts) -> e_micro ());
   ]
 
-let run only fast seed net json =
+let run only fast seed net json list_exps =
+  if list_exps then begin
+    List.iter
+      (fun (id, (desc, _)) -> Printf.printf "%-8s %s\n" id desc)
+      experiments;
+    0
+  end
+  else
   let only = if net && only = [] then [ "NET" ] else only in
   let chosen =
     match only with
@@ -1652,9 +1888,17 @@ let json_opt =
           "Write machine-readable results (experiment, metric, value \
            records) to $(docv).")
 
+let list_flag =
+  Arg.(
+    value & flag
+    & info [ "experiments" ]
+        ~doc:"List the available experiments (id and description) and exit.")
+
 let cmd =
   let doc = "Regenerate every table/figure-equivalent of the Youtopia demo paper" in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ only_arg $ fast_flag $ seed_opt $ net_flag $ json_opt)
+    Term.(
+      const run $ only_arg $ fast_flag $ seed_opt $ net_flag $ json_opt
+      $ list_flag)
 
 let () = exit (Cmd.eval' cmd)

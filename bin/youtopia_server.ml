@@ -11,9 +11,9 @@
    docs/PROTOCOL.md).  Ctrl-C shuts down gracefully: in-flight responses
    are flushed before connections close. *)
 
-let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
-    ~max_batch ~max_delay_us ~no_batch ~replica_of ~replica_id ~conn_model
-    ~event_loops ~max_conns ~verbose =
+let run ~host ~port ~travel ~scenario ~seed ~wal ~read_timeout ~max_frame
+    ~durability ~max_batch ~max_delay_us ~no_batch ~replica_of ~replica_id
+    ~conn_model ~event_loops ~max_conns ~verbose =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.Src.set_level Net.Server.log_src (Some Logs.Debug);
@@ -36,10 +36,19 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
         prerr_endline ("bad --replica-of '" ^ spec ^ "' (expected HOST:PORT)");
         exit 2)
   in
-  if replica_of <> None && (travel || wal <> None) then begin
+  (match scenario with
+  | None | Some "locks" | Some "groups" -> ()
+  | Some s ->
+    prerr_endline ("unknown --scenario '" ^ s ^ "' (expected locks|groups)");
+    exit 2);
+  if travel && scenario <> None then begin
+    prerr_endline "--travel and --scenario load different datasets; pick one";
+    exit 2
+  end;
+  if replica_of <> None && (travel || scenario <> None || wal <> None) then begin
     prerr_endline
-      "--replica-of is incompatible with --travel/--wal: a replica's state \
-       comes from the primary";
+      "--replica-of is incompatible with --travel/--scenario/--wal: a \
+       replica's state comes from the primary";
     exit 2
   end;
   let report_recovery wal_path sys =
@@ -62,20 +71,31 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
     | _ -> None
   in
   let sys =
-    match travel, existing_wal with
-    | true, Some wal_path ->
+    match travel, scenario, existing_wal with
+    | true, _, Some wal_path ->
       (* a travel server restarting over its own log: recover (adopting
          the travel answer relations) rather than re-populating *)
       report_recovery wal_path (Travel.Datagen.recover_system ~wal_path ())
-    | true, None ->
+    | true, _, None ->
       Travel.Datagen.make_system ?wal_path:wal ~seed ~n_flights:32
         ~n_hotels:16 ()
-    | false, Some wal_path ->
+    | false, Some "locks", Some wal_path ->
+      report_recovery wal_path (Scenarios.Locks.recover_system ~wal_path ())
+    | false, Some "locks", None ->
+      Scenarios.Locks.make_system ?wal_path:wal ~n_locks:32 ()
+    | false, Some _, Some wal_path ->
+      report_recovery wal_path (Scenarios.Groups.recover_system ~wal_path ())
+    | false, Some _, None ->
+      Scenarios.Groups.make_system ?wal_path:wal ~seed ~n_rides:32 ~capacity:8 ()
+    | false, None, Some wal_path ->
       report_recovery wal_path
         (Youtopia.System.recover ~wal_path ~answer_relations:[] ())
-    | false, None -> Youtopia.System.create ?wal_path:wal ()
+    | false, None, None -> Youtopia.System.create ?wal_path:wal ()
   in
   let fresh_travel = travel && existing_wal = None in
+  let fresh_scenario =
+    if travel || existing_wal <> None then None else scenario
+  in
   let durability =
     match durability with
     | None -> None
@@ -126,6 +146,10 @@ let run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame ~durability
     | None -> "");
   if fresh_travel then
     print_endline "travel dataset loaded (32 flights, 16 hotels)";
+  (match fresh_scenario with
+  | Some "locks" -> print_endline "lock-lease scenario loaded (32 locks)"
+  | Some _ -> print_endline "group-formation scenario loaded (32 rides)"
+  | None -> ());
   (* Signal handlers only run at safepoints in a thread executing OCaml
      code; a main thread parked in Condition.wait never reaches one, so a
      Ctrl-C would stay pending forever.  Poll a flag instead — Thread.delay
@@ -158,6 +182,16 @@ let port_opt =
 
 let travel_flag =
   Arg.(value & flag & info [ "travel" ] ~doc:"Serve the demo travel dataset.")
+
+let scenario_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Serve a coordination scenario dataset: $(b,locks) (the lock-lease \
+           service — acquire/renew/sweep as THEN-clause entangled SQL) or \
+           $(b,groups) (k-way ride formation).")
 
 let seed_opt =
   Arg.(
@@ -266,13 +300,14 @@ let cmd =
     (Cmd.info "youtopia_server" ~doc)
     Term.(
       const
-        (fun host port travel seed wal read_timeout max_frame durability
-             max_batch max_delay_us no_batch replica_of replica_id conn_model
-             event_loops max_conns verbose ->
-          run ~host ~port ~travel ~seed ~wal ~read_timeout ~max_frame
+        (fun host port travel scenario seed wal read_timeout max_frame
+             durability max_batch max_delay_us no_batch replica_of replica_id
+             conn_model event_loops max_conns verbose ->
+          run ~host ~port ~travel ~scenario ~seed ~wal ~read_timeout ~max_frame
             ~durability ~max_batch ~max_delay_us ~no_batch ~replica_of
             ~replica_id ~conn_model ~event_loops ~max_conns ~verbose)
-      $ host_opt $ port_opt $ travel_flag $ seed_opt $ wal_opt $ read_timeout_opt
+      $ host_opt $ port_opt $ travel_flag $ scenario_opt $ seed_opt $ wal_opt
+      $ read_timeout_opt
       $ max_frame_opt $ durability_opt $ max_batch_opt $ max_delay_us_opt
       $ no_batch_flag $ replica_of_opt $ replica_id_opt $ conn_model_opt
       $ event_loops_opt $ max_conns_opt $ verbose_flag)

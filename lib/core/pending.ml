@@ -130,39 +130,68 @@ let tables_read (q : Equery.t) : string list =
     q.Equery.db_atoms
   |> List.sort_uniq String.compare
 
-(* Index the equality constraints of every base-table access of [q]'s
-   db-atom sub-plans.  For each access (table, arity, eqs): each column with
-   an extracted [= const] lands in a constant bucket, every other column in
-   the table's variable bucket.  The walk is deterministic, so add and
-   remove visit the same keys; duplicate visits (two accesses of one table)
-   are harmless because buckets are sets. *)
-let index_constraints t (q : Equery.t) { op } =
+(* Index one table access (table, arity, eqs) into the constraint index:
+   each column with an extracted [= const] lands in a constant bucket, every
+   other column in the table's variable bucket.  The walk is deterministic,
+   so add and remove visit the same keys; duplicate visits (two accesses of
+   one table) are harmless because buckets are sets. *)
+let index_access t { op } (table, arity, eqs) =
+  (match Hashtbl.find_opt t.t_arity table with
+  | Some a when a <= arity -> ()
+  | _ -> Hashtbl.replace t.t_arity table arity);
+  for i = 0 to arity - 1 do
+    match
+      List.filter_map (fun (j, v) -> if j = i then Some v else None) eqs
+    with
+    | [] -> op t.t_by_var (table, i)
+    | vs -> List.iter (fun v -> op t.t_by_const (table, i, norm_value v)) vs
+  done
+
+(* Answer constraints viewed as table accesses: answer relations ARE catalog
+   tables (every fulfilment writes them through the transaction manager), so
+   an [IN ANSWER R] template is an access of table [r] pinning each constant
+   argument position.  Indexing these alongside the db-atom constraints
+   makes a committed answer tuple probe straight to the partners waiting on
+   it — cross-query partner lookup is sublinear, like db-atom lookup. *)
+let ans_accesses (q : Equery.t) =
+  List.map
+    (fun (a : Atom.t) ->
+      let eqs =
+        Array.to_list a.Atom.args
+        |> List.mapi (fun i term -> i, term)
+        |> List.filter_map (function
+             | i, Term.Const v -> Some (i, v)
+             | _, Term.Var _ -> None)
+      in
+      (rel_key a.Atom.rel, Array.length a.Atom.args, eqs))
+    q.Equery.ans_atoms
+
+let index_constraints t (q : Equery.t) bop =
   List.iter
     (fun (d : Equery.db_atom) ->
-      List.iter
-        (fun (table, arity, eqs) ->
-          (match Hashtbl.find_opt t.t_arity table with
-          | Some a when a <= arity -> ()
-          | _ -> Hashtbl.replace t.t_arity table arity);
-          for i = 0 to arity - 1 do
-            match
-              List.filter_map (fun (j, v) -> if j = i then Some v else None) eqs
-            with
-            | [] -> op t.t_by_var (table, i)
-            | vs -> List.iter (fun v -> op t.t_by_const (table, i, norm_value v)) vs
-          done)
-        (Plan.constraints d.Equery.plan))
-    q.Equery.db_atoms
+      List.iter (index_access t bop) (Plan.constraints d.Equery.plan))
+    q.Equery.db_atoms;
+  List.iter (index_access t bop) (ans_accesses q)
 
 let index_heads t (q : Equery.t) bop =
   index_atoms q.Equery.heads ~rel_tbl:t.by_rel ~const_tbl:t.by_const
     ~var_tbl:t.by_var bop;
   index_atoms q.Equery.ans_atoms ~rel_tbl:t.c_by_rel ~const_tbl:t.c_by_const
     ~var_tbl:t.c_by_var bop;
-  (* a query reading no base table lands in the "" bucket, which [readers]
-     always includes — such queries can only be unblocked by partners, so
-     every dirty-set retry must consider them *)
-  let names = match tables_read q with [] -> [ "" ] | names -> names in
+  (* a query is a reader of the base tables its sub-plans scan AND of the
+     answer relations its constraints watch (those change through ordinary
+     transactions too — every fulfilment inserts answer tuples).  A query
+     touching neither lands in the "" bucket, which [readers] always
+     includes: nothing localises its retries. *)
+  let ans_tables =
+    List.map (fun (tbl, _, _) -> tbl) (ans_accesses q)
+    |> List.sort_uniq String.compare
+  in
+  let names =
+    match List.sort_uniq String.compare (tables_read q @ ans_tables) with
+    | [] -> [ "" ]
+    | names -> names
+  in
   List.iter (fun name -> bop.op t.by_table name) names;
   index_constraints t q bop
 

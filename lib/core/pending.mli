@@ -45,10 +45,11 @@ val tables_read : Equery.t -> string list
 
 val readers : t -> string list -> Equery.t list
 (** [readers t names] — pending queries whose db-atom sub-plans read at
-    least one of the named base tables (case-insensitive), plus every query
-    reading {i no} base table (those can only be unblocked by partners, so
-    a dirty-set retry must always consider them).  The coordinator's
-    dirty-set poke retries exactly these. *)
+    least one of the named base tables (case-insensitive) {i or} whose
+    answer constraints watch one of them (answer relations are catalog
+    tables; fulfilments mutate them through ordinary transactions), plus
+    every query touching {i neither} (nothing localises its retries).  The
+    coordinator's dirty-set poke retries exactly these. *)
 
 val reader_ids : t -> string list -> int list
 (** Like {!readers} but returns sorted instance ids (the no-table bucket
@@ -58,11 +59,15 @@ val reader_ids : t -> string list -> int list
 val probe : t -> table:string -> Relational.Tuple.t -> int list
 (** [probe t ~table row] — sorted ids of pending queries reading [table]
     whose extracted per-access equality constraints (see
-    {!Relational.Plan.constraints}) the committed [row] satisfies.  A query
-    absent from the result has every access of [table] pinned to constants
-    the row contradicts, so its result cannot be changed by that row.
-    Constraints are an over-approximation: non-indexable predicates simply
-    match everything, never narrowing below table-level semantics. *)
+    {!Relational.Plan.constraints}) the committed [row] satisfies.  When
+    [table] is an answer relation the accesses are the queries' [IN ANSWER]
+    templates, with constant argument positions as the pins — so a freshly
+    committed answer tuple probes straight to the partners waiting on it.
+    A query absent from the result has every access of [table] pinned to
+    constants the row contradicts, so its result cannot be changed by that
+    row.  Constraints are an over-approximation: non-indexable predicates
+    simply match everything, never narrowing below table-level
+    semantics. *)
 
 val bucket_count : t -> int
 (** Total live buckets across the internal index hashtables (diagnostics for

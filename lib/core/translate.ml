@@ -54,6 +54,26 @@ let rec conjuncts (e : Sql.Ast.expr) =
   | Sql.Ast.E_bin (Expr.And, a, b) -> conjuncts a @ conjuncts b
   | e -> [ e ]
 
+(** Lower a [THEN …] clause to the IR side effect it denotes.  Effect
+    expressions are terms over the query's coordination variables, grounded
+    by the match's substitution inside the fulfilment transaction. *)
+let side_effect_of_fulfilment (fx : Sql.Ast.fulfilment_effect) :
+    Equery.side_effect =
+  let pins = List.map (fun (c, e) -> c, term_of_expr e) in
+  match fx with
+  | Sql.Ast.Fx_insert (table, es) ->
+    Equery.Sf_insert (table, Array.of_list (List.map term_of_expr es))
+  | Sql.Ast.Fx_update { fx_table; fx_set; fx_where } ->
+    Equery.Sf_update
+      {
+        table = fx_table;
+        set = List.map (fun (c, e) -> c, texpr_of_expr e) fx_set;
+        where_eq = pins fx_where;
+      }
+  | Sql.Ast.Fx_decrement { fx_table; fx_column; fx_where } ->
+    Equery.Sf_decrement
+      { table = fx_table; column = fx_column; where_eq = pins fx_where }
+
 (** [of_select cat ~owner s] — compile one entangled SELECT. *)
 let of_select (cat : Catalog.t) ~owner ?(label = "")
     ?(side_effects = []) (s : Sql.Ast.select) : Equery.t =
@@ -143,6 +163,10 @@ let of_select (cat : Catalog.t) ~owner ?(label = "")
   (match s.Sql.Ast.where with
   | None -> ()
   | Some w -> List.iter handle_conjunct (conjuncts w));
+  let side_effects =
+    side_effects
+    @ List.map side_effect_of_fulfilment s.Sql.Ast.fulfilment
+  in
   Equery.make ~label ~preds:(List.rev !preds)
     ~eq_bindings:(List.rev !eq_bindings)
     ~choose:(Option.value ~default:1 s.Sql.Ast.choose)

@@ -439,6 +439,20 @@ let dml_stmt : Sql.Ast.statement -> bool = function
     true
   | _ -> false
 
+(* A fulfilled entangled statement is DML too: the joint fulfilment runs
+   its THEN effects against base tables inside the fulfilment transaction
+   (e.g. the lock sweeper re-incrementing [Locks.free]), and the
+   answer-driven cascade does not follow those — only a poke hands the
+   mutated rows to parked waiters. *)
+let rec outcome_fulfilled = function
+  | Core.Coordinator.Answered _ -> true
+  | Core.Coordinator.Multi os -> List.exists outcome_fulfilled os
+  | Core.Coordinator.Rejected _ | Core.Coordinator.Registered _ -> false
+
+let response_fulfilled : Youtopia.System.response -> bool = function
+  | Youtopia.System.Coordination o -> outcome_fulfilled o
+  | Youtopia.System.Sql _ | Youtopia.System.Pending_listing _ -> false
+
 let result_of_responses id = function
   | [ r ] -> Wire.Result { id; body = body_of_response r }
   | rs -> Wire.Result { id; body = Wire.Multi (List.map body_of_response rs) }
@@ -453,7 +467,10 @@ let exec_write_script t session ~id stmts =
         List.map (Youtopia.System.exec t.sys session) stmts)
   with
   | Ok rs ->
-    let dml = List.length (List.filter dml_stmt stmts) in
+    let dml =
+      List.length (List.filter dml_stmt stmts)
+      + List.length (List.filter response_fulfilled rs)
+    in
     (result_of_responses id rs, dml)
   | Error kind ->
     Server_stats.on_error t.stats;

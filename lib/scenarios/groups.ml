@@ -1,0 +1,197 @@
+(** Scenario: k-way group formation (carpools / meeting slots).
+
+    The travel demo's coordinations are mostly pairs; this scenario makes
+    the group size a parameter and stresses the matcher with cliques well
+    beyond two.  [k] riders coordinate on one ride: each member's entangled
+    query names every other member in an answer constraint, so the matcher
+    must close a k-clique before anyone is committed — and the fulfilment
+    is joint-atomic, booking all [k] seats in one transaction (the [THEN]
+    effects decrement capacity once per member).
+
+    Schema:
+    - [Rides(rid, dest, day, seats)] — shared rides with capacity.
+    - [RideBookings(who, rid)] — one row per fulfilled member.
+    - answer relation [RideRes(rider, rid)].
+
+    All-or-nothing is the property under test (qcheck extends it to
+    k ∈ {3,5,8}): with [k-1] members submitted, nothing is booked and all
+    park; the [k]-th submission fulfils everyone at once, and [Rides.seats]
+    drops by exactly [k]. *)
+
+open Relational
+
+let dests =
+  [| "downtown"; "airport"; "campus"; "stadium"; "harbor"; "mall" |]
+
+let rides_schema =
+  Schema.make ~primary_key:[ 0 ] "Rides"
+    [
+      Schema.column "rid" Ctype.TInt;
+      Schema.column "dest" Ctype.TText;
+      Schema.column "day" Ctype.TInt;
+      Schema.column "seats" Ctype.TInt;
+    ]
+
+let ride_bookings_schema =
+  Schema.make "RideBookings"
+    [ Schema.column "who" Ctype.TText; Schema.column "rid" Ctype.TInt ]
+
+let ride_res_schema =
+  Schema.make "RideRes"
+    [ Schema.column "rider" Ctype.TText; Schema.column "rid" Ctype.TInt ]
+
+let answer_relation_names = [ "RideRes" ]
+
+let create_indexes db =
+  let rides = Database.find_table db "Rides" in
+  ignore (Table.create_index rides "rides_by_dest" [| 1 |])
+
+let setup (sys : Youtopia.System.t) =
+  let db = Youtopia.System.database sys in
+  ignore (Database.create_table db rides_schema);
+  ignore (Database.create_table db ride_bookings_schema);
+  create_indexes db;
+  Youtopia.System.declare_answer_relation sys ride_res_schema
+
+(** [populate sys ~seed ~n_rides ~capacity] — [n_rides] rides round-robin
+    over destinations, all with [capacity] seats (uniform capacity keeps
+    the audit a pure recomputation).  One logged transaction. *)
+let populate (sys : Youtopia.System.t) ~seed ~n_rides ~capacity =
+  let db = Youtopia.System.database sys in
+  let rides = Database.find_table db "Rides" in
+  let rng = Scengen.stream ~seed "groups.populate" in
+  Database.with_txn db (fun txn ->
+      for i = 0 to n_rides - 1 do
+        ignore
+          (Txn.insert txn rides
+             [|
+               Value.Int (1000 + i);
+               Value.Str dests.(i mod Array.length dests);
+               Value.Int (1 + Random.State.int rng 30);
+               Value.Int capacity;
+             |])
+      done)
+
+let make_system ?config ?wal_path ?durability ~seed ~n_rides ~capacity () =
+  let sys = Youtopia.System.create ?config ?wal_path ?durability () in
+  setup sys;
+  populate sys ~seed ~n_rides ~capacity;
+  sys
+
+let recover_system ?config ?durability ~wal_path () =
+  let sys =
+    Youtopia.System.recover ?config ?durability ~wal_path
+      ~answer_relations:answer_relation_names ()
+  in
+  create_indexes (Youtopia.System.database sys);
+  sys
+
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  sys : Youtopia.System.t;
+  mutable sessions : (string * Youtopia.Session.t) list;
+  mu : Mutex.t;
+}
+
+let create ?config ?wal_path ?durability ~seed ~n_rides ~capacity () =
+  let sys = make_system ?config ?wal_path ?durability ~seed ~n_rides ~capacity () in
+  { sys; sessions = []; mu = Mutex.create () }
+
+let attach sys = { sys; sessions = []; mu = Mutex.create () }
+let system t = t.sys
+
+let session t user =
+  Mutex.lock t.mu;
+  let s =
+    match List.assoc_opt user t.sessions with
+    | Some s -> s
+    | None ->
+      let s = Youtopia.System.session t.sys user in
+      t.sessions <- (user, s) :: t.sessions;
+      s
+  in
+  Mutex.unlock t.mu;
+  s
+
+let inbox t user = Youtopia.Session.drain (session t user)
+
+let quote s = "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+
+(** One member's contribution to a [k]-clique over a shared ride: the ride
+    must still have [k] seats, every other member must land on the same
+    [rid], and fulfilment books this member's seat.  [?day] additionally
+    pins the travel day — a second equality constraint, which the pending
+    constraint index turns into a (dest, day) bucket for tuple-level retry
+    targeting. *)
+let member_sql ~me ~others ?day ~dest ~k () =
+  let constraints =
+    List.map
+      (fun o -> Printf.sprintf "(%s, rid) IN ANSWER RideRes" (quote o))
+      others
+  in
+  let day_clause =
+    match day with None -> "" | Some d -> Printf.sprintf " AND day = %d" d
+  in
+  Printf.sprintf
+    "SELECT %s, rid INTO ANSWER RideRes WHERE %s THEN INSERT INTO \
+     RideBookings VALUES (%s, rid) THEN DECREMENT Rides.seats WHERE rid = \
+     rid CHOOSE 1"
+    (quote me)
+    (String.concat " AND "
+       (Printf.sprintf
+          "rid IN (SELECT rid FROM Rides WHERE dest = %s%s AND seats >= %d)"
+          (quote dest) day_clause k
+        :: constraints))
+    (quote me)
+
+let submit_member t ~me ~others ~dest ~k =
+  let sql = member_sql ~me ~others ~dest ~k () in
+  let q = Core.Translate.of_sql (Youtopia.System.catalog t.sys) ~owner:me sql in
+  Youtopia.System.submit_equery t.sys (session t me) q
+
+(** [submit_group t ~members ~dest] — the whole clique, one member at a
+    time; everything parks until the last member arrives, then the group
+    fulfils jointly.  Returns the outcome per member, in order. *)
+let submit_group t ~members ~dest =
+  let k = List.length members in
+  List.map
+    (fun me ->
+      let others = List.filter (fun m -> m <> me) members in
+      submit_member t ~me ~others ~dest ~k)
+    members
+
+(* ------------------------------------------------------------------ *)
+
+(** [audit sys ~capacity] — capacity conservation: every ride's remaining
+    seats plus its booked seats equals [capacity], no overbooking, and no
+    rider is booked twice on one ride.  Violations returned as messages. *)
+let audit (sys : Youtopia.System.t) ~capacity =
+  let db = Youtopia.System.database sys in
+  let rides = Database.find_table db "Rides" in
+  let bookings = Database.find_table db "RideBookings" in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let booked = Hashtbl.create 64 in
+  let pairs = Hashtbl.create 64 in
+  Table.iter
+    (fun _ row ->
+      let who = Value.as_string row.(0) in
+      let rid = Value.as_int row.(1) in
+      if Hashtbl.mem pairs (who, rid) then
+        err "rider %s booked twice on ride %d" who rid
+      else Hashtbl.replace pairs (who, rid) ();
+      Hashtbl.replace booked rid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt booked rid)))
+    bookings;
+  Table.iter
+    (fun _ row ->
+      let rid = Value.as_int row.(0) in
+      let seats = Value.as_int row.(3) in
+      let b = Option.value ~default:0 (Hashtbl.find_opt booked rid) in
+      if seats < 0 then err "ride %d overbooked: seats = %d" rid seats;
+      if seats + b <> capacity then
+        err "ride %d leaks seats: %d free + %d booked <> %d" rid seats b
+          capacity)
+    rides;
+  List.rev !errors

@@ -1,0 +1,151 @@
+(** Seeded workload generation shared by the benchmark harness
+    ([bench/main.ml]) and the crash-recovery torture harness
+    ([tools/torture.ml]), so performance numbers and crash cycles drive the
+    {i same} distributions.
+
+    Three ingredients, all deterministic under a seed:
+    - {b Zipfian users}: a heavy-tailed population — a few hot users issue
+      most requests (configurable exponent [skew]; [skew = 0.] degenerates
+      to uniform).
+    - {b bursty open-loop arrivals}: arrival slots are mostly singletons
+      with geometric bursts, the classic flash-crowd shape.
+    - {b per-scenario op mixes}: weighted operation tables sampled per
+      arrival.
+
+    The generator never reads a clock; time is whatever the caller's tick
+    counter says.  Every stream is derived from [(seed, label)], so two
+    harnesses asking for the same labelled stream replay identical
+    workloads, and a single [--seed] flag steers every experiment
+    uniformly. *)
+
+type t = {
+  rng : Random.State.t;
+  n_users : int;
+  skew : float;
+  cdf : float array;  (** cumulative Zipf weights over user ranks *)
+}
+
+(** [stream ~seed label] — an independent deterministic RNG stream.  Every
+    consumer of seeded randomness derives its stream here (instead of ad-hoc
+    [seed + k] offsets), so streams never collide and a workload is
+    reproducible from [(seed, label)] alone. *)
+let stream ~seed label =
+  Random.State.make [| seed; Hashtbl.hash label; String.length label |]
+
+(** [derive ~seed label] — a derived integer seed for APIs that take an
+    [int] seed rather than a stream; same collision-freedom contract as
+    {!stream}. *)
+let derive ~seed label = Hashtbl.hash (seed, label) land 0x3FFFFFFF
+
+let zipf_cdf ~n ~s =
+  let weights =
+    Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let acc = ref 0. in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+(** [create ~seed ~label ~users ?skew ()] — a generator over [users] ranked
+    users with Zipf exponent [skew] (default 1.1, a realistically heavy
+    tail). *)
+let create ~seed ~label ~users ?(skew = 1.1) () =
+  if users <= 0 then invalid_arg "Scengen.create: users must be positive";
+  { rng = stream ~seed label; n_users = users; skew; cdf = zipf_cdf ~n:users ~s:skew }
+
+let users t = t.n_users
+let skew t = t.skew
+let rng t = t.rng
+
+(* First index whose cumulative weight reaches [u] — binary search, so a
+   sample costs O(log users) even at the million-user population the bench
+   sweeps. *)
+let search_cdf cdf u =
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** [user t] — a Zipf-distributed user rank in [\[0, users)]; rank 0 is the
+    hottest user. *)
+let user t = search_cdf t.cdf (Random.State.float t.rng 1.0)
+
+(** [user_name t] — ["u<rank>"] for the sampled rank. *)
+let user_name t = Printf.sprintf "u%d" (user t)
+
+(** [distinct_users t k] — [k] distinct Zipf-sampled ranks (rejection on
+    duplicates; falls back to scanning ranks if [k] crowds the population).
+    The members of one coordination group. *)
+let distinct_users t k =
+  if k > t.n_users then
+    invalid_arg "Scengen.distinct_users: group larger than population";
+  let seen = Hashtbl.create k in
+  let picked = ref [] and n = ref 0 and attempts = ref 0 in
+  while !n < k do
+    let u =
+      if !attempts > 16 * k then (Hashtbl.length seen + !attempts) mod t.n_users
+      else user t
+    in
+    incr attempts;
+    if not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      picked := u :: !picked;
+      incr n
+    end
+  done;
+  List.rev !picked
+
+let uniform t n = Random.State.int t.rng n
+let float t bound = Random.State.float t.rng bound
+
+(** [pick t mix] — sample a weighted op mix [(weight, op) list]. *)
+let pick t mix =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 mix in
+  if total <= 0 then invalid_arg "Scengen.pick: empty mix";
+  let r = Random.State.int t.rng total in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, op) :: rest -> if r < acc + w then op else go (acc + w) rest
+  in
+  go 0 mix
+
+(** [bursts t ~n ?burstiness ?mean_burst ()] — open-loop arrival batch
+    sizes summing to exactly [n]: each slot is a geometric burst of mean
+    [mean_burst] with probability [burstiness], else a singleton.  The
+    driver submits each batch back-to-back, then lets the system drain
+    (poke/batch-commit) between slots — arrivals don't wait for
+    completions, which is what makes the load open-loop. *)
+let bursts t ~n ?(burstiness = 0.1) ?(mean_burst = 20.) () =
+  if n < 0 then invalid_arg "Scengen.bursts";
+  let p = 1.0 /. Float.max 1.0 mean_burst in
+  let geometric () =
+    (* inverse-CDF geometric on (0,1]; mean 1/p *)
+    let u = 1.0 -. Random.State.float t.rng 1.0 in
+    1 + int_of_float (Float.log u /. Float.log (1.0 -. p))
+  in
+  let rec go acc total =
+    if total >= n then List.rev acc
+    else
+      let size =
+        if Random.State.float t.rng 1.0 < burstiness then geometric () else 1
+      in
+      let size = min size (n - total) in
+      go (size :: acc) (total + size)
+  in
+  go [] 0
+
+(** [shuffle t l] — Fisher–Yates under the generator's stream. *)
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t.rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -5,6 +5,9 @@
     - [INTO ANSWER R] head clauses (a query's contribution to answer
       relation [R]);
     - [(e1, …, en) IN ANSWER R] answer constraints in WHERE;
+    - [THEN <effect>] fulfilment effects (DML run inside the joint
+      fulfilment transaction, referencing the query's coordination
+      variables);
     - a trailing [CHOOSE k] clause.
 
     JOIN … ON is normalised by the parser into the FROM list plus a WHERE
@@ -40,6 +43,29 @@ and from_source =
 
 and from_item = { f_source : from_source; f_alias : string option }
 
+(** Fulfilment effects ([THEN …] clauses of an entangled SELECT): DML
+    executed inside the joint fulfilment transaction, atomically with the
+    answer-tuple inserts.  Expressions may reference the query's
+    coordination variables (bare column names), which are ground by the
+    match's substitution at fulfilment time. *)
+and fulfilment_effect =
+  | Fx_insert of string * expr list
+      (** [THEN INSERT INTO t VALUES (e, …)] *)
+  | Fx_update of {
+      fx_table : string;
+      fx_set : (string * expr) list;
+      fx_where : (string * expr) list;  (** conjunction of [col = term] *)
+    }  (** [THEN UPDATE t SET c = e, … WHERE c = e AND …] *)
+  | Fx_decrement of {
+      fx_table : string;
+      fx_column : string;
+      fx_where : (string * expr) list;
+    }
+      (** [THEN DECREMENT t.c WHERE c = e AND …] — decrement the {i stored}
+          column by one (capacity consumption; [UPDATE SET] cannot express
+          this because its right-hand sides range over coordination
+          variables, not current column values) *)
+
 and select = {
   distinct : bool;
   items : select_item list;
@@ -49,6 +75,8 @@ and select = {
   left_joins : (from_item * expr) list;
       (** LEFT [OUTER] JOIN … ON …, applied in order after the inner FROM *)
   where : expr option;
+  fulfilment : fulfilment_effect list;
+      (** [THEN …] effects; only meaningful with [into_answer] heads *)
   group_by : expr list;
   having : expr option;
   order_by : (expr * Plan.order) list;
@@ -125,6 +153,7 @@ let empty_select =
     from = [];
     left_joins = [];
     where = None;
+    fulfilment = [];
     group_by = [];
     having = None;
     order_by = [];

@@ -162,6 +162,10 @@ and compile_select cat (s : Ast.select) : Plan.t =
   if s.Ast.choose <> None then
     Errors.fail
       (Errors.Parse_error "CHOOSE requires an entangled query (INTO ANSWER)");
+  if s.Ast.fulfilment <> [] then
+    Errors.fail
+      (Errors.Parse_error
+         "THEN effects require an entangled query (INTO ANSWER)");
   (* Sources and environment.  The environment covers the inner FROM block
      followed by the LEFT JOIN tables (in join order), so positions past the
      inner block refer to null-padded columns.  Each source is either a

@@ -429,6 +429,15 @@ and parse_select_body st : Ast.select =
   let where =
     if accept_kw st "WHERE" then Some (parse_expr st) else None
   in
+  (* Fulfilment effects: THEN <dml> [THEN <dml>] … — each clause is one
+     effect, so the commas inside SET lists and VALUES tuples are
+     unambiguous. *)
+  let fulfilment = ref [] in
+  while peek st = Token.KW "THEN" do
+    advance st;
+    fulfilment := parse_fulfilment_effect st :: !fulfilment
+  done;
+  let fulfilment = List.rev !fulfilment in
   let where =
     match List.rev !join_preds, where with
     | [], w -> w
@@ -497,6 +506,7 @@ and parse_select_body st : Ast.select =
     from = List.rev !from;
     left_joins = List.rev !left_joins;
     where;
+    fulfilment;
     group_by;
     having;
     order_by;
@@ -504,6 +514,62 @@ and parse_select_body st : Ast.select =
     choose;
     setop;
   }
+
+(* One THEN clause.  WHERE parts are restricted to [col = term AND …] —
+   that is all the fulfilment executor supports (equality pins against the
+   match's substitution), so richer predicates are rejected at parse time.
+   Right-hand sides use the additive grammar: AND must terminate a pin, and
+   comparisons inside a pin value are meaningless. *)
+and parse_fulfilment_effect st : Ast.fulfilment_effect =
+  let parse_eq_pins () =
+    let parse_pin () =
+      let col = ident st in
+      eat st Token.EQ;
+      col, parse_add st
+    in
+    let acc = ref [ parse_pin () ] in
+    while accept_kw st "AND" do
+      acc := parse_pin () :: !acc
+    done;
+    List.rev !acc
+  in
+  if accept_kw st "INSERT" then begin
+    eat_kw st "INTO";
+    let table = ident st in
+    eat_kw st "VALUES";
+    eat st Token.LPAREN;
+    let acc = ref [ parse_add st ] in
+    while accept st Token.COMMA do
+      acc := parse_add st :: !acc
+    done;
+    eat st Token.RPAREN;
+    Ast.Fx_insert (table, List.rev !acc)
+  end
+  else if accept_kw st "UPDATE" then begin
+    let table = ident st in
+    eat_kw st "SET";
+    let parse_set () =
+      let col = ident st in
+      eat st Token.EQ;
+      col, parse_add st
+    in
+    let sets = ref [ parse_set () ] in
+    while accept st Token.COMMA do
+      sets := parse_set () :: !sets
+    done;
+    eat_kw st "WHERE";
+    Ast.Fx_update
+      { fx_table = table; fx_set = List.rev !sets; fx_where = parse_eq_pins () }
+  end
+  else if accept_kw st "DECREMENT" then begin
+    let table = ident st in
+    eat st Token.DOT;
+    let column = ident st in
+    eat_kw st "WHERE";
+    Ast.Fx_decrement
+      { fx_table = table; fx_column = column; fx_where = parse_eq_pins () }
+  end
+  else fail st "expected INSERT, UPDATE or DECREMENT after THEN"
 
 (* ------------------------------------------------------------------ *)
 (* Statements *)

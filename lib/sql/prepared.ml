@@ -69,6 +69,19 @@ and bind_select params (s : Ast.select) : Ast.select =
           f, bind_expr params on)
         s.Ast.left_joins;
     where = Option.map (bind_expr params) s.Ast.where;
+    fulfilment =
+      List.map
+        (fun (fx : Ast.fulfilment_effect) ->
+          let pins = List.map (fun (c, e) -> c, bind_expr params e) in
+          match fx with
+          | Ast.Fx_insert (table, es) ->
+            Ast.Fx_insert (table, List.map (bind_expr params) es)
+          | Ast.Fx_update { fx_table; fx_set; fx_where } ->
+            Ast.Fx_update
+              { fx_table; fx_set = pins fx_set; fx_where = pins fx_where }
+          | Ast.Fx_decrement { fx_table; fx_column; fx_where } ->
+            Ast.Fx_decrement { fx_table; fx_column; fx_where = pins fx_where })
+        s.Ast.fulfilment;
     group_by = List.map (bind_expr params) s.Ast.group_by;
     having = Option.map (bind_expr params) s.Ast.having;
     order_by = List.map (fun (e, d) -> bind_expr params e, d) s.Ast.order_by;

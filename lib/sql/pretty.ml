@@ -32,6 +32,23 @@ and tuple ppf = function
   | [ e ] -> expr ppf e
   | es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") expr) es
 
+and fulfilment_effect ppf (fx : Ast.fulfilment_effect) =
+  let pins ppf ps =
+    Fmt.(list ~sep:(any " AND ") (fun ppf (c, e) -> pf ppf "%s = %a" c expr e))
+      ppf ps
+  in
+  match fx with
+  | Ast.Fx_insert (table, es) ->
+    Fmt.pf ppf "INSERT INTO %s VALUES (%a)" table
+      Fmt.(list ~sep:(any ", ") expr)
+      es
+  | Ast.Fx_update { fx_table; fx_set; fx_where } ->
+    Fmt.pf ppf "UPDATE %s SET %a WHERE %a" fx_table
+      Fmt.(list ~sep:(any ", ") (fun ppf (c, e) -> pf ppf "%s = %a" c expr e))
+      fx_set pins fx_where
+  | Ast.Fx_decrement { fx_table; fx_column; fx_where } ->
+    Fmt.pf ppf "DECREMENT %s.%s WHERE %a" fx_table fx_column pins fx_where
+
 and select ppf (s : Ast.select) =
   Fmt.pf ppf "SELECT ";
   if s.Ast.distinct then Fmt.pf ppf "DISTINCT ";
@@ -64,6 +81,7 @@ and select ppf (s : Ast.select) =
   (match s.Ast.where with
   | None -> ()
   | Some w -> Fmt.pf ppf " WHERE %a" expr w);
+  List.iter (fun fx -> Fmt.pf ppf " THEN %a" fulfilment_effect fx) s.Ast.fulfilment;
   (match s.Ast.group_by with
   | [] -> ()
   | gs -> Fmt.pf ppf " GROUP BY %a" Fmt.(list ~sep:(any ", ") expr) gs);

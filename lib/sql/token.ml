@@ -36,7 +36,7 @@ let keywords =
     "DELETE"; "JOIN"; "INNER"; "CROSS"; "BEGIN"; "COMMIT"; "ROLLBACK";
     "EXPLAIN"; "SHOW"; "TABLES"; "PENDING"; "HAVING"; "LEFT"; "OUTER";
     "UNION"; "INTERSECT"; "EXCEPT"; "ALL"; "BETWEEN"; "LIKE"; "VIEW";
-    "ANALYZE";
+    "ANALYZE"; "THEN"; "DECREMENT";
   ]
 
 let is_keyword s = List.mem (String.uppercase_ascii s) keywords

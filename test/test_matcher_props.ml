@@ -627,6 +627,248 @@ let prop_tuple_poke_equivalence =
           run_xactions ~use_dirty_poke ~use_tuple_poke actions = reference)
         [ true, false; false, true; true, true ])
 
+(* I9 (k-way all-or-nothing, randomized): the scenario subsystem's group
+   formation generalises the pair properties to cliques of k ∈ {3,5,8}.
+   With k-1 members submitted nothing is booked and everyone parks; the
+   k-th submission fulfils the whole clique jointly — k bookings, the
+   clique's k answer tuples on one rid, and exactly one ride drained by
+   exactly k seats.  The day pin is randomized three ways: absent, pinned
+   to a real ride's day (clique forms), pinned to a day no ride has
+   (clique must never form). *)
+
+let kway_gen =
+  QCheck.Gen.(
+    map3
+      (fun k d (pin, seed) -> k, d, pin, seed)
+      (oneofl [ 3; 5; 8 ])
+      (int_bound (Array.length Scenarios.Groups.dests - 1))
+      (pair (oneofl [ `NoPin; `PinReal; `PinMissing ]) (int_bound 10_000)))
+
+let print_kway (k, d, pin, seed) =
+  Printf.sprintf "k=%d dest=%s pin=%s seed=%d" k
+    Scenarios.Groups.dests.(d)
+    (match pin with
+    | `NoPin -> "none"
+    | `PinReal -> "real-day"
+    | `PinMissing -> "missing-day")
+    seed
+
+let prop_kway_all_or_nothing =
+  QCheck.Test.make ~name:"k-way cliques are all-or-nothing (I9)" ~count:40
+    (QCheck.make ~print:print_kway kway_gen) (fun (k, d, pin, seed) ->
+      let dest = Scenarios.Groups.dests.(d) in
+      let app =
+        Scenarios.Groups.create ~seed:(seed + 1) ~n_rides:12 ~capacity:k ()
+      in
+      let sys = Scenarios.Groups.system app in
+      let db = Youtopia.System.database sys in
+      let rides = Database.find_table db "Rides" in
+      let day =
+        match pin with
+        | `NoPin -> None
+        | `PinMissing -> Some 99 (* populate only deals days 1..30 *)
+        | `PinReal ->
+          Table.fold
+            (fun acc _ row ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if Value.as_string row.(1) = dest then
+                  Some (Value.as_int row.(2))
+                else None)
+            None rides
+      in
+      let members = List.init k (fun i -> Printf.sprintf "r%d_%d" seed i) in
+      let rng = Random.State.make [| seed |] in
+      let order =
+        members
+        |> List.map (fun m -> Random.State.bits rng, m)
+        |> List.sort compare |> List.map snd
+      in
+      let submit me =
+        let others = List.filter (fun m -> m <> me) members in
+        let sql = Scenarios.Groups.member_sql ~me ~others ?day ~dest ~k () in
+        Youtopia.System.submit_equery sys
+          (Youtopia.System.session sys me)
+          (Translate.of_sql (Youtopia.System.catalog sys) ~owner:me sql)
+      in
+      let prefix, last =
+        match List.rev order with
+        | last :: rev_prefix -> List.rev rev_prefix, last
+        | [] -> assert false
+      in
+      let booked () =
+        Table.fold
+          (fun n _ _ -> n + 1)
+          0
+          (Database.find_table db "RideBookings")
+      in
+      let parked =
+        List.for_all
+          (fun me ->
+            match submit me with
+            | Coordinator.Registered _ -> true
+            | _ -> false)
+          prefix
+      in
+      let nothing_before = parked && booked () = 0 in
+      let closing = submit last in
+      let audit_clean = Scenarios.Groups.audit sys ~capacity:k = [] in
+      match pin with
+      | `PinMissing ->
+        (* no ride matches: the k-th member parks like everyone else *)
+        nothing_before
+        && (match closing with Coordinator.Registered _ -> true | _ -> false)
+        && booked () = 0 && audit_clean
+      | `NoPin | `PinReal ->
+        let closed =
+          match closing with
+          | Coordinator.Answered n -> List.length n.Events.group = k
+          | _ -> false
+        in
+        (* exactly one ride drained to 0, every other ride untouched at k *)
+        let drained_once =
+          Table.fold
+            (fun acc _ row ->
+              let s = Value.as_int row.(3) in
+              if s = 0 then acc + 1 else if s = k then acc else acc + 100)
+            0 rides
+          = 1
+        in
+        nothing_before && closed
+        && booked () = k
+        && drained_once && audit_clean
+        && Pending.size (Coordinator.pending (Youtopia.System.coordinator sys))
+           = 0)
+
+(* I10 (k-way poke-grid equivalence): randomized group-formation workloads
+   — complete and partial cliques of k ∈ {3,5,8} over (dest, day) buckets,
+   committed ride arrivals, interleaved pokes — replay identically under
+   all three retry modes {retry-everything, table-level dirty set,
+   tuple-level probing}.  Every seeded ride is full (capacity 0), so every
+   clique parks until a GRide commits seats into its bucket; the poke is
+   then the only path to fulfilment, which is exactly the machinery the
+   grid varies. *)
+
+let ksizes = [| 3; 5; 8 |]
+
+type gaction =
+  | GClique of int * int * int * bool  (* size idx, dest idx, day, complete? *)
+  | GRide of int * int * int  (* dest idx, day, seats *)
+  | GPoke of bool  (* route through poke_batch? *)
+
+let gaction_gen =
+  QCheck.Gen.(
+    let dest = int_bound (Array.length Scenarios.Groups.dests - 1) in
+    let day = int_range 1 4 in
+    list_size (int_range 2 12)
+      (frequency
+         [
+           ( 4,
+             map2
+               (fun (s, d) (dy, c) -> GClique (s, d, dy, c))
+               (pair (int_bound 2) dest) (pair day bool) );
+           3, map3 (fun d dy s -> GRide (d, dy, s)) dest day (int_range 2 8);
+           3, map (fun b -> GPoke b) bool;
+         ]))
+
+let print_gactions actions =
+  String.concat "; "
+    (List.map
+       (function
+         | GClique (s, d, dy, c) ->
+           Printf.sprintf "Clique(k=%d,%s,day%d,%s)" ksizes.(s)
+             Scenarios.Groups.dests.(d) dy
+             (if c then "complete" else "partial")
+         | GRide (d, dy, s) ->
+           Printf.sprintf "Ride(%s,day%d,seats=%d)" Scenarios.Groups.dests.(d)
+             dy s
+         | GPoke b -> if b then "PokeBatch" else "Poke")
+       actions)
+
+let run_gactions ~use_dirty_poke ~use_tuple_poke actions =
+  let config =
+    { Coordinator.default_config with
+      Coordinator.use_dirty_poke; use_tuple_poke }
+  in
+  let app = Scenarios.Groups.create ~config ~seed:1 ~n_rides:6 ~capacity:0 () in
+  let sys = Scenarios.Groups.system app in
+  let db = Youtopia.System.database sys in
+  let rides = Database.find_table db "Rides" in
+  let next_rid = ref 9000 in
+  let trace =
+    List.mapi
+      (fun i action ->
+        match action with
+        | GClique (s, d, day, complete) ->
+          let k = ksizes.(s) in
+          let dest = Scenarios.Groups.dests.(d) in
+          let members = List.init k (fun j -> Printf.sprintf "g%dm%d" i j) in
+          let submitted =
+            if complete then members
+            else List.filteri (fun j _ -> j < k - 1) members
+          in
+          submitted
+          |> List.map (fun me ->
+                 let others = List.filter (fun m -> m <> me) members in
+                 let sql =
+                   Scenarios.Groups.member_sql ~me ~others ~day ~dest ~k ()
+                 in
+                 outcome_digest
+                   (Youtopia.System.submit_equery sys
+                      (Youtopia.System.session sys me)
+                      (Translate.of_sql (Youtopia.System.catalog sys)
+                         ~owner:me sql)))
+          |> String.concat "|"
+        | GRide (d, day, seats) ->
+          incr next_rid;
+          Database.with_txn db (fun txn ->
+              ignore
+                (Txn.insert txn rides
+                   [|
+                     v_int !next_rid;
+                     v_str Scenarios.Groups.dests.(d);
+                     v_int day;
+                     v_int seats;
+                   |]));
+          "ride"
+        | GPoke batch ->
+          (if batch then Youtopia.System.poke_batch sys ~statements:2
+           else Youtopia.System.poke sys)
+          |> List.map notification_digest
+          |> List.sort compare |> String.concat "|")
+      actions
+  in
+  let rows_digest name =
+    Table.rows (Database.find_table db name)
+    |> List.map (Fmt.str "%a" Tuple.pp)
+    |> List.sort compare |> String.concat "|"
+  in
+  let final =
+    [
+      rows_digest "Rides";
+      rows_digest "RideBookings";
+      rows_digest "RideRes";
+      Coordinator.pending (Youtopia.System.coordinator sys)
+      |> Pending.to_list
+      |> List.map (fun (q : Equery.t) -> string_of_int q.Equery.id)
+      |> String.concat ",";
+    ]
+  in
+  trace @ final
+
+let prop_kway_poke_grid =
+  QCheck.Test.make
+    ~name:"k-way formation equivalent across poke grid (I10)" ~count:30
+    (QCheck.make ~print:print_gactions gaction_gen) (fun actions ->
+      let reference =
+        run_gactions ~use_dirty_poke:false ~use_tuple_poke:false actions
+      in
+      List.for_all
+        (fun (use_dirty_poke, use_tuple_poke) ->
+          run_gactions ~use_dirty_poke ~use_tuple_poke actions = reference)
+        [ true, false; true, true ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_pair_semantics;
@@ -636,4 +878,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_poke_batch_is_poke;
     QCheck_alcotest.to_alcotest prop_batched_poke_equivalence;
     QCheck_alcotest.to_alcotest prop_tuple_poke_equivalence;
+    QCheck_alcotest.to_alcotest prop_kway_all_or_nothing;
+    QCheck_alcotest.to_alcotest prop_kway_poke_grid;
   ]

@@ -1041,6 +1041,52 @@ let test_accept_failpoint () =
               check string_t "post-disarm accept works" "ok"
                 (Net.Client.ping ~payload:"ok" c))))
 
+(* A fulfilled entangled statement's THEN effects mutate base tables, and
+   the answer cascade does not follow those — the server must poke after
+   the fulfilment so parked waiters see the mutation.  The lock-lease
+   scenario is the canonical case: a sweep over the wire frees the lock
+   with no plain DML anywhere in the workload, and the parked acquire must
+   be granted. *)
+let test_then_effect_fulfilment_pokes () =
+  let sys = Scenarios.Locks.make_system ~n_locks:1 () in
+  let config = { Net.Server.default_config with Net.Server.port = 0 } in
+  let server = Net.Server.start ~config sys in
+  Fun.protect
+    ~finally:(fun () -> Net.Server.stop server)
+    (fun () ->
+      let port = Net.Server.port server in
+      let alice = Net.Client.connect ~port ~user:"alice" () in
+      let bob = Net.Client.connect ~port ~user:"bob" () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close alice;
+          Net.Client.close bob)
+        (fun () ->
+          (match
+             Net.Client.submit alice
+               (Scenarios.Locks.acquire_sql ~owner:"alice" ~name:"lock0"
+                  ~token:1 ~expires:10)
+           with
+          | Net.Wire.Answered _ -> ()
+          | _ -> Alcotest.fail "alice should be granted the free lock");
+          (match
+             Net.Client.submit bob
+               (Scenarios.Locks.acquire_sql ~owner:"bob" ~name:"lock0"
+                  ~token:2 ~expires:60)
+           with
+          | Net.Wire.Registered _ -> ()
+          | _ -> Alcotest.fail "bob should park on the held lock");
+          (* alice's lease expires; the sweep's THEN effects free the lock *)
+          (match
+             Net.Client.submit alice (Scenarios.Locks.sweep_sql ~now:20 ~limit:4)
+           with
+          | Net.Wire.Answered _ | Net.Wire.Multi _ -> ()
+          | _ -> Alcotest.fail "sweep should reclaim alice's expired lease");
+          match Net.Client.wait_notification ~timeout:5. bob with
+          | Some n ->
+            check string_t "bob inherits the lock" "bob" n.Core.Events.owner
+          | None -> Alcotest.fail "bob never got his grant push"))
+
 let suite =
   [
     Alcotest.test_case "notification round-trip" `Quick test_notification_roundtrip;
@@ -1072,6 +1118,8 @@ let suite =
       test_batch_error_isolation;
     Alcotest.test_case "wire DML triggers per-batch poke" `Quick
       test_wire_dml_triggers_poke;
+    Alcotest.test_case "wire THEN-effect fulfilment pokes waiters" `Quick
+      test_then_effect_fulfilment_pokes;
     Alcotest.test_case "unbatched path equivalent" `Quick
       test_unbatched_path_equivalent;
     Alcotest.test_case "poll buffers partial frames" `Quick

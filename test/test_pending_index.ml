@@ -257,6 +257,61 @@ let test_remove_then_poke () =
   Alcotest.(check int) "survivor still retried" (r0 + 1)
     stats.Stats.dirty_retries
 
+(* ------------------------------------------------------------------ *)
+(* Ans-atom indexing: [IN ANSWER] templates are indexed like db accesses —
+   constant argument positions are the pins, so a committed answer tuple
+   probes straight to the partners pinned on it. *)
+
+let test_probe_ans_atoms () =
+  let db, coord, _, _ = make_coord () in
+  let qa = submit_pending coord db ~me:"ua" ~table:"TA" ~dest:"Paris" in
+  let qb = submit_pending coord db ~me:"ub" ~table:"TB" ~dest:"Rome" in
+  let pending = Coordinator.pending coord in
+  (* qa waits on ('ghost_ua', fno): position 0 pinned, position 1 free *)
+  Alcotest.(check (list int))
+    "answer tuple routes to the pinned waiter" [ qa ]
+    (Pending.probe pending ~table:"R" [| v_str "ghost_ua"; v_int 5 |]);
+  Alcotest.(check (list int))
+    "any fno matches the variable position" [ qa ]
+    (Pending.probe pending ~table:"R" [| v_str "ghost_ua"; v_int 999 |]);
+  Alcotest.(check (list int))
+    "partner name discriminates" [ qb ]
+    (Pending.probe pending ~table:"R" [| v_str "ghost_ub"; v_int 5 |]);
+  Alcotest.(check (list int))
+    "unknown partner wakes nobody" []
+    (Pending.probe pending ~table:"R" [| v_str "nobody"; v_int 5 |]);
+  (* cancel retires the template bucket along with the db-access buckets *)
+  ignore (Coordinator.cancel coord qa);
+  Alcotest.(check (list int))
+    "cancelled template unindexed" []
+    (Pending.probe pending ~table:"R" [| v_str "ghost_ua"; v_int 5 |]);
+  Alcotest.(check (list int))
+    "survivor still indexed" [ qb ]
+    (Pending.probe pending ~table:"R" [| v_str "ghost_ub"; v_int 7 |])
+
+let test_ans_atom_tuple_targeting () =
+  let db, coord, _, _ = make_coord () in
+  let _qa = submit_pending coord db ~me:"ua" ~table:"TA" ~dest:"Paris" in
+  let _qb = submit_pending coord db ~me:"ub" ~table:"TB" ~dest:"Rome" in
+  ignore (Coordinator.poke coord);
+  let stats = Coordinator.stats coord in
+  let r0 = stats.Stats.dirty_retries in
+  let r_table = Database.find_table db "R" in
+  (* answer relations are catalog tables; a committed answer tuple naming
+     ua's ghost partner retries exactly ua's query through the same probe
+     path as a base-table insert *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn r_table [| v_str "ghost_ua"; v_int 1 |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "answer tuple retries the pinned waiter only" (r0 + 1)
+    stats.Stats.dirty_retries;
+  (* an answer tuple for nobody's template retries nobody *)
+  Database.with_txn db (fun txn ->
+      ignore (Txn.insert txn r_table [| v_str "stranger"; v_int 2 |]));
+  ignore (Coordinator.poke coord);
+  Alcotest.(check int) "irrelevant answer tuple retries nobody" (r0 + 1)
+    stats.Stats.dirty_retries
+
 let test_bucket_churn () =
   let db, coord, _, _ = make_coord () in
   let pending = Coordinator.pending coord in
@@ -310,6 +365,10 @@ let suite =
     Alcotest.test_case "poke: tuple-driven retry targeting" `Quick
       test_tuple_targeting;
     Alcotest.test_case "poke: remove then poke" `Quick test_remove_then_poke;
+    Alcotest.test_case "probe: ans-atom templates indexed" `Quick
+      test_probe_ans_atoms;
+    Alcotest.test_case "poke: ans-atom tuple targeting" `Quick
+      test_ans_atom_tuple_targeting;
     Alcotest.test_case "churn: buckets reclaimed on remove" `Quick
       test_bucket_churn;
     Alcotest.test_case "size: O(1) counter" `Quick test_size_counter;

@@ -17,6 +17,7 @@ let () =
       "entangled", Test_entangled.suite;
       "system", Test_system.suite;
       "travel", Test_travel.suite;
+      "scenarios", Test_scenarios.suite;
       "extensions", Test_extensions.suite;
       "matcher-props", Test_matcher_props.suite;
       "incremental", Test_incremental.suite;

@@ -20,6 +20,23 @@
      I5  a fresh replica attached to the recovered primary converges to
          an identical dump
 
+   Cycles alternate between two scenarios by seed parity.  Even seeds
+   run the travel dataset (the workload above).  Odd seeds run the
+   lock-lease scenario (`--scenario locks`): acquires, renewals and
+   sweeps as THEN-clause entangled SQL over the wire, driven by the
+   shared Scengen generator, with the crash landing anywhere in the
+   grant/reclaim machinery.  Its invariants:
+
+     L0  seed data intact (32 locks recovered)
+     L1  no lock held by two owners across the crash: at most one active
+         lease per lock, and Locks.free agrees with the lease table
+     L2  expired leases reclaimed exactly once: no duplicate reclaim
+         receipt, none pointing at a still-active or unknown lease
+     L3  no lost grants (every acknowledged grant's lease row survives)
+         and no phantom leases (every recovered lease was issued)
+     L4  post-crash, a full sweep reclaims exactly the active leases,
+         once each, and the locks are grantable again
+
    Every cycle prints its derived seed; `--cycle-seed N` re-runs exactly
    one cycle from such a seed.  The workload and failpoint arming are
    fully determined by the seed; the precise crash instant additionally
@@ -203,6 +220,27 @@ let fno_of_notification (n : Core.Events.notification) =
     | (_, t) :: rest -> (
       match Array.to_list t with
       | [ _; Relational.Value.Int f ] -> Some f
+      | _ -> go rest)
+    | [] -> None
+  in
+  go n.Core.Events.answers
+
+(** "('lock3', 42)" -> 42 (the trailing integer column). *)
+let last_int_of_row row =
+  match String.rindex_opt row ',' with
+  | None -> violation "unparseable row: %s" row
+  | Some i -> (
+    let s = String.trim (String.sub row (i + 1) (String.length row - i - 2)) in
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> violation "unparseable row: %s" row)
+
+(** A sweep instance's answer tuple: SweepRes(name, token). *)
+let sweep_receipt (n : Core.Events.notification) =
+  let rec go = function
+    | (_, t) :: rest -> (
+      match Array.to_list t with
+      | [ Relational.Value.Str nm; Relational.Value.Int tok ] -> Some (nm, tok)
       | _ -> go rest)
     | [] -> None
   in
@@ -534,6 +572,275 @@ let run_cycle ~prog ~artifacts ~keep_tmp ~ops_target ~verbose ~cycle_seed =
     finish ~failed:true;
     raise e
 
+(* ---------------- one lock-lease cycle ---------------- *)
+
+let run_locks_cycle ~prog ~artifacts ~keep_tmp ~ops_target ~verbose ~cycle_seed =
+  let rng = Random.State.make [| cycle_seed |] in
+  let n_locks = 32 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "torture-%d-%d" (Unix.getpid ()) cycle_seed)
+  in
+  Unix.mkdir dir 0o700;
+  let wal = Filename.concat dir "y.wal" in
+  let durability =
+    List.nth durabilities (Random.State.int rng (List.length durabilities))
+  in
+  let server_args port_opt =
+    [
+      "--scenario"; "locks"; "--wal"; wal; "--host"; "127.0.0.1";
+      "--port"; port_opt; "--durability"; durability;
+    ]
+  in
+  let children = ref [] in
+  let track ch =
+    children := ch :: !children;
+    ch
+  in
+  let say fmt =
+    Printf.ksprintf (fun m -> if verbose then Printf.printf "  %s\n%!" m) fmt
+  in
+  let finish ~failed =
+    List.iter dispose !children;
+    if failed then
+      save_artifacts ~artifacts ~cycle_seed ~dir ~children:!children;
+    if not (keep_tmp || failed) then rm_rf dir
+  in
+  match
+    (* ---- phase 1: primary + seeded lock workload + crash ---- *)
+    let primary =
+      track
+        (spawn ~name:"primary" ~prog ~args:(server_args "0")
+           ~env_extra:[ Printf.sprintf "YOUTOPIA_FAULT_SEED=%d" cycle_seed ])
+    in
+    let port =
+      match wait_port primary ~timeout:20. with
+      | Some p -> p
+      | None ->
+        violation "primary did not start:\n%s" (Buffer.contents primary.log)
+    in
+    let c = Net.Client.connect ~port ~user:"torture" () in
+    let kill_pt =
+      List.nth kill_points (Random.State.int rng (List.length kill_points))
+    in
+    let kill_hit = 1 + Random.State.int rng 30 in
+    let arm_cmd = Printf.sprintf "failpoint arm %s %d->kill" kill_pt kill_hit in
+    let reply = Net.Client.admin c arm_cmd in
+    if not (contains reply "armed") then
+      violation "failpoint arming failed: %s" reply;
+    say "locks: durability=%s armed %s=%d->kill" durability kill_pt kill_hit;
+    (* the shared workload generator: Zipf owners, weighted op mix — the
+       same distributions the SCEN bench drives *)
+    let gen =
+      Scenarios.Scengen.create ~seed:cycle_seed ~label:"torture.locks"
+        ~users:24 ()
+    in
+    let tick = ref 0 and next_token = ref 1 in
+    (* tokens are client-issued, so recovered state is fully checkable:
+       every lease must carry an issued token (no phantoms), every
+       acknowledged grant must keep its lease row (no lost writes) *)
+    let issued = Hashtbl.create 64 in
+    let acked_grants = ref [] (* (token, name) with an Answered receipt *)
+    and acked_reclaims = ref [] (* (name, token) with an Answered receipt *)
+    and live_grants = ref [] (* (token, owner, name), renewal candidates *) in
+    let crashed = ref false and ops = ref 0 in
+    (try
+       while (not !crashed) && !ops < ops_target do
+         incr ops;
+         incr tick;
+         if not (alive primary) then crashed := true
+         else begin
+           match
+             Scenarios.Scengen.pick gen
+               [ 45, `Acquire; 10, `Renew; 25, `Sweep; 12, `Checkpoint;
+                 8, `Probe ]
+           with
+           | `Acquire -> (
+             let owner = Scenarios.Scengen.user_name gen in
+             let name =
+               Scenarios.Locks.lock_name (Scenarios.Scengen.uniform gen n_locks)
+             in
+             let token = !next_token in
+             incr next_token;
+             Hashtbl.replace issued token ();
+             let expires = !tick + 2 + Scenarios.Scengen.uniform gen 6 in
+             match
+               Net.Client.submit c
+                 (Scenarios.Locks.acquire_sql ~owner ~name ~token ~expires)
+             with
+             | Net.Wire.Answered _ ->
+               acked_grants := (token, name) :: !acked_grants;
+               live_grants := (token, owner, name) :: !live_grants
+             | _ -> () (* parked waiter: grant may land any time, or never *))
+           | `Renew -> (
+             match !live_grants with
+             | [] -> ()
+             | grants -> (
+               let _, owner, name =
+                 List.nth grants (Scenarios.Scengen.uniform gen (List.length grants))
+               in
+               let token = !next_token in
+               incr next_token;
+               let expires = !tick + 2 + Scenarios.Scengen.uniform gen 6 in
+               match
+                 Net.Client.submit c
+                   (Scenarios.Locks.renew_sql ~owner ~name ~token ~now:!tick
+                      ~expires)
+               with
+               | Net.Wire.Answered _ | Net.Wire.Registered _ | _ -> ()))
+           | `Sweep -> (
+             match
+               Net.Client.submit c (Scenarios.Locks.sweep_sql ~now:!tick ~limit:1)
+             with
+             | Net.Wire.Answered n -> (
+               match sweep_receipt n with
+               | Some (name, token) ->
+                 acked_reclaims := (name, token) :: !acked_reclaims;
+                 live_grants :=
+                   List.filter (fun (t, _, _) -> t <> token) !live_grants
+               | None -> ())
+             | _ -> () (* nothing expired; the parked instance stays inert *))
+           | `Checkpoint -> ignore (Net.Client.admin c "checkpoint")
+           | `Probe -> ignore (Net.Client.admin c "failpoint list")
+         end
+       done
+     with _ -> crashed := true);
+    (try Net.Client.close c with _ -> ());
+    if not !crashed then begin
+      say "failpoint never fired; parent SIGKILL";
+      kill_child primary
+    end
+    else reap primary;
+    say "crashed after %d op(s): %d grant(s), %d reclaim(s) acked" !ops
+      (List.length !acked_grants)
+      (List.length !acked_reclaims);
+
+    (* ---- phase 2: recovery + lock invariants ---- *)
+    let recovered =
+      track (spawn ~name:"recovered" ~prog ~args:(server_args "0") ~env_extra:[])
+    in
+    let port2 =
+      match wait_port recovered ~timeout:20. with
+      | Some p -> p
+      | None ->
+        violation "server failed to recover from the crash:\n%s"
+          (Buffer.contents recovered.log)
+    in
+    let c2 = Net.Client.connect ~port:port2 ~user:"checker" () in
+    (* L0: seed data *)
+    let lock_rows = select c2 "SELECT name, free FROM Locks" in
+    if List.length lock_rows <> n_locks then
+      violation "L0: expected %d locks after recovery, found %d" n_locks
+        (List.length lock_rows);
+    let lease_rows = select c2 "SELECT name, token FROM Leases" in
+    let active_rows =
+      select c2 "SELECT name, token FROM Leases WHERE active = 1"
+    in
+    let reclaim_rows = select c2 "SELECT name, token FROM Reclaims" in
+    let active_names = List.map name_of_row active_rows in
+    let active_tokens = List.map last_int_of_row active_rows in
+    let lease_tokens = List.map last_int_of_row lease_rows in
+    (* L1: at most one active lease per lock; Locks.free agrees *)
+    let rec first_dup = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> first_dup rest
+      | [] -> None
+    in
+    (match first_dup (List.sort compare active_names) with
+    | Some name -> violation "L1: lock %s held by two owners after recovery" name
+    | None -> ());
+    List.iter
+      (fun row ->
+        let name = name_of_row row in
+        let free = last_int_of_row row in
+        let held = List.mem name active_names in
+        if free = 1 && held then
+          violation "L1: lock %s free but has an active lease" name;
+        if free = 0 && not held then
+          violation "L1: lock %s busy but has no active lease" name)
+      lock_rows;
+    (* L2: reclaims exactly-once, each pointing at a real, inactive lease *)
+    (match first_dup (List.sort compare reclaim_rows) with
+    | Some row -> violation "L2: lease %s reclaimed twice" row
+    | None -> ());
+    List.iter
+      (fun row ->
+        let token = last_int_of_row row in
+        if not (List.mem token lease_tokens) then
+          violation "L2: reclaim of unknown lease %s" row;
+        if List.mem token active_tokens then
+          violation "L2: reclaimed lease %s still active" row)
+      reclaim_rows;
+    (* L3: no lost grants, no phantom leases *)
+    List.iter
+      (fun (token, name) ->
+        if not (List.mem token lease_tokens) then
+          violation "L3: acknowledged grant (token %d, %s) lost by recovery"
+            token name)
+      !acked_grants;
+    List.iter
+      (fun token ->
+        if not (Hashtbl.mem issued token) then
+          violation "L3: phantom lease token %d after recovery" token)
+      lease_tokens;
+    List.iter
+      (fun (name, token) ->
+        if not (List.mem (name, token)
+                  (List.map (fun r -> (name_of_row r, last_int_of_row r))
+                     reclaim_rows))
+        then
+          violation "L2: acknowledged reclaim (%s, %d) lost by recovery" name
+            token)
+      !acked_reclaims;
+    (* pending store is documented non-durable *)
+    let pending = Net.Client.admin c2 "pending" in
+    if not (contains pending "no pending") then
+      violation "L?: pending store survived the crash: %s" pending;
+    (* L4: a far-future sweep reclaims exactly the active leases, once
+       each, and the locks become grantable again *)
+    let far = !tick + 1000 in
+    let expected = List.length active_rows in
+    let swept = ref 0 in
+    let rec drain_sweeps () =
+      match
+        Net.Client.submit c2 (Scenarios.Locks.sweep_sql ~now:far ~limit:1)
+      with
+      | Net.Wire.Answered _ ->
+        incr swept;
+        if !swept > expected then
+          violation "L4: sweep reclaimed more leases than were active (%d > %d)"
+            !swept expected
+        else drain_sweeps ()
+      | _ -> ()
+    in
+    drain_sweeps ();
+    if !swept <> expected then
+      violation "L4: sweep reclaimed %d of %d active leases" !swept expected;
+    let reclaims_after = select c2 "SELECT name, token FROM Reclaims" in
+    (match first_dup (List.sort compare reclaims_after) with
+    | Some row -> violation "L4: lease %s reclaimed twice by the drain" row
+    | None -> ());
+    let post_token = !next_token + 1000 in
+    (match
+       Net.Client.submit c2
+         (Scenarios.Locks.acquire_sql ~owner:"post-crash"
+            ~name:(Scenarios.Locks.lock_name 0) ~token:post_token
+            ~expires:(far + 10))
+     with
+    | Net.Wire.Answered _ -> ()
+    | _ ->
+      violation "L4: lock0 not grantable after the post-crash sweep");
+    say "locks: recovery clean (%d active lease(s) re-swept exactly once)"
+      expected;
+    (try Net.Client.close c2 with _ -> ());
+    terminate recovered
+  with
+  | () -> finish ~failed:false
+  | exception e ->
+    finish ~failed:true;
+    raise e
+
 (* ---------------- command line ---------------- *)
 
 let run cycles seed cycle_seed server artifacts keep_tmp ops verbose =
@@ -554,9 +861,15 @@ let run cycles seed cycle_seed server artifacts keep_tmp ops verbose =
   (try
      List.iteri
        (fun i cs ->
-         Printf.printf "torture cycle %d/%d: seed=%d\n%!" (i + 1) total cs;
+         (* scenario by seed parity, so --cycle-seed reproduces it too *)
+         let scenario, cycle_fn =
+           if cs land 1 = 0 then "travel", run_cycle
+           else "locks", run_locks_cycle
+         in
+         Printf.printf "torture cycle %d/%d: seed=%d (%s)\n%!" (i + 1) total cs
+           scenario;
          match
-           run_cycle ~prog:server ~artifacts ~keep_tmp ~ops_target:ops
+           cycle_fn ~prog:server ~artifacts ~keep_tmp ~ops_target:ops
              ~verbose ~cycle_seed:cs
          with
          | () -> ()
